@@ -1,0 +1,398 @@
+// Package repro_test holds the top-level benchmark suite: one testing.B
+// benchmark per table and figure of the paper's evaluation section (see
+// DESIGN.md's per-experiment index — cmd/glto-bench runs the full sweeps;
+// these benches are the fixed-size, go-test-runnable versions), plus
+// ablation benches for the design decisions DESIGN.md calls out.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/glt"
+	_ "repro/glt/backends"
+	"repro/glt/qth/feb"
+	"repro/internal/cg"
+	"repro/internal/cloverleaf"
+	"repro/internal/harness"
+	"repro/internal/pthread"
+	"repro/internal/uts"
+	"repro/internal/validation"
+	"repro/omp"
+	"repro/openmp"
+)
+
+// benchThreads is the team size used by the fixed-size benches.
+const benchThreads = 4
+
+func newRT(b *testing.B, v harness.Variant, mutate func(*omp.Config)) omp.Runtime {
+	b.Helper()
+	rt, err := v.New(benchThreads, mutate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func perVariant(b *testing.B, vs []harness.Variant, run func(b *testing.B, v harness.Variant)) {
+	for _, v := range vs {
+		v := v
+		b.Run(v.Label, func(b *testing.B) { run(b, v) })
+	}
+}
+
+// BenchmarkFig4UTS: UTS in the environment-creator scenario, per runtime.
+func BenchmarkFig4UTS(b *testing.B) {
+	params := uts.Tiny // the harness runs T1XXLScaled; Tiny keeps `go test -bench` quick
+	perVariant(b, harness.PaperVariants, func(b *testing.B, v harness.Variant) {
+		rt := newRT(b, v, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			params.CountOpenMP(rt, benchThreads)
+		}
+	})
+}
+
+// BenchmarkFig5Native: UTS over raw pthreads and each native LWT backend.
+func BenchmarkFig5Native(b *testing.B) {
+	params := uts.Tiny
+	b.Run("PTH", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			params.CountPthreads(benchThreads)
+		}
+	})
+	for _, backend := range []string{"abt", "qth", "mth"} {
+		backend := backend
+		b.Run(backend, func(b *testing.B) {
+			g, err := glt.New(glt.Config{Backend: backend, NumThreads: benchThreads})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Shutdown()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				params.CountGLT(g)
+			}
+		})
+	}
+}
+
+// BenchmarkFig6CloverLeaf: one hydro timestep per iteration, per runtime.
+func BenchmarkFig6CloverLeaf(b *testing.B) {
+	perVariant(b, harness.PaperVariants, func(b *testing.B, v harness.Variant) {
+		rt := newRT(b, v, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+		sim := cloverleaf.NewSimulation(48, 48)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.Step(rt, benchThreads)
+		}
+	})
+}
+
+// BenchmarkFig7Dispatch: the cost of an empty parallel region (the
+// work-assignment step).
+func BenchmarkFig7Dispatch(b *testing.B) {
+	perVariant(b, harness.PaperVariants, func(b *testing.B, v harness.Variant) {
+		rt := newRT(b, v, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+		rt.ParallelN(benchThreads, func(tc *omp.TC) {})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.ParallelN(benchThreads, func(tc *omp.TC) {})
+		}
+	})
+}
+
+func nestedBench(b *testing.B, outer int) {
+	perVariant(b, harness.PaperVariants, func(b *testing.B, v harness.Variant) {
+		rt := newRT(b, v, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.ParallelN(benchThreads, func(tc *omp.TC) {
+				tc.For(0, outer, func(k int) {
+					tc.Parallel(benchThreads, func(itc *omp.TC) {
+						itc.For(0, outer, func(j int) {})
+					})
+				})
+			})
+		}
+	})
+}
+
+// BenchmarkFig8Nested100: the Listing-1 nested microbenchmark, outer=100.
+func BenchmarkFig8Nested100(b *testing.B) { nestedBench(b, 100) }
+
+// BenchmarkFig9Nested1000: outer=1000. Dominated by OS-thread creation on
+// the pthread runtimes, exactly as in the paper.
+func BenchmarkFig9Nested1000(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large nested bench skipped in -short")
+	}
+	nestedBench(b, 1000)
+}
+
+var benchProblem = cg.NewProblem(1500, 7)
+
+func cgBench(b *testing.B, granularity int) {
+	perVariant(b, harness.TaskVariants, func(b *testing.B, v harness.Variant) {
+		rt := newRT(b, v, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchProblem.SolveTasks(rt, benchThreads, cg.Opts{MaxIter: 5, Granularity: granularity})
+		}
+	})
+}
+
+// BenchmarkFig10CG .. BenchmarkFig13CG: the task-parallel CG at the paper's
+// four granularities.
+func BenchmarkFig10CG(b *testing.B) { cgBench(b, 10) }
+func BenchmarkFig11CG(b *testing.B) { cgBench(b, 20) }
+func BenchmarkFig12CG(b *testing.B) { cgBench(b, 50) }
+func BenchmarkFig13CG(b *testing.B) { cgBench(b, 100) }
+
+// BenchmarkFig14Cutoff: 4,000 single-producer tasks under the three cut-off
+// values of Fig. 14.
+func BenchmarkFig14Cutoff(b *testing.B) {
+	for _, cutoff := range []int{16, 256, 4096} {
+		cutoff := cutoff
+		b.Run(fmt.Sprint(cutoff), func(b *testing.B) {
+			rt, err := openmp.New("iomp", omp.Config{
+				NumThreads: benchThreads, TaskCutoff: cutoff, Nested: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Shutdown()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.ParallelN(benchThreads, func(tc *omp.TC) {
+					tc.Single(func() {
+						for k := 0; k < 4000; k++ {
+							tc.Task(func(*omp.TC) {})
+						}
+					})
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkTable1Validation: one full validation-suite pass per runtime.
+func BenchmarkTable1Validation(b *testing.B) {
+	perVariant(b, harness.PaperVariants, func(b *testing.B, v harness.Variant) {
+		rt := newRT(b, v, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep := validation.RunSuite(rt, benchThreads)
+			if rep.Passed() < 100 {
+				b.Fatalf("suite collapsed: %d passed", rep.Passed())
+			}
+		}
+	})
+}
+
+// BenchmarkTable2Nested: the Table II accounting run (nested constructs at
+// the paper's 100 outer iterations), timed per full run.
+func BenchmarkTable2Nested(b *testing.B) {
+	for _, v := range []harness.Variant{
+		{Label: "GCC", Runtime: "gomp"},
+		{Label: "Intel", Runtime: "iomp"},
+		{Label: "GLTO", Runtime: "glto", Backend: "abt"},
+	} {
+		v := v
+		b.Run(v.Label, func(b *testing.B) {
+			rt := newRT(b, v, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.ParallelN(benchThreads, func(tc *omp.TC) {
+					tc.For(0, 100, func(k int) {
+						tc.Parallel(benchThreads, func(itc *omp.TC) {
+							itc.For(0, 100, func(j int) {})
+						})
+					})
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkTable3QueuedTasks: the CG run whose queue accounting produces
+// Table III, timed per granularity on the Intel-like runtime.
+func BenchmarkTable3QueuedTasks(b *testing.B) {
+	for _, g := range cg.Granularities {
+		g := g
+		b.Run(fmt.Sprint(g), func(b *testing.B) {
+			rt, err := openmp.New("iomp", omp.Config{NumThreads: benchThreads, Nested: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Shutdown()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchProblem.SolveTasks(rt, benchThreads, cg.Opts{MaxIter: 3, Granularity: g})
+			}
+			b.StopTimer()
+			s := rt.Stats()
+			b.ReportMetric(s.QueuedTaskPercent(), "%queued")
+		})
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationULTvsGoroutine: the token-gated ULT against a bare
+// goroutine-per-work-unit, isolating the cost of execution-stream
+// discipline.
+func BenchmarkAblationULTvsGoroutine(b *testing.B) {
+	b.Run("ULT", func(b *testing.B) {
+		g := glt.MustNew(glt.Config{Backend: "abt", NumThreads: benchThreads})
+		defer g.Shutdown()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Spawn(i%benchThreads, func(*glt.Ctx) {}).Join()
+		}
+	})
+	b.Run("goroutine", func(b *testing.B) {
+		done := make(chan struct{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			go func() { done <- struct{}{} }()
+			<-done
+		}
+	})
+	b.Run("pthread", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pthread.Create(func() {}).Join()
+		}
+	})
+}
+
+// BenchmarkAblationTaskletVsULT: Argobots' stackless work units against
+// full ULTs, per spawn+join.
+func BenchmarkAblationTaskletVsULT(b *testing.B) {
+	g := glt.MustNew(glt.Config{Backend: "abt", NumThreads: benchThreads})
+	defer g.Shutdown()
+	b.Run("tasklet", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.SpawnTasklet(i%benchThreads, func() {}).Join()
+		}
+	})
+	b.Run("ult", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Spawn(i%benchThreads, func(*glt.Ctx) {}).Join()
+		}
+	})
+}
+
+// BenchmarkAblationDispatch: GLTO's two task-dispatch modes — round-robin
+// (producer inside single) versus thread-local (every thread produces).
+func BenchmarkAblationDispatch(b *testing.B) {
+	const tasks = 512
+	b.Run("round-robin-single", func(b *testing.B) {
+		rt := newRT(b, harness.Variant{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"}, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.ParallelN(benchThreads, func(tc *omp.TC) {
+				tc.Single(func() {
+					for k := 0; k < tasks; k++ {
+						tc.Task(func(*omp.TC) {})
+					}
+				})
+			})
+		}
+	})
+	b.Run("thread-local", func(b *testing.B) {
+		rt := newRT(b, harness.Variant{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"}, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.ParallelN(benchThreads, func(tc *omp.TC) {
+				for k := 0; k < tasks/benchThreads; k++ {
+					tc.Task(func(*omp.TC) {})
+				}
+				tc.Taskwait()
+			})
+		}
+	})
+}
+
+// BenchmarkAblationSharedQueues: GLT_SHARED_QUEUES under an imbalanced task
+// load (paper §IV-F): one stream receives every task unless the shared pool
+// rebalances.
+func BenchmarkAblationSharedQueues(b *testing.B) {
+	for _, shared := range []bool{false, true} {
+		shared := shared
+		name := "private"
+		if shared {
+			name = "shared"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := glt.MustNew(glt.Config{Backend: "abt", NumThreads: benchThreads, SharedQueues: shared})
+			defer g.Shutdown()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				units := make([]*glt.Unit, 64)
+				for k := range units {
+					// All units target stream 0: pure imbalance.
+					units[k] = g.Spawn(0, func(*glt.Ctx) {
+						var acc float64
+						for s := 0; s < 5000; s++ {
+							acc += float64(s)
+						}
+						_ = acc
+					})
+				}
+				for _, u := range units {
+					u.Join()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFEBStripes: Qthreads' word-lock table contention as a
+// function of stripe count, the knob behind the qth backend's scaling.
+func BenchmarkAblationFEBStripes(b *testing.B) {
+	for _, stripes := range []int{1, 8, 32, 256} {
+		stripes := stripes
+		b.Run(fmt.Sprint(stripes), func(b *testing.B) {
+			tab := feb.NewTable(stripes)
+			words := make([]feb.Word, 16)
+			for i := range words {
+				words[i].Init(tab, 0)
+			}
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					words[i%len(words)].TouchFE()
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblationGLTOTaskletTasks: GLTO's per-task work unit — ULT
+// (paper's design) versus GLT tasklet (the lighter unit the paper notes
+// Argobots offers natively) — on the CG leaf-task workload.
+func BenchmarkAblationGLTOTaskletTasks(b *testing.B) {
+	for _, tasklets := range []bool{false, true} {
+		tasklets := tasklets
+		name := "ult"
+		if tasklets {
+			name = "tasklet"
+		}
+		b.Run(name, func(b *testing.B) {
+			rt, err := openmp.New("glto", omp.Config{
+				NumThreads: benchThreads, Backend: "abt", Tasklets: tasklets, Nested: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Shutdown()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchProblem.SolveTasks(rt, benchThreads, cg.Opts{MaxIter: 5, Granularity: 20})
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+// Command cg runs the task-parallel conjugate-gradient workload of the
+// paper's §VI-E over a chosen OpenMP runtime.
+//
+// Usage:
+//
+//	cg -rt iomp -threads 8 -granularity 20
+//	cg -rt glto -backend abt -mode for
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cg"
+	"repro/omp"
+	"repro/openmp"
+)
+
+func main() {
+	var (
+		rtName  = flag.String("rt", "iomp", "OpenMP runtime: gomp, iomp, glto")
+		backend = flag.String("backend", "abt", "GLT backend for glto")
+		threads = flag.Int("threads", 0, "thread count (0 = host cores)")
+		rows    = flag.Int("rows", cg.DefaultRows, "matrix rows (paper: 14878)")
+		gran    = flag.Int("granularity", 10, "rows per task (paper: 10/20/50/100)")
+		iters   = flag.Int("iters", 20, "CG iterations")
+		mode    = flag.String("mode", "tasks", "solver: tasks, for, serial")
+		cutoff  = flag.Int("cutoff", 0, "task cut-off (iomp; 0 = default 256)")
+	)
+	flag.Parse()
+
+	n := *threads
+	if n <= 0 {
+		n = omp.NumProcs()
+	}
+	prob := cg.NewProblem(*rows, 7)
+	opts := cg.Opts{MaxIter: *iters, Granularity: *gran}
+
+	start := time.Now()
+	var res cg.Result
+	switch *mode {
+	case "serial":
+		res = prob.SolveSerial(opts)
+	case "for", "tasks":
+		rt, err := openmp.New(*rtName, omp.Config{
+			NumThreads: n, Backend: *backend, TaskCutoff: *cutoff, Nested: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer rt.Shutdown()
+		if *mode == "for" {
+			res = prob.SolveParallelFor(rt, n, opts)
+		} else {
+			res = prob.SolveTasks(rt, n, opts)
+			s := rt.Stats()
+			if s.TasksQueued+s.TasksDirect > 0 {
+				defer fmt.Printf("  tasks: queued=%d direct=%d (%.0f%% queued) stolen=%d\n",
+					s.TasksQueued, s.TasksDirect, s.QueuedTaskPercent(), s.TasksStolen)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("CG %d rows, granularity %d (%d tasks/kernel), mode %s\n",
+		prob.A.N, *gran, cg.NumTasks(prob.A.N, *gran), *mode)
+	fmt.Printf("  iterations=%d residual=%.3e time=%.3fs\n", res.Iterations, res.Residual, elapsed.Seconds())
+}

@@ -1,0 +1,45 @@
+// Command glto-validate runs the OpenUH-style OpenMP validation suite
+// (123 tests over 62 constructs) against every runtime of this repository
+// and prints the paper's Table I.
+//
+// Usage:
+//
+//	glto-validate [-threads 4] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/validation"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "team size used by the checks")
+	verbose := flag.Bool("v", false, "print each failing test")
+	flag.Parse()
+
+	fmt.Printf("OpenMP validation suite: %d tests, %d constructs, modes normal/cross/orphan\n\n",
+		validation.NumTests(), validation.NumConstructs())
+	fmt.Printf("%-12s %10s %10s %10s\n", "runtime", "tests", "passed", "failed")
+	exit := 0
+	for _, v := range harness.PaperVariants {
+		rt, err := v.New(*threads, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", v.Label, err)
+			exit = 1
+			continue
+		}
+		rep := validation.RunSuite(rt, *threads)
+		rt.Shutdown()
+		fmt.Printf("%-12s %10d %10d %10d\n", v.Label, len(rep.Outcomes), rep.Passed(), rep.Failed())
+		if *verbose {
+			for _, name := range rep.FailedNames() {
+				fmt.Printf("    failed: %s\n", name)
+			}
+		}
+	}
+	os.Exit(exit)
+}

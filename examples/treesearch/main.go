@@ -1,0 +1,60 @@
+// Treesearch runs the Unbalanced Tree Search workload the way the paper's
+// §VI-B "environment creator" scenario does: OpenMP supplies the threads,
+// the application balances the load itself — and the same code runs
+// unchanged over every runtime, which is the portability point of GLT
+// (paper Fig. 2). The program demonstrates it by racing all five runtime
+// variants on one tree.
+//
+//	go run ./examples/treesearch [-threads 8] [-preset t3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/uts"
+	"repro/omp"
+	"repro/openmp"
+)
+
+func main() {
+	threads := flag.Int("threads", omp.NumProcs(), "team size")
+	preset := flag.String("preset", "t1xxl", "tree preset: t1xxl, t3, tiny")
+	flag.Parse()
+
+	params := map[string]uts.Params{
+		"t1xxl": uts.T1XXLScaled,
+		"t3":    uts.T3Scaled,
+		"tiny":  uts.Tiny,
+	}[*preset]
+
+	fmt.Printf("UTS %s with %d threads\n", params, *threads)
+	serialStart := time.Now()
+	want := params.CountSerial()
+	fmt.Printf("%-12s %10.3fs   %d nodes, %d leaves, depth %d\n",
+		"serial", time.Since(serialStart).Seconds(), want.Nodes, want.Leaves, want.MaxDepth)
+
+	for _, spec := range []struct {
+		label, rt, backend string
+	}{
+		{"gomp", "gomp", ""},
+		{"iomp", "iomp", ""},
+		{"glto(abt)", "glto", "abt"},
+		{"glto(qth)", "glto", "qth"},
+		{"glto(mth)", "glto", "mth"},
+	} {
+		rt := openmp.MustNew(spec.rt, omp.Config{NumThreads: *threads, Backend: spec.backend})
+		start := time.Now()
+		got := params.CountOpenMP(rt, *threads)
+		elapsed := time.Since(start)
+		rt.Shutdown()
+		status := "ok"
+		if got.Nodes != want.Nodes {
+			status = fmt.Sprintf("MISMATCH: %d nodes", got.Nodes)
+		}
+		fmt.Printf("%-12s %10.3fs   %.2f Mnodes/s  %s\n",
+			spec.label, elapsed.Seconds(),
+			float64(got.Nodes)/elapsed.Seconds()/1e6, status)
+	}
+}

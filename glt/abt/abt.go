@@ -1,0 +1,95 @@
+// Package abt implements the Argobots-like scheduling backend for the GLT
+// runtime.
+//
+// Argobots is the library on which GLTO behaves best in the paper's task
+// benchmarks: its execution streams have private pools and, in the default
+// configuration used by GLT, never steal from each other, so the
+// "interaction between the GLT_threads is almost non-existent" (paper §VI-E)
+// and task-parallel scaling curves stay flat as streams are added.
+//
+// This backend reproduces that topology: one mutex-protected FIFO pool per
+// execution stream, strictly local Pop, and native stackless tasklets (the
+// engine runs tasklets inline regardless of backend; Argobots is simply the
+// library for which that is the authentic behaviour rather than an emulation
+// over ULTs).
+//
+// With GLT_SHARED_QUEUES (paper §IV-F) all streams share a single pool,
+// trading queue contention for automatic load balance.
+package abt
+
+import (
+	"sync"
+
+	"repro/glt"
+)
+
+func init() {
+	glt.Register("abt", func() glt.Policy { return &policy{} })
+}
+
+// pool is a mutex-protected FIFO of runnable units. Argobots' default pools
+// are FIFO for ULTs pushed by other streams and this is also what GLTO
+// relies on for fairness between a yielding barrier ULT and the task ULTs
+// behind it.
+type pool struct {
+	mu sync.Mutex
+	q  []*glt.Unit
+}
+
+func (p *pool) push(u *glt.Unit) {
+	p.mu.Lock()
+	p.q = append(p.q, u)
+	p.mu.Unlock()
+}
+
+func (p *pool) pop() *glt.Unit {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.q) == 0 {
+		return nil
+	}
+	u := p.q[0]
+	// Shift rather than reslice so the backing array is reused and does not
+	// grow without bound across the hundreds of thousands of work-sharing
+	// regions in the CloverLeaf experiment.
+	copy(p.q, p.q[1:])
+	p.q[len(p.q)-1] = nil
+	p.q = p.q[:len(p.q)-1]
+	return u
+}
+
+type policy struct {
+	pools  []*pool
+	shared bool
+}
+
+func (*policy) Name() string  { return "abt" }
+func (*policy) Steals() bool  { return false }
+func (*policy) PinMain() bool { return false }
+
+func (p *policy) Setup(nthreads int, shared bool) {
+	p.shared = shared
+	if shared {
+		p.pools = []*pool{new(pool)}
+		return
+	}
+	p.pools = make([]*pool, nthreads)
+	for i := range p.pools {
+		p.pools[i] = new(pool)
+	}
+}
+
+func (p *policy) Push(from, to int, u *glt.Unit) {
+	if p.shared {
+		p.pools[0].push(u)
+		return
+	}
+	p.pools[to].push(u)
+}
+
+func (p *policy) Pop(self int) *glt.Unit {
+	if p.shared {
+		return p.pools[0].pop()
+	}
+	return p.pools[self].pop()
+}

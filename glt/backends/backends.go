@@ -1,0 +1,15 @@
+// Package backends registers the three standard GLT scheduling backends —
+// Argobots ("abt"), Qthreads ("qth") and MassiveThreads ("mth") — with the
+// glt runtime, mirroring the three native libraries the GLT API is
+// implemented on in the paper.
+//
+// Import it for its side effects:
+//
+//	import _ "repro/glt/backends"
+package backends
+
+import (
+	_ "repro/glt/abt"
+	_ "repro/glt/mth"
+	_ "repro/glt/qth"
+)

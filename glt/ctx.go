@@ -1,0 +1,127 @@
+package glt
+
+import "runtime"
+
+// Ctx is the execution context handed to every work-unit body. It identifies
+// the unit and the execution stream currently running it, and exposes the
+// cooperative scheduling operations of the GLT API: yield, spawn, join and
+// migrate.
+//
+// A Ctx is only valid while its unit holds the execution token, i.e. inside
+// the unit's body between scheduling points. It must not be retained or used
+// from other goroutines.
+type Ctx struct {
+	u  *Unit
+	rt *Runtime
+	w  *Thread // set by the worker before each handoff
+}
+
+// Rank reports the rank of the execution stream currently running the unit.
+// A ULT that yields may be resumed by a different stream under stealing
+// policies, so Rank can change across scheduling points.
+func (c *Ctx) Rank() int { return c.w.rank }
+
+// Runtime returns the owning runtime.
+func (c *Ctx) Runtime() *Runtime { return c.rt }
+
+// Unit returns the work unit this context belongs to.
+func (c *Ctx) Unit() *Unit { return c.u }
+
+// IsMain reports whether this unit was spawned with SpawnMain.
+func (c *Ctx) IsMain() bool { return c.u.main }
+
+// Yield gives the execution token back to the worker, making the unit
+// runnable again at the tail of its current stream's pool (or wherever
+// MigrateTo directed it). Control returns when a worker reschedules the unit.
+//
+// Two special cases mirror the native libraries:
+//   - Tasklets cannot yield; Yield panics if the unit is a tasklet.
+//   - If the unit is the primary one and the backend pins the main execution
+//     (MassiveThreads, paper §IV-G), Yield is a no-op apart from an OS-level
+//     scheduling hint: the main ULT occupies its stream until it finishes,
+//     and other streams must steal its children.
+func (c *Ctx) Yield() {
+	if c.u.tasklet {
+		panic("glt: tasklet attempted to yield")
+	}
+	// The pinned-main rule needs a second stream to make sense: suppressing
+	// the only stream's yields would strand every unit behind the main with
+	// no thief to rescue them, a configuration the native library resolves
+	// with blocking synchronization instead.
+	if c.u.main && c.rt.policy.PinMain() && len(c.rt.threads) > 1 {
+		c.w.stats.pinnedYields.Add(1)
+		runtime.Gosched()
+		return
+	}
+	c.w.stats.yields.Add(1)
+	c.u.yield.signal()
+	c.u.sched.wait()
+}
+
+// MigrateTo requests that, at the next Yield, the unit be pushed to the pool
+// of the execution stream with the given rank instead of the current one.
+// It then yields immediately.
+func (c *Ctx) MigrateTo(rank int) {
+	if rank < 0 || rank >= len(c.rt.threads) {
+		panic("glt: migrate target out of range")
+	}
+	c.u.migrate.Store(int32(rank))
+	c.Yield()
+}
+
+// Spawn creates a ULT on the current execution stream's pool. This is the
+// cheapest spawn: under non-stealing backends the child is guaranteed to run
+// on the creating stream, which is how GLTO handles nested parallel regions
+// (paper §IV-E: "each GLT_thread generates and executes the GLT_ults for the
+// nested code").
+func (c *Ctx) Spawn(fn Func) *Unit {
+	u := newULT(c.rt, fn)
+	c.rt.dispatchFrom(c.w.rank, c.w.rank, u)
+	return u
+}
+
+// SpawnTo creates a ULT on the pool of the stream with the given rank
+// (or round-robin for AnyThread).
+func (c *Ctx) SpawnTo(rank int, fn Func) *Unit {
+	u := newULT(c.rt, fn)
+	c.rt.dispatchFrom(c.w.rank, rank, u)
+	return u
+}
+
+// SpawnTasklet creates a tasklet on the given stream's pool
+// (or round-robin for AnyThread).
+func (c *Ctx) SpawnTasklet(rank int, fn func()) *Unit {
+	u := newTasklet(c.rt, fn)
+	c.rt.dispatchFrom(c.w.rank, rank, u)
+	return u
+}
+
+// Join waits cooperatively for u to complete, yielding the token between
+// checks so the stream can execute other units — including u itself when it
+// lives in this stream's pool.
+func (c *Ctx) Join(u *Unit) {
+	for !u.Done() {
+		c.Yield()
+	}
+}
+
+// JoinAll cooperatively joins every unit in us.
+func (c *Ctx) JoinAll(us []*Unit) {
+	for _, u := range us {
+		c.Join(u)
+	}
+}
+
+// dispatchFrom is dispatch with an originating rank, so policies can apply
+// locality rules (e.g. work-first placement).
+func (rt *Runtime) dispatchFrom(from, target int, u *Unit) {
+	if target == AnyThread {
+		target = int(rt.rr.inc()-1) % len(rt.threads)
+	}
+	u.home = target
+	rt.policy.Push(from, target, u)
+	rt.threads[target].park.wake()
+	if rt.cfg.SharedQueues || rt.policy.Steals() {
+		rt.threads[(target+1)%len(rt.threads)].park.wake()
+	}
+}

@@ -1,0 +1,168 @@
+package glt
+
+// White-box tests for the engine internals: the spin-then-park token gate
+// and the shell goroutine pool.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateSignalThenWait(t *testing.T) {
+	g := &gate{}
+	g.signal()
+	done := make(chan struct{})
+	go func() { g.wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("wait did not consume a pre-delivered signal")
+	}
+}
+
+func TestGateWaitThenSignal(t *testing.T) {
+	g := &gate{}
+	done := make(chan struct{})
+	go func() { g.wait(); close(done) }()
+	time.Sleep(2 * time.Millisecond) // let the waiter reach the slow path
+	g.signal()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("signal did not wake a parked waiter")
+	}
+}
+
+func TestGatePingPongMany(t *testing.T) {
+	// Alternating token protocol over many rounds, the exec/yield pattern.
+	a, b := &gate{}, &gate{}
+	const rounds = 10000
+	var sum atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			a.signal()
+			b.wait()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			a.wait()
+			sum.Add(1)
+			b.signal()
+		}
+	}()
+	wg.Wait()
+	if sum.Load() != rounds {
+		t.Fatalf("completed %d rounds, want %d", sum.Load(), rounds)
+	}
+}
+
+func TestGateDoubleSignalTolerated(t *testing.T) {
+	g := &gate{}
+	g.signal()
+	g.signal() // protocol violation; must not wedge the gate
+	g.wait()
+	// A second wait must still be serviceable by a later signal.
+	done := make(chan struct{})
+	go func() { g.wait(); close(done) }()
+	g.signal()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("gate wedged after double signal")
+	}
+}
+
+func TestShellsAreReused(t *testing.T) {
+	rt := MustNew(Config{Backend: "abt", NumThreads: 1})
+	defer rt.Shutdown()
+	// Sequential ULTs on one stream must reuse a small set of shells rather
+	// than spawn a goroutine per unit.
+	for i := 0; i < 100; i++ {
+		rt.Spawn(0, func(*Ctx) {}).Join()
+	}
+	rt.shells.mu.Lock()
+	idle := len(rt.shells.idle)
+	rt.shells.mu.Unlock()
+	if idle == 0 {
+		t.Error("no shells parked for reuse after sequential ULTs")
+	}
+	if idle > rt.shells.cap {
+		t.Errorf("idle shells %d exceed cap %d", idle, rt.shells.cap)
+	}
+}
+
+func TestShellPoolBounded(t *testing.T) {
+	rt := MustNew(Config{Backend: "abt", NumThreads: 2})
+	defer rt.Shutdown()
+	// Burst of concurrent ULTs, then settle: parked shells must respect cap.
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		u := rt.Spawn(i%2, func(*Ctx) {})
+		wg.Add(1)
+		go func() { defer wg.Done(); u.Join() }()
+	}
+	wg.Wait()
+	rt.shells.mu.Lock()
+	idle := len(rt.shells.idle)
+	capacity := rt.shells.cap
+	rt.shells.mu.Unlock()
+	if idle > capacity {
+		t.Errorf("idle shells %d exceed cap %d", idle, capacity)
+	}
+}
+
+func TestShutdownReleasesIdleShells(t *testing.T) {
+	rt := MustNew(Config{Backend: "abt", NumThreads: 1})
+	rt.Spawn(0, func(*Ctx) {}).Join()
+	rt.Shutdown()
+	rt.shells.mu.Lock()
+	defer rt.shells.mu.Unlock()
+	if len(rt.shells.idle) != 0 {
+		t.Errorf("%d shells still parked after Shutdown", len(rt.shells.idle))
+	}
+	if !rt.shells.stop {
+		t.Error("shell pool not marked stopped")
+	}
+}
+
+func TestJoinAfterCompletionReturnsImmediately(t *testing.T) {
+	rt := MustNew(Config{Backend: "abt", NumThreads: 1})
+	defer rt.Shutdown()
+	u := rt.Spawn(0, func(*Ctx) {})
+	u.Join()
+	// Second and third joins on a finished unit must not block.
+	done := make(chan struct{})
+	go func() { u.Join(); u.Join(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("repeated Join blocked on a finished unit")
+	}
+}
+
+func TestConcurrentJoiners(t *testing.T) {
+	rt := MustNew(Config{Backend: "abt", NumThreads: 2})
+	defer rt.Shutdown()
+	gate := make(chan struct{})
+	u := rt.Spawn(0, func(*Ctx) { <-gate })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); u.Join() }()
+	}
+	close(gate)
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("concurrent joiners did not all wake")
+	}
+}

@@ -1,0 +1,87 @@
+package glt
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// gate is a single-token synchronization point optimized for the ULT token
+// handoff. The protocol guarantees at most one outstanding signal and one
+// waiter at a time (worker and ULT alternate strictly), which permits a
+// hybrid design: the waiter spins briefly — the common case is a running
+// peer that signals within nanoseconds — and only then parks on a channel.
+// Plain channel handoff costs tens of microseconds per wake on slow-futex
+// hosts, which would swamp every scheduling measurement this library exists
+// to support.
+//
+// The park channel is allocated lazily by the first waiter that actually
+// parks, so the fast path costs no allocation: gates are embedded by value
+// in every work unit, and the paper's task benchmarks create hundreds of
+// thousands of them.
+type gate struct {
+	// state: 0 idle, 1 signalled, 2 waiter parked.
+	state atomic.Int32
+	ch    atomic.Pointer[chan struct{}]
+}
+
+// park returns the gate's channel, allocating it on first use.
+func (g *gate) park() chan struct{} {
+	if ch := g.ch.Load(); ch != nil {
+		return *ch
+	}
+	nc := make(chan struct{}, 1)
+	if g.ch.CompareAndSwap(nil, &nc) {
+		return nc
+	}
+	return *g.ch.Load()
+}
+
+// signal delivers the token. It never blocks for long: either it flips the
+// gate to signalled, or it hands the parked waiter its channel token.
+func (g *gate) signal() {
+	for {
+		switch g.state.Load() {
+		case 0:
+			if g.state.CompareAndSwap(0, 1) {
+				return
+			}
+		case 1:
+			// A second signal before the first was consumed would break the
+			// token protocol; tolerate it as a no-op for robustness.
+			return
+		case 2:
+			if g.state.CompareAndSwap(2, 0) {
+				// The waiter installed the channel before announcing state
+				// 2, so park() here re-reads the same channel.
+				g.park() <- struct{}{}
+				return
+			}
+		}
+	}
+}
+
+// spinWait is the number of fast-path spin iterations before parking.
+const spinWait = 192
+
+// wait consumes the token, spinning first and parking only if the signal
+// does not arrive promptly.
+func (g *gate) wait() {
+	for i := 0; i < spinWait; i++ {
+		if g.state.CompareAndSwap(1, 0) {
+			return
+		}
+		if i%32 == 31 {
+			runtime.Gosched()
+		}
+	}
+	ch := g.park()
+	for {
+		if g.state.CompareAndSwap(1, 0) {
+			return
+		}
+		if g.state.CompareAndSwap(0, 2) {
+			<-ch
+			return
+		}
+	}
+}

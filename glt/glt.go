@@ -1,0 +1,279 @@
+// Package glt implements a Generic Lightweight Threads (GLT) runtime in Go,
+// reproducing the programming model of the GLT API from
+//
+//	Castelló et al., "GLT: A unified API for lightweight thread libraries",
+//	Euro-Par 2017,
+//
+// which is the substrate of the GLTO OpenMP runtime studied in
+//
+//	Castelló et al., "GLTO: On the Adequacy of Lightweight Thread Approaches
+//	for OpenMP Implementations", ICPP 2017.
+//
+// # Model
+//
+// The GLT model has two threading levels:
+//
+//   - A GLT_thread (here: Thread) is an execution stream: a dedicated,
+//     long-running scheduler worker. Threads are created once, when the
+//     runtime is initialized, and are the only entities that consume CPUs.
+//     (See Thread.loop for why streams are dedicated goroutines rather than
+//     LockOSThread-pinned kernel threads in this environment.)
+//   - A GLT_ult (here: a ULT Unit) is a user-level thread: a schedulable work
+//     unit with a private stack that can yield, block, migrate between
+//     Threads, and be joined. ULTs are created, scheduled and destroyed
+//     entirely in user space.
+//   - A GLT_tasklet (here: a tasklet Unit) is an even lighter work unit with
+//     no private stack: it runs to completion on the Thread that picks it up
+//     and can never yield or migrate once started.
+//
+// In this Go implementation a ULT is backed by a goroutine that is *gated* by
+// a token handoff: the owning Thread hands the execution token to exactly one
+// ULT at a time and blocks until the ULT yields or finishes. This preserves
+// the essential execution-stream invariant of Argobots, Qthreads and
+// MassiveThreads — one runnable ULT per stream — while reusing goroutine
+// stacks as ULT stacks. A tasklet is a plain closure invoked inline by the
+// worker, with no goroutine and no channels, mirroring the stackless work
+// units of Argobots.
+//
+// # Backends
+//
+// Scheduling policy (pool topology, stealing, synchronization cost) is
+// pluggable through the Policy interface. Three backends reproduce the three
+// native libraries evaluated in the papers:
+//
+//   - "abt" (Argobots): one private FIFO pool per Thread, no stealing.
+//   - "qth" (Qthreads): shepherd pools shared by pairs of workers, with every
+//     queue operation routed through a striped full/empty-bit (FEB) word-lock
+//     table, reproducing Qthreads' per-word synchronization cost.
+//   - "mth" (MassiveThreads): per-worker deques with random work stealing;
+//     the primary ULT is pinned and cannot yield (the paper's §IV-G
+//     modification).
+//
+// Backends register themselves via Register, typically from an init function;
+// import package glt/backends for the full set.
+//
+// # Environment
+//
+// NewFromEnv honours the GLT environment variables used in the paper:
+// GLT_IMPL selects the backend, GLT_NUM_THREADS the number of execution
+// streams, and GLT_SHARED_QUEUES collapses all pools into a single shared
+// queue to neutralize load imbalance (paper §IV-F).
+package glt
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultBackend is the backend used when none is specified. Argobots is the
+// paper's best-behaved library (flat scaling, no inter-stream interaction),
+// so it is the natural default.
+const DefaultBackend = "abt"
+
+// AnyThread may be passed as the target rank of Spawn and SpawnTasklet to let
+// the runtime pick a destination (round-robin over the execution streams).
+const AnyThread = -1
+
+// Config describes a GLT runtime instance.
+type Config struct {
+	// Backend names the scheduling policy: "abt", "qth" or "mth".
+	// Empty means DefaultBackend.
+	Backend string
+	// NumThreads is the number of execution streams (GLT_threads).
+	// Zero means runtime.NumCPU().
+	NumThreads int
+	// SharedQueues collapses every pool into one shared queue
+	// (GLT_SHARED_QUEUES), enforcing work-sharing behaviour under load
+	// imbalance at the price of a contended queue.
+	SharedQueues bool
+}
+
+// FromEnv fills unset fields of c from the GLT_* environment variables and
+// returns the result.
+func (c Config) FromEnv() Config {
+	if c.Backend == "" {
+		c.Backend = os.Getenv("GLT_IMPL")
+	}
+	if c.NumThreads == 0 {
+		if v, err := strconv.Atoi(os.Getenv("GLT_NUM_THREADS")); err == nil && v > 0 {
+			c.NumThreads = v
+		}
+	}
+	if !c.SharedQueues {
+		switch os.Getenv("GLT_SHARED_QUEUES") {
+		case "1", "true", "TRUE", "yes":
+			c.SharedQueues = true
+		}
+	}
+	return c
+}
+
+func (c Config) withDefaults() Config {
+	if c.Backend == "" {
+		c.Backend = DefaultBackend
+	}
+	if c.NumThreads <= 0 {
+		c.NumThreads = runtime.NumCPU()
+	}
+	return c
+}
+
+// Runtime is an instantiated GLT runtime: a fixed set of execution streams
+// plus a scheduling policy. It is safe for concurrent use by multiple
+// goroutines and ULTs.
+type Runtime struct {
+	cfg     Config
+	policy  Policy
+	threads []*Thread
+
+	rr       counter // round-robin dispatch cursor for AnyThread
+	wg       sync.WaitGroup
+	shutdown flag
+	shells   shellPool
+}
+
+// New creates a runtime with the given configuration and starts its
+// execution streams. It returns an error if the backend is unknown.
+func New(cfg Config) (*Runtime, error) {
+	cfg = cfg.withDefaults()
+	mk, ok := lookupPolicy(cfg.Backend)
+	if !ok {
+		return nil, fmt.Errorf("glt: unknown backend %q (registered: %v)", cfg.Backend, RegisteredBackends())
+	}
+	rt := &Runtime{cfg: cfg, policy: mk()}
+	// Keep a few idle ULT-hosting goroutines per stream; beyond that,
+	// shells exit instead of accumulating.
+	rt.shells.cap = 8 * cfg.NumThreads
+	rt.policy.Setup(cfg.NumThreads, cfg.SharedQueues)
+	rt.threads = make([]*Thread, cfg.NumThreads)
+	for i := range rt.threads {
+		rt.threads[i] = newThread(rt, i)
+	}
+	rt.wg.Add(len(rt.threads))
+	for _, t := range rt.threads {
+		go t.loop()
+	}
+	return rt, nil
+}
+
+// NewFromEnv is New(Config{}.FromEnv()).
+func NewFromEnv() (*Runtime, error) { return New(Config{}.FromEnv()) }
+
+// MustNew is New but panics on error; convenient for tests and examples where
+// the backend name is a compile-time constant.
+func MustNew(cfg Config) *Runtime {
+	rt, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Backend reports the name of the active scheduling policy.
+func (rt *Runtime) Backend() string { return rt.policy.Name() }
+
+// Policy exposes the active scheduling policy. Backend-idiomatic application
+// code uses it to reach library-specific facilities — e.g. the Qthreads
+// backend's FEB word-lock table, which the native UTS driver of Fig. 5
+// synchronizes through, as a real Qthreads port would.
+func (rt *Runtime) Policy() Policy { return rt.policy }
+
+// NumThreads reports the number of execution streams.
+func (rt *Runtime) NumThreads() int { return len(rt.threads) }
+
+// SharedQueues reports whether GLT_SHARED_QUEUES mode is active.
+func (rt *Runtime) SharedQueues() bool { return rt.cfg.SharedQueues }
+
+// Spawn creates a ULT running fn and makes it runnable on the execution
+// stream with the given rank (or a round-robin one for AnyThread). It never
+// blocks. The returned Unit can be joined, from plain goroutines with
+// Unit.Join or cooperatively from other ULTs with Ctx.Join.
+func (rt *Runtime) Spawn(target int, fn Func) *Unit {
+	u := newULT(rt, fn)
+	rt.dispatch(-1, target, u)
+	return u
+}
+
+// SpawnMain is Spawn for the primary work unit of an application (the OpenMP
+// master in GLTO). Backends that pin the main execution (MassiveThreads,
+// paper §IV-G) treat this unit specially: it cannot yield and cannot be
+// stolen.
+func (rt *Runtime) SpawnMain(target int, fn Func) *Unit {
+	u := newULT(rt, fn)
+	u.main = true
+	rt.dispatch(-1, target, u)
+	return u
+}
+
+// SpawnTasklet creates a stackless tasklet running fn. Tasklets run to
+// completion on the Thread that dequeues them; fn must not yield.
+func (rt *Runtime) SpawnTasklet(target int, fn func()) *Unit {
+	u := newTasklet(rt, fn)
+	rt.dispatch(-1, target, u)
+	return u
+}
+
+// SpawnTaskletCtx is SpawnTasklet for bodies that need their execution
+// context (stream rank, spawning): the Ctx is valid except that Yield
+// panics, since tasklets run to completion.
+func (rt *Runtime) SpawnTaskletCtx(target int, fn Func) *Unit {
+	u := newTasklet(rt, func() {})
+	u.fn = fn
+	rt.dispatch(-1, target, u)
+	return u
+}
+
+func (rt *Runtime) dispatch(from, target int, u *Unit) {
+	if target != AnyThread && (target < 0 || target >= len(rt.threads)) {
+		panic(fmt.Sprintf("glt: spawn target %d out of range [0,%d)", target, len(rt.threads)))
+	}
+	rt.dispatchFrom(from, target, u)
+}
+
+// Shutdown stops all execution streams and waits for them to exit. Pending
+// units are not executed. Shutdown must not be called from inside a ULT.
+func (rt *Runtime) Shutdown() {
+	if !rt.shutdown.set() {
+		return
+	}
+	for _, t := range rt.threads {
+		t.park.wake()
+	}
+	rt.wg.Wait()
+	rt.drainShells()
+}
+
+// Stats returns an aggregate snapshot of scheduling counters across all
+// execution streams.
+func (rt *Runtime) Stats() Stats {
+	var s Stats
+	for _, t := range rt.threads {
+		s.add(t.stats.snapshot())
+	}
+	s.Threads = len(rt.threads)
+	return s
+}
+
+// ResetStats zeroes all scheduling counters.
+func (rt *Runtime) ResetStats() {
+	for _, t := range rt.threads {
+		t.stats.reset()
+	}
+}
+
+// RegisteredBackends lists the names of all registered scheduling policies in
+// sorted order.
+func RegisteredBackends() []string {
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	names := make([]string, 0, len(policies))
+	for n := range policies {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,192 @@
+// Package mth implements the MassiveThreads-like scheduling backend for the
+// GLT runtime.
+//
+// MassiveThreads is the work-stealing library of the paper's trio: each
+// worker owns a deque, executes its own newest work first (the work-first
+// heuristic of its Cilk-inspired scheduler), and idle workers steal the
+// *oldest* work of a random victim. Stealing is what makes GLTO over
+// MassiveThreads pass the untied-task validation test (tasks can resume on a
+// different stream, Table I) and what gives it the best coarse-grained task
+// performance at low thread counts (§VI-E) — but also what introduces
+// contention and run-to-run variance (Fig. 6).
+//
+// The paper's §IV-G caveat is reproduced faithfully: because MassiveThreads
+// lets any worker steal the main execution, GLTO had to pin the OpenMP
+// master onto its stream and forbid it from yielding. PinMain reports true,
+// the engine turns the main ULT's Yield into a no-op, and thieves skip the
+// main unit. The observable consequence — the master's nested work must be
+// stolen by other streams while the master busy-waits, which hurts nested
+// parallelism (Fig. 8/9) — emerges from those two rules.
+package mth
+
+import (
+	"sync"
+
+	"repro/glt"
+)
+
+func init() {
+	glt.Register("mth", func() glt.Policy { return &policy{} })
+}
+
+// deque is a mutex-protected double-ended queue. The owner pushes and pops
+// at the tail (LIFO, work-first); thieves take from the head (FIFO, oldest
+// work, largest expected granularity).
+type deque struct {
+	mu sync.Mutex
+	q  []*glt.Unit
+}
+
+func (d *deque) pushTail(u *glt.Unit) {
+	d.mu.Lock()
+	d.q = append(d.q, u)
+	d.mu.Unlock()
+}
+
+// pushHead inserts at the cold end. Suspended continuations (units that
+// already started and yielded) land here: under work-first scheduling the
+// newest *spawned* work runs next, while a parent's continuation waits at
+// the stealable end. Requeueing continuations at the hot end instead would
+// livelock a worker against its own yielded parent, starving the children
+// it is waiting for.
+func (d *deque) pushHead(u *glt.Unit) {
+	d.mu.Lock()
+	d.q = append(d.q, nil)
+	copy(d.q[1:], d.q)
+	d.q[0] = u
+	d.mu.Unlock()
+}
+
+func (d *deque) popTail() *glt.Unit {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.q) == 0 {
+		return nil
+	}
+	u := d.q[len(d.q)-1]
+	d.q[len(d.q)-1] = nil
+	d.q = d.q[:len(d.q)-1]
+	return u
+}
+
+// stealHead removes and returns the oldest stealable unit, skipping the
+// pinned main execution. Pinning applies only once the main has started:
+// before its first run the main is an ordinary runnable closure, and
+// refusing to move it could deadlock a stream whose current unit never
+// yields while the parked main is the only thing other streams could help
+// with.
+func (d *deque) stealHead() *glt.Unit {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, u := range d.q {
+		if u != nil && u.IsMain() && u.Started() {
+			continue
+		}
+		copy(d.q[i:], d.q[i+1:])
+		d.q[len(d.q)-1] = nil
+		d.q = d.q[:len(d.q)-1]
+		return u
+	}
+	return nil
+}
+
+type policy struct {
+	deques []*deque
+	rngs   []rngState
+	shared bool
+}
+
+type rngState struct {
+	s    uint64
+	pops uint64
+	_    [48]byte // avoid false sharing between per-rank state
+}
+
+func (*policy) Name() string  { return "mth" }
+func (*policy) Steals() bool  { return true }
+func (*policy) PinMain() bool { return true }
+
+func (p *policy) Setup(nthreads int, shared bool) {
+	p.shared = shared
+	n := nthreads
+	if shared {
+		n = 1
+	}
+	p.deques = make([]*deque, n)
+	for i := range p.deques {
+		p.deques[i] = new(deque)
+	}
+	p.rngs = make([]rngState, nthreads)
+	for i := range p.rngs {
+		p.rngs[i].s = uint64(i)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	}
+}
+
+func (p *policy) Push(from, to int, u *glt.Unit) {
+	d := p.deques[0]
+	if !p.shared {
+		// Work-first placement: a unit spawned from inside a stream goes to
+		// the spawner's own deque so the creator (or a thief) finds it
+		// immediately; external pushes honour the requested rank.
+		if from >= 0 {
+			to = from
+		}
+		d = p.deques[to]
+	}
+	if u.Started() {
+		d.pushHead(u)
+		return
+	}
+	d.pushTail(u)
+}
+
+func (p *policy) Pop(self int) *glt.Unit {
+	if p.shared {
+		return p.deques[0].popTail()
+	}
+	// In the native library a ULT blocked on a synchronization object is
+	// suspended off the run queue, so a worker whose remaining local work is
+	// all blocked finds its deque empty and goes stealing. Here blocked ULTs
+	// poll (yield and requeue), so they keep the deque non-empty; probing a
+	// victim on every few pops restores the native progress guarantee — a
+	// stream cycling on polling continuations still picks up fresh work from
+	// loaded neighbours (e.g. the pinned master's children, §IV-G).
+	p.rngs[self].pops++
+	if p.rngs[self].pops%4 == 0 {
+		if u := p.steal(self); u != nil {
+			return u
+		}
+	}
+	if u := p.deques[self].popTail(); u != nil {
+		return u
+	}
+	return p.steal(self)
+}
+
+// steal makes one random-start tour of the other deques, taking the oldest
+// stealable unit found.
+func (p *policy) steal(self int) *glt.Unit {
+	n := len(p.deques)
+	if n == 1 {
+		return nil
+	}
+	start := int(p.nextRand(self) % uint64(n-1))
+	for i := 0; i < n-1; i++ {
+		victim := (self + 1 + (start+i)%(n-1)) % n
+		if u := p.deques[victim].stealHead(); u != nil {
+			return u
+		}
+	}
+	return nil
+}
+
+// nextRand advances the per-rank xorshift state. Only the owning stream
+// calls it for its rank, so no synchronization is needed.
+func (p *policy) nextRand(self int) uint64 {
+	s := p.rngs[self].s
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	p.rngs[self].s = s
+	return s
+}

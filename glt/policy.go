@@ -1,0 +1,53 @@
+package glt
+
+import "sync"
+
+// Policy is the pluggable scheduling policy of a runtime: it owns the pools
+// that hold runnable units and decides which unit an execution stream runs
+// next. The engine guarantees that Push and Pop may be called concurrently
+// from any stream; policies must provide their own synchronization (whose
+// cost is precisely one of the things the paper measures).
+type Policy interface {
+	// Name identifies the backend ("abt", "qth", "mth", ...).
+	Name() string
+	// Setup is called once, before any Push/Pop, with the number of
+	// execution streams and the GLT_SHARED_QUEUES setting.
+	Setup(nthreads int, shared bool)
+	// Push makes u runnable. from is the rank of the pushing stream, or -1
+	// when the push originates outside any stream (e.g. the application's
+	// main goroutine). to is the requested destination rank; policies may
+	// reinterpret it (a shared pool ignores it).
+	Push(from, to int, u *Unit)
+	// Pop returns the next unit for stream self, or nil if none is
+	// available. Stealing policies may return units pushed to other ranks.
+	Pop(self int) *Unit
+	// Steals reports whether Pop may take units from other ranks' pools.
+	Steals() bool
+	// PinMain reports whether the primary unit is pinned: it is never
+	// stolen and its Yield is a no-op (MassiveThreads, paper §IV-G).
+	PinMain() bool
+}
+
+var (
+	policyMu sync.Mutex
+	policies = map[string]func() Policy{}
+)
+
+// Register makes a backend available to New under the given name. It is
+// typically called from a backend package's init function; importing
+// repro/glt/backends registers the standard three.
+func Register(name string, mk func() Policy) {
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	if _, dup := policies[name]; dup {
+		panic("glt: duplicate backend registration: " + name)
+	}
+	policies[name] = mk
+}
+
+func lookupPolicy(name string) (func() Policy, bool) {
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	mk, ok := policies[name]
+	return mk, ok
+}

@@ -1,0 +1,154 @@
+// Package feb models Qthreads' full/empty-bit (FEB) synchronization.
+//
+// In Qthreads every aligned machine word carries a full/empty bit and the
+// runtime offers blocking word operations: readFE waits until the word is
+// full, atomically reads it and marks it empty; writeEF waits until the word
+// is empty, writes it and marks it full. Qthreads implements this by hashing
+// the word's address into a table of lock-protected buckets — which means
+// *every* synchronizing memory access shares a bounded set of locks, and
+// unrelated words contend once enough OS threads are in flight. The GLTO
+// paper identifies exactly this ("the Qthreads implementation protects all
+// the memory words with mutex regions") as the cause of its UTS and CG
+// slowdowns.
+//
+// Table reproduces that design: a fixed number of striped buckets, each a
+// mutex plus condition variable, with Word state hashed onto a stripe at
+// Init time. The stripe count is deliberately modest (DefaultStripes) so the
+// contention regime matches the native library's hashed bucket array.
+package feb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultStripes is the size of the hashed lock table. Qthreads sizes its
+// FEB hash to a small power of two; 32 stripes reproduces the collision
+// behaviour at the paper's thread counts (contention becomes visible past
+// ~8 OS threads and severe towards 72).
+const DefaultStripes = 32
+
+// Table is a striped FEB lock table shared by every Word initialized on it.
+type Table struct {
+	stripes []stripe
+	nextID  atomic.Uint64
+	waits   atomic.Int64
+	ops     atomic.Int64
+}
+
+type stripe struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	_    [40]byte // keep stripes on distinct cache lines
+}
+
+// NewTable creates a FEB table with n stripes (DefaultStripes if n <= 0).
+func NewTable(n int) *Table {
+	if n <= 0 {
+		n = DefaultStripes
+	}
+	t := &Table{stripes: make([]stripe, n)}
+	for i := range t.stripes {
+		t.stripes[i].cond = sync.NewCond(&t.stripes[i].mu)
+	}
+	return t
+}
+
+// Ops reports the total number of FEB word operations performed.
+func (t *Table) Ops() int64 { return t.ops.Load() }
+
+// Waits reports how many FEB operations had to block because the word was in
+// the wrong state or its stripe was contended.
+func (t *Table) Waits() int64 { return t.waits.Load() }
+
+// Word is a value with a full/empty bit, hashed onto a stripe of its Table.
+// The zero Word is not ready for use; call Init first.
+type Word struct {
+	t     *Table
+	s     *stripe
+	value uint64
+	full  bool
+}
+
+// Init binds the word to a table, assigns it a stripe by address hash, sets
+// its value and marks it full.
+func (w *Word) Init(t *Table, value uint64) {
+	w.t = t
+	id := t.nextID.Add(1)
+	// Fibonacci hash of the allocation order stands in for the address
+	// hash; it spreads consecutive words across stripes the same way.
+	w.s = &t.stripes[(id*11400714819323198485)%uint64(len(t.stripes))]
+	w.value = value
+	w.full = true
+}
+
+// ReadFE blocks until the word is full, reads its value and marks it empty.
+func (w *Word) ReadFE() uint64 {
+	w.t.ops.Add(1)
+	w.s.mu.Lock()
+	for !w.full {
+		w.t.waits.Add(1)
+		w.s.cond.Wait()
+	}
+	w.full = false
+	v := w.value
+	w.s.mu.Unlock()
+	return v
+}
+
+// WriteEF blocks until the word is empty, writes value and marks it full.
+func (w *Word) WriteEF(value uint64) {
+	w.t.ops.Add(1)
+	w.s.mu.Lock()
+	for w.full {
+		w.t.waits.Add(1)
+		w.s.cond.Wait()
+	}
+	w.value = value
+	w.full = true
+	w.s.mu.Unlock()
+	w.s.cond.Broadcast()
+}
+
+// ReadFF blocks until the word is full and reads it, leaving it full.
+func (w *Word) ReadFF() uint64 {
+	w.t.ops.Add(1)
+	w.s.mu.Lock()
+	for !w.full {
+		w.t.waits.Add(1)
+		w.s.cond.Wait()
+	}
+	v := w.value
+	w.s.mu.Unlock()
+	return v
+}
+
+// WriteF writes the value and marks the word full regardless of its state.
+func (w *Word) WriteF(value uint64) {
+	w.t.ops.Add(1)
+	w.s.mu.Lock()
+	w.value = value
+	w.full = true
+	w.s.mu.Unlock()
+	w.s.cond.Broadcast()
+}
+
+// TouchFE performs an empty read-empty/write-full round trip, reproducing
+// the FEB traffic of storing into a synchronized word without changing its
+// value. It is the cost model for "Qthreads protects all memory words".
+func (w *Word) TouchFE() {
+	v := w.ReadFE()
+	w.WriteEF(v)
+}
+
+// Incr atomically increments the word under its FEB lock and returns the new
+// value. Qthreads exposes this as qthread_incr.
+func (w *Word) Incr(delta uint64) uint64 {
+	w.t.ops.Add(1)
+	w.s.mu.Lock()
+	w.value += delta
+	v := w.value
+	w.s.mu.Unlock()
+	w.s.cond.Broadcast()
+	return v
+}

@@ -1,0 +1,151 @@
+package feb
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadFEWriteEFRoundTrip(t *testing.T) {
+	tab := NewTable(8)
+	var w Word
+	w.Init(tab, 42)
+	if v := w.ReadFE(); v != 42 {
+		t.Fatalf("ReadFE = %d", v)
+	}
+	// Word is now empty; WriteEF fills it.
+	w.WriteEF(7)
+	if v := w.ReadFF(); v != 7 {
+		t.Fatalf("ReadFF = %d", v)
+	}
+}
+
+func TestReadFEBlocksUntilFull(t *testing.T) {
+	tab := NewTable(4)
+	var w Word
+	w.Init(tab, 1)
+	_ = w.ReadFE() // leave empty
+	got := make(chan uint64)
+	go func() { got <- w.ReadFE() }()
+	// The reader must block; fill the word and it must observe the value.
+	w.WriteF(99)
+	if v := <-got; v != 99 {
+		t.Fatalf("blocked ReadFE returned %d", v)
+	}
+}
+
+func TestWriteEFBlocksUntilEmpty(t *testing.T) {
+	tab := NewTable(4)
+	var w Word
+	w.Init(tab, 5)
+	done := make(chan struct{})
+	go func() {
+		w.WriteEF(6) // must wait: word is full
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("WriteEF did not block on a full word")
+	default:
+	}
+	if v := w.ReadFE(); v != 5 {
+		t.Fatalf("ReadFE = %d", v)
+	}
+	<-done
+	if v := w.ReadFF(); v != 6 {
+		t.Fatalf("after WriteEF: %d", v)
+	}
+}
+
+func TestIncrAtomicUnderContention(t *testing.T) {
+	tab := NewTable(2) // few stripes: maximal collision
+	var w Word
+	w.Init(tab, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w.Incr(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := w.ReadFF(); v != 8000 {
+		t.Fatalf("Incr lost updates: %d", v)
+	}
+}
+
+func TestOpsAndWaitsCounters(t *testing.T) {
+	tab := NewTable(4)
+	var w Word
+	w.Init(tab, 0)
+	before := tab.Ops()
+	w.TouchFE()
+	if tab.Ops() <= before {
+		t.Error("Ops counter did not advance")
+	}
+	if tab.Waits() < 0 {
+		t.Error("negative waits")
+	}
+}
+
+func TestWordsSpreadAcrossStripes(t *testing.T) {
+	tab := NewTable(16)
+	seen := map[*Word]bool{}
+	// Allocate many words; the Fibonacci hash must not send them all to
+	// one stripe — verified indirectly: concurrent ops on distinct words
+	// must not serialize into deadlock and the table must stay consistent.
+	words := make([]Word, 64)
+	for i := range words {
+		words[i].Init(tab, uint64(i))
+		seen[&words[i]] = true
+	}
+	var wg sync.WaitGroup
+	for i := range words {
+		wg.Add(1)
+		go func(w *Word) {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				w.TouchFE()
+			}
+		}(&words[i])
+	}
+	wg.Wait()
+	for i := range words {
+		if v := words[i].ReadFF(); v != uint64(i) {
+			t.Fatalf("word %d corrupted: %d", i, v)
+		}
+	}
+}
+
+// TestPropertyPairedOpsPreserveValue: any sequence of TouchFE/Incr(0)
+// round-trips leaves the stored value unchanged.
+func TestPropertyPairedOpsPreserveValue(t *testing.T) {
+	tab := NewTable(8)
+	prop := func(v uint64, ops []bool) bool {
+		var w Word
+		w.Init(tab, v)
+		for _, o := range ops {
+			if o {
+				w.TouchFE()
+			} else {
+				w.Incr(0)
+			}
+		}
+		return w.ReadFF() == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultStripes(t *testing.T) {
+	tab := NewTable(0)
+	var w Word
+	w.Init(tab, 3)
+	if v := w.ReadFF(); v != 3 {
+		t.Fatal("default-stripe table broken")
+	}
+}

@@ -1,0 +1,133 @@
+// Package qth implements the Qthreads-like scheduling backend for the GLT
+// runtime.
+//
+// Two properties of Qthreads drive its behaviour in the paper:
+//
+//  1. Synchronization is built on full/empty bits (FEBs): every aligned
+//     memory word can act as a lock, and the runtime "protects all the
+//     memory words with mutex regions, adding a noticeable contention when
+//     we increase the number of OS threads" (§VI-B). The FEB word locks live
+//     in a hashed, striped global table, so the cost of any queue operation
+//     grows with the number of streams touching the table.
+//  2. Work units stay where they were queued: the paper's Table I analysis
+//     notes that under GLT over Qthreads "once a task is bound to a
+//     GLT_thread, there is no work stealing, so the task is resumed in the
+//     same GLT_thread".
+//
+// This backend therefore uses one FIFO pool per execution stream with
+// strictly local Pop — the same topology as the Argobots backend — but every
+// push and pop performs readFE/writeEF round-trips on the FEB words guarding
+// the pool's head and tail, plus one on the word holding the queued unit
+// itself, through the shared striped table (package glt/qth/feb). That is
+// where Qthreads pays, and measurably so as streams are added.
+//
+// With GLT_SHARED_QUEUES all streams share one FEB-guarded pool.
+package qth
+
+import (
+	"repro/glt"
+	"repro/glt/qth/feb"
+)
+
+func init() {
+	glt.Register("qth", func() glt.Policy { return &policy{} })
+}
+
+// pool is a FIFO ring whose head and tail are guarded by FEB words rather
+// than a Go mutex: readFE/writeEF round-trips on the queue metadata are the
+// unit of synchronization cost, as in Qthreads itself.
+type pool struct {
+	head feb.Word // FEB-guarded index of the first element
+	tail feb.Word // FEB-guarded index one past the last element
+	slot feb.Word // FEB word standing in for the queued unit's memory word
+	ring []*glt.Unit
+}
+
+const initialRing = 64
+
+func newPool(t *feb.Table) *pool {
+	p := &pool{ring: make([]*glt.Unit, initialRing)}
+	p.head.Init(t, 0)
+	p.tail.Init(t, 0)
+	p.slot.Init(t, 0)
+	return p
+}
+
+func (p *pool) push(u *glt.Unit) {
+	// Acquire tail then head: both are needed because a push may have to
+	// grow the ring, and the double acquisition reproduces the multi-word
+	// FEB traffic of the native queue.
+	tail := p.tail.ReadFE()
+	head := p.head.ReadFE()
+	if int(tail-head) == len(p.ring) {
+		bigger := make([]*glt.Unit, 2*len(p.ring))
+		for i := head; i < tail; i++ {
+			bigger[i%uint64(len(bigger))] = p.ring[i%uint64(len(p.ring))]
+		}
+		p.ring = bigger
+	}
+	p.ring[tail%uint64(len(p.ring))] = u
+	// Qthreads fills the FEB of the word receiving the work unit.
+	p.slot.TouchFE()
+	p.head.WriteEF(head)
+	p.tail.WriteEF(tail + 1)
+}
+
+func (p *pool) pop() *glt.Unit {
+	tail := p.tail.ReadFE()
+	head := p.head.ReadFE()
+	if head == tail {
+		p.head.WriteEF(head)
+		p.tail.WriteEF(tail)
+		return nil
+	}
+	u := p.ring[head%uint64(len(p.ring))]
+	p.ring[head%uint64(len(p.ring))] = nil
+	p.slot.TouchFE()
+	p.head.WriteEF(head + 1)
+	p.tail.WriteEF(tail)
+	return u
+}
+
+type policy struct {
+	febs   *feb.Table
+	pools  []*pool
+	shared bool
+}
+
+func (*policy) Name() string  { return "qth" }
+func (*policy) PinMain() bool { return false }
+func (*policy) Steals() bool  { return false }
+
+func (p *policy) Setup(nthreads int, shared bool) {
+	p.febs = feb.NewTable(feb.DefaultStripes)
+	p.shared = shared
+	if shared {
+		p.pools = []*pool{newPool(p.febs)}
+		return
+	}
+	p.pools = make([]*pool, nthreads)
+	for i := range p.pools {
+		p.pools[i] = newPool(p.febs)
+	}
+}
+
+// Table exposes the policy's FEB table so that application code written in
+// the Qthreads idiom (e.g. the native UTS driver of Fig. 5) can allocate FEB
+// words from the same contention domain as the scheduler.
+func (p *policy) Table() *feb.Table { return p.febs }
+
+func (p *policy) Push(from, to int, u *glt.Unit) {
+	if p.shared {
+		p.pools[0].push(u)
+		return
+	}
+	p.pools[to].push(u)
+}
+
+func (p *policy) Pop(self int) *glt.Unit {
+	if p.shared {
+		return p.pools[0].pop()
+	}
+	return p.pools[self].pop()
+}

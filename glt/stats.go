@@ -1,0 +1,86 @@
+package glt
+
+import "sync/atomic"
+
+// Stats is a snapshot of scheduling activity aggregated over all execution
+// streams. The OpenMP-level experiments (Table II of the paper, the
+// work-assignment analysis of Fig. 7) are derived from these counters.
+type Stats struct {
+	// Threads is the number of execution streams (GLT_threads).
+	Threads int
+	// ULTsStarted counts ULTs whose body began executing.
+	ULTsStarted int64
+	// ULTsCompleted counts ULTs that ran to completion.
+	ULTsCompleted int64
+	// TaskletsRun counts tasklets executed.
+	TaskletsRun int64
+	// Yields counts successful cooperative yields (token handoffs back to a
+	// worker from a still-unfinished ULT).
+	Yields int64
+	// PinnedYields counts yields suppressed because the unit was the pinned
+	// main execution (paper §IV-G, MassiveThreads).
+	PinnedYields int64
+	// Migrations counts units requeued onto a different stream at yield.
+	Migrations int64
+	// Parks counts times a stream went to sleep for lack of work.
+	Parks int64
+}
+
+func (s *Stats) add(o Stats) {
+	s.ULTsStarted += o.ULTsStarted
+	s.ULTsCompleted += o.ULTsCompleted
+	s.TaskletsRun += o.TaskletsRun
+	s.Yields += o.Yields
+	s.PinnedYields += o.PinnedYields
+	s.Migrations += o.Migrations
+	s.Parks += o.Parks
+}
+
+// threadStats are the per-stream counters. Only the owning stream increments
+// them, but snapshots may be taken concurrently, hence the atomics. The
+// padding keeps neighbouring streams' counters out of each other's cache
+// lines.
+type threadStats struct {
+	ultsStarted   atomic.Int64
+	ultsCompleted atomic.Int64
+	taskletsRun   atomic.Int64
+	yields        atomic.Int64
+	pinnedYields  atomic.Int64
+	migrations    atomic.Int64
+	parks         atomic.Int64
+	_             [64]byte
+}
+
+func (t *threadStats) snapshot() Stats {
+	return Stats{
+		ULTsStarted:   t.ultsStarted.Load(),
+		ULTsCompleted: t.ultsCompleted.Load(),
+		TaskletsRun:   t.taskletsRun.Load(),
+		Yields:        t.yields.Load(),
+		PinnedYields:  t.pinnedYields.Load(),
+		Migrations:    t.migrations.Load(),
+		Parks:         t.parks.Load(),
+	}
+}
+
+func (t *threadStats) reset() {
+	t.ultsStarted.Store(0)
+	t.ultsCompleted.Store(0)
+	t.taskletsRun.Store(0)
+	t.yields.Store(0)
+	t.pinnedYields.Store(0)
+	t.migrations.Store(0)
+	t.parks.Store(0)
+}
+
+// counter is a shared monotonically increasing counter.
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) inc() uint64 { return c.v.Add(1) }
+
+// flag is a one-way boolean.
+type flag struct{ v atomic.Bool }
+
+// set flips the flag and reports whether this call was the one that did it.
+func (f *flag) set() bool   { return f.v.CompareAndSwap(false, true) }
+func (f *flag) isSet() bool { return f.v.Load() }

@@ -1,0 +1,115 @@
+package glt
+
+import (
+	"runtime"
+	"time"
+)
+
+// Thread is an execution stream: a worker goroutine pinned to an OS thread
+// for its lifetime (the GLT_thread of the GLT API). Threads are created by
+// New and run until Shutdown.
+type Thread struct {
+	rt    *Runtime
+	rank  int
+	park  parker
+	stats threadStats
+}
+
+func newThread(rt *Runtime, rank int) *Thread {
+	return &Thread{rt: rt, rank: rank, park: parker{ch: make(chan struct{}, 1)}}
+}
+
+// loop is the scheduler loop of one execution stream. The stream repeatedly
+// asks the policy for the next unit and executes it; when no unit is
+// available it spins briefly and then parks.
+//
+// GLT_threads are bound to CPU cores in the native libraries (paper Fig. 3).
+// Here each stream is a dedicated long-running goroutine that the Go
+// scheduler maps onto the OS threads of its GOMAXPROCS pool. It is
+// deliberately NOT runtime.LockOSThread-pinned: on virtualized hosts waking
+// a locked thread costs tens of microseconds (a real futex round trip),
+// which would bill every ULT operation at OS-thread price and erase the
+// two-level-threading cost gap this library exists to reproduce. The
+// essential properties survive — one scheduler loop per stream, at most one
+// ULT running per stream, and no oversubscription from ULT creation — while
+// the pthread substrate (internal/pthread) keeps hard OS-thread binding and
+// genuinely pays kernel-thread costs, as the paper's comparison requires.
+func (t *Thread) loop() {
+	defer t.rt.wg.Done()
+
+	const spinBeforePark = 64
+	idleSpins := 0
+	for {
+		if t.rt.shutdown.isSet() {
+			return
+		}
+		u := t.rt.policy.Pop(t.rank)
+		if u == nil {
+			idleSpins++
+			if idleSpins < spinBeforePark {
+				runtime.Gosched()
+				continue
+			}
+			t.stats.parks.Add(1)
+			t.park.parkTimeout(200 * time.Microsecond)
+			idleSpins = 0
+			continue
+		}
+		idleSpins = 0
+		t.exec(u)
+	}
+}
+
+// exec runs one unit until it yields or completes.
+func (t *Thread) exec(u *Unit) {
+	if u.tasklet {
+		u.ctx.w = t
+		u.fn(&u.ctx)
+		t.stats.taskletsRun.Add(1)
+		u.complete()
+		return
+	}
+	if !u.started {
+		u.started = true
+		t.stats.ultsStarted.Add(1)
+		t.rt.runBody(u)
+	}
+	u.ctx.w = t // happens-before the ULT observes it via the sched gate
+	u.sched.signal()
+	u.yield.wait()
+	if u.fnDone.Load() {
+		t.stats.ultsCompleted.Add(1)
+		u.complete()
+		return
+	}
+	// The unit yielded: requeue it, honouring a migration request if any.
+	target := t.rank
+	if m := u.migrate.Swap(-1); m >= 0 {
+		target = int(m)
+		t.stats.migrations.Add(1)
+	}
+	t.rt.dispatchFrom(t.rank, target, u)
+}
+
+// parker lets an idle execution stream sleep until work might be available.
+// wake is level-triggered via a 1-buffered channel, so a wake delivered while
+// the worker is not parked is not lost.
+type parker struct {
+	ch chan struct{}
+}
+
+func (p *parker) wake() {
+	select {
+	case p.ch <- struct{}{}:
+	default:
+	}
+}
+
+func (p *parker) parkTimeout(d time.Duration) {
+	timer := time.NewTimer(d)
+	select {
+	case <-p.ch:
+	case <-timer.C:
+	}
+	timer.Stop()
+}

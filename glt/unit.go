@@ -1,0 +1,127 @@
+package glt
+
+import "sync/atomic"
+
+// Func is the body of a ULT or tasklet. The Ctx argument identifies the
+// executing work unit and execution stream; for tasklets it is valid but
+// Yield must not be called through it.
+type Func func(*Ctx)
+
+// Unit is a schedulable work unit: either a ULT (stackful, yieldable,
+// migratable) or a tasklet (stackless, run-to-completion). Units are created
+// with Runtime.Spawn, Runtime.SpawnTasklet, or their Ctx equivalents, and
+// are executed by exactly one execution stream at a time.
+//
+// Unit is built for cheap mass creation — the GLTO runtime makes one per
+// OpenMP task: the token gates are embedded by value with lazily allocated
+// park channels, the completion channel exists only if someone calls Join,
+// and the backing goroutine comes from a shell pool rather than a fresh
+// spawn.
+type Unit struct {
+	rt *Runtime
+	fn Func
+
+	tasklet bool
+	main    bool // primary unit; pinned by backends with PinMain
+
+	// sched carries the execution token from a worker to the ULT; yield
+	// carries it back when the ULT yields or finishes.
+	sched gate
+	yield gate
+
+	finished atomic.Bool
+	// fnDone is set by the ULT goroutine when the body returns; the worker
+	// translates it into finished (after statistics) so Join observers see
+	// counters and completion in a consistent order.
+	fnDone atomic.Bool
+	// doneCh is the Join rendezvous, created on demand by the first joiner.
+	doneCh atomic.Pointer[chan struct{}]
+	// started is only accessed by the worker currently holding the unit;
+	// pool push/pop ordering provides the necessary happens-before edges.
+	started bool
+	// migrate holds a requested destination rank (set by Ctx.MigrateTo),
+	// or -1. The worker consumes it when the unit yields.
+	migrate atomic.Int32
+
+	home int // rank the unit was dispatched to
+	ctx  Ctx
+}
+
+func newULT(rt *Runtime, fn Func) *Unit {
+	u := &Unit{rt: rt, fn: fn}
+	u.migrate.Store(-1)
+	u.ctx.u = u
+	u.ctx.rt = rt
+	return u
+}
+
+func newTasklet(rt *Runtime, fn func()) *Unit {
+	u := &Unit{rt: rt, fn: func(c *Ctx) { fn() }, tasklet: true}
+	u.migrate.Store(-1)
+	u.ctx.u = u
+	u.ctx.rt = rt
+	return u
+}
+
+// Done reports whether the unit has finished executing.
+func (u *Unit) Done() bool { return u.finished.Load() }
+
+// IsTasklet reports whether the unit is a stackless tasklet.
+func (u *Unit) IsTasklet() bool { return u.tasklet }
+
+// IsMain reports whether the unit was spawned with SpawnMain (the primary
+// execution; see Policy.PinMain).
+func (u *Unit) IsMain() bool { return u.main }
+
+// Started reports whether the unit's body has begun executing at least once.
+// Policies use it to distinguish fresh spawns from suspended continuations
+// being requeued after a yield; it is only meaningful inside Policy.Push,
+// where the pool lock orders it against the worker that set it.
+func (u *Unit) Started() bool { return u.started }
+
+// Join blocks the calling goroutine until the unit completes. It must not be
+// called from inside a ULT, because blocking a ULT blocks its entire
+// execution stream; ULTs join each other cooperatively with Ctx.Join.
+func (u *Unit) Join() {
+	if u.finished.Load() {
+		return
+	}
+	ch := u.joinChan()
+	// Recheck: the worker reads doneCh after storing finished, so either it
+	// sees the channel we just installed and will close it, or finished is
+	// already observable here.
+	if u.finished.Load() {
+		return
+	}
+	<-ch
+}
+
+func (u *Unit) joinChan() chan struct{} {
+	if ch := u.doneCh.Load(); ch != nil {
+		return *ch
+	}
+	nc := make(chan struct{})
+	if u.doneCh.CompareAndSwap(nil, &nc) {
+		return nc
+	}
+	return *u.doneCh.Load()
+}
+
+// complete marks the unit finished and wakes any joiners. Only the executing
+// worker calls it, after updating its statistics.
+func (u *Unit) complete() {
+	u.finished.Store(true)
+	if ch := u.doneCh.Load(); ch != nil {
+		close(*ch)
+	}
+}
+
+// body executes the user function and returns the token; it runs on a shell
+// goroutine (see shell.go). The final yield is tagged through fnDone; the
+// worker turns it into finished + Join wake-ups after updating statistics.
+func (u *Unit) body() {
+	u.sched.wait()
+	u.fn(&u.ctx)
+	u.fnDone.Store(true)
+	u.yield.signal()
+}

@@ -1,0 +1,273 @@
+// Package cg implements the conjugate-gradient workload of the paper's
+// task-parallelism experiments (§VI-E).
+//
+// The paper takes an OpenMP CG solver (Aliaga et al.), converts its
+// #pragma omp parallel for directives into #pragma omp task directives, and
+// runs it in a producer/consumer shape: inside one parallel region a single
+// thread produces tasks of g rows each (the granularity knob), while the
+// remaining threads consume them. On the 14,878-row operator, granularities
+// of 10, 20, 50 and 100 rows give 1,488 / 744 / 298 / 149 tasks per kernel
+// (Figs. 10-13); the fraction of tasks that actually get queued under the
+// Intel cut-off is Table III.
+//
+// Three functionally identical solvers are provided: SolveSerial (reference
+// and correctness oracle), SolveParallelFor (the original work-sharing
+// form), and SolveTasks (the paper's producer/consumer task form).
+package cg
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/sparse"
+	"repro/omp"
+)
+
+// DefaultRows matches the paper's operator: 14,878 rows.
+const DefaultRows = 14878
+
+// Granularities are the row-block sizes of Figs. 10-13.
+var Granularities = []int{10, 20, 50, 100}
+
+// NumTasks reports the per-kernel task count for n rows at granularity g
+// (the 1,488/744/298/149 of the paper at n=14,878).
+func NumTasks(n, g int) int { return (n + g - 1) / g }
+
+// Problem is a CG instance: the SPD matrix plus right-hand side.
+type Problem struct {
+	A *sparse.CSR
+	B []float64
+}
+
+// NewProblem builds the synthetic bmwcra_1 stand-in (see package sparse) and
+// a right-hand side with a known solution structure.
+func NewProblem(n int, seed uint64) *Problem {
+	if n <= 0 {
+		n = DefaultRows
+	}
+	// bmwcra_1 has ~71.5 nonzeros/row; 24 plus mirroring and diagonal lands
+	// in the same regime at a laptop-friendly assembly cost.
+	a := sparse.GenSPD(n, 24, 256, seed)
+	b := make([]float64, n)
+	// b = A·1: the exact solution of Ax=b is the all-ones vector, giving
+	// tests a sharp correctness check.
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	a.Mul(ones, b)
+	return &Problem{A: a, B: b}
+}
+
+// Result reports a solve.
+type Result struct {
+	Iterations int
+	Residual   float64
+	X          []float64
+}
+
+// Opts controls a solve.
+type Opts struct {
+	// MaxIter bounds CG iterations (default 50: the benchmark measures
+	// runtime overhead at fixed work, not convergence).
+	MaxIter int
+	// Tol is the relative residual tolerance (default 1e-10).
+	Tol float64
+	// Granularity is the rows-per-task knob of the task solver.
+	Granularity int
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.MaxIter == 0 {
+		o.MaxIter = 50
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	if o.Granularity == 0 {
+		o.Granularity = 10
+	}
+	return o
+}
+
+// SolveSerial runs plain CG on one goroutine.
+func (p *Problem) SolveSerial(o Opts) Result {
+	o = o.withDefaults()
+	n := p.A.N
+	x := make([]float64, n)
+	r := make([]float64, n)
+	d := make([]float64, n)
+	q := make([]float64, n)
+	copy(r, p.B)
+	copy(d, p.B)
+	rho := sparse.Dot(r, r)
+	bnorm := math.Sqrt(rho)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	var it int
+	for it = 0; it < o.MaxIter && math.Sqrt(rho)/bnorm > o.Tol; it++ {
+		p.A.Mul(d, q)
+		alpha := rho / sparse.Dot(d, q)
+		sparse.Axpy(0, n, alpha, d, x)
+		sparse.Axpy(0, n, -alpha, q, r)
+		rhoNew := sparse.Dot(r, r)
+		beta := rhoNew / rho
+		for i := 0; i < n; i++ {
+			d[i] = r[i] + beta*d[i]
+		}
+		rho = rhoNew
+	}
+	return Result{Iterations: it, Residual: math.Sqrt(rho) / bnorm, X: x}
+}
+
+// SolveParallelFor runs CG with work-sharing loops — the original form the
+// paper started from, used here by the compute-bound comparisons and as a
+// second correctness witness.
+func (p *Problem) SolveParallelFor(rt omp.Runtime, nthreads int, o Opts) Result {
+	o = o.withDefaults()
+	n := p.A.N
+	x := make([]float64, n)
+	r := make([]float64, n)
+	d := make([]float64, n)
+	q := make([]float64, n)
+	copy(r, p.B)
+	copy(d, p.B)
+	rho := sparse.Dot(r, r)
+	bnorm := math.Sqrt(rho)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	var it int
+	var stopFlag int32
+	rt.ParallelN(nthreads, func(tc *omp.TC) {
+		for {
+			tc.Master(func() {
+				if !(it < o.MaxIter && math.Sqrt(rho)/bnorm > o.Tol) {
+					atomic.StoreInt32(&stopFlag, 1)
+				}
+			})
+			tc.Barrier()
+			if atomic.LoadInt32(&stopFlag) != 0 {
+				break
+			}
+			tc.For(0, n, func(i int) { q[i] = p.A.MulRow(i, d) })
+			dq := tc.ForReduceFloat64(0, n, omp.ForOpts{}, 0, omp.SumFloat64,
+				func(i int, acc float64) float64 { return acc + d[i]*q[i] })
+			alpha := rho / dq
+			tc.For(0, n, func(i int) {
+				x[i] += alpha * d[i]
+				r[i] -= alpha * q[i]
+			})
+			rhoNew := tc.ForReduceFloat64(0, n, omp.ForOpts{}, 0, omp.SumFloat64,
+				func(i int, acc float64) float64 { return acc + r[i]*r[i] })
+			beta := rhoNew / rho
+			tc.For(0, n, func(i int) { d[i] = r[i] + beta*d[i] })
+			tc.Master(func() { rho = rhoNew; it++ })
+			tc.Barrier()
+		}
+	})
+	return Result{Iterations: it, Residual: math.Sqrt(rho) / bnorm, X: x}
+}
+
+// SolveTasks is the paper's task-parallel CG: one parallel region; thread 0
+// (inside master constructs) produces tasks of Granularity rows for each
+// kernel while the other threads consume them; taskwaits separate the
+// kernels. Partial dot products accumulate through per-task atomics.
+func (p *Problem) SolveTasks(rt omp.Runtime, nthreads int, o Opts) Result {
+	o = o.withDefaults()
+	n := p.A.N
+	g := o.Granularity
+	x := make([]float64, n)
+	r := make([]float64, n)
+	d := make([]float64, n)
+	q := make([]float64, n)
+	copy(r, p.B)
+	copy(d, p.B)
+	rho := sparse.Dot(r, r)
+	bnorm := math.Sqrt(rho)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	var it int
+	var stopFlag int32
+	rt.ParallelN(nthreads, func(tc *omp.TC) {
+		// blocks spawns one task per g-row block; the master is the single
+		// producer of the paper's §VI-E setup.
+		blocks := func(fn func(lo, hi int)) {
+			for lo := 0; lo < n; lo += g {
+				hi := lo + g
+				if hi > n {
+					hi = n
+				}
+				lo, hi := lo, hi
+				tc.Task(func(*omp.TC) { fn(lo, hi) })
+			}
+			tc.Taskwait()
+		}
+		for {
+			tc.Master(func() {
+				if !(it < o.MaxIter && math.Sqrt(rho)/bnorm > o.Tol) {
+					atomic.StoreInt32(&stopFlag, 1)
+				}
+			})
+			tc.Barrier()
+			if atomic.LoadInt32(&stopFlag) != 0 {
+				break
+			}
+			var dqBits, rhoBits uint64
+			tc.Master(func() {
+				// q = A·d and dq = dᵀq
+				blocks(func(lo, hi int) {
+					var part float64
+					for i := lo; i < hi; i++ {
+						q[i] = p.A.MulRow(i, d)
+						part += d[i] * q[i]
+					}
+					omp.AtomicAddFloat64(&dqBits, part)
+				})
+				alpha := rho / omp.Float64FromBits(dqBits)
+				// x += alpha·d ; r -= alpha·q ; rho' = rᵀr
+				blocks(func(lo, hi int) {
+					var part float64
+					for i := lo; i < hi; i++ {
+						x[i] += alpha * d[i]
+						r[i] -= alpha * q[i]
+						part += r[i] * r[i]
+					}
+					omp.AtomicAddFloat64(&rhoBits, part)
+				})
+				rhoNew := omp.Float64FromBits(rhoBits)
+				beta := rhoNew / rho
+				// d = r + beta·d
+				blocks(func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						d[i] = r[i] + beta*d[i]
+					}
+				})
+				rho = rhoNew
+				it++
+			})
+			// Consumers sit at this barrier executing the master's tasks
+			// (barriers are task scheduling points).
+			tc.Barrier()
+		}
+	})
+	return Result{Iterations: it, Residual: math.Sqrt(rho) / bnorm, X: x}
+}
+
+// MaxAbsDiff reports the largest componentwise difference between two
+// solutions — the oracle check the tests use.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("cg: length mismatch %d vs %d", len(a), len(b)))
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

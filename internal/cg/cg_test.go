@@ -1,0 +1,146 @@
+package cg
+
+import (
+	"math"
+	"testing"
+
+	"repro/omp"
+	"repro/openmp"
+)
+
+// smallProblem is shared across tests; 1,500 rows keeps CG runs fast while
+// leaving enough rows for every granularity to make multiple tasks.
+var smallProblem = NewProblem(1500, 2024)
+
+func TestSerialSolvesToKnownSolution(t *testing.T) {
+	res := smallProblem.SolveSerial(Opts{MaxIter: 400, Tol: 1e-12})
+	if res.Residual > 1e-10 {
+		t.Fatalf("serial CG did not converge: residual %v after %d iters", res.Residual, res.Iterations)
+	}
+	// The RHS was built as A·1, so the solution is the ones vector.
+	for i, v := range res.X {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestNumTasksMatchesPaper(t *testing.T) {
+	// The paper: 14,878 rows at granularities 10/20/50/100 give
+	// 1,488/744/298/149 tasks.
+	want := map[int]int{10: 1488, 20: 744, 50: 298, 100: 149}
+	for g, n := range want {
+		if got := NumTasks(DefaultRows, g); got != n {
+			t.Errorf("NumTasks(%d, %d) = %d, want %d", DefaultRows, g, got, n)
+		}
+	}
+}
+
+var cgVariants = []struct{ name, rt, backend string }{
+	{"gomp", "gomp", ""},
+	{"iomp", "iomp", ""},
+	{"glto-abt", "glto", "abt"},
+	{"glto-qth", "glto", "qth"},
+	{"glto-mth", "glto", "mth"},
+}
+
+func TestParallelForMatchesSerial(t *testing.T) {
+	ref := smallProblem.SolveSerial(Opts{MaxIter: 30})
+	for _, v := range cgVariants {
+		t.Run(v.name, func(t *testing.T) {
+			rt, err := openmp.New(v.rt, omp.Config{NumThreads: 4, Backend: v.backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Shutdown()
+			got := smallProblem.SolveParallelFor(rt, 4, Opts{MaxIter: 30})
+			if got.Iterations != ref.Iterations {
+				t.Errorf("iterations %d, want %d", got.Iterations, ref.Iterations)
+			}
+			if d := MaxAbsDiff(got.X, ref.X); d > 1e-8 {
+				t.Errorf("solution differs from serial by %v", d)
+			}
+		})
+	}
+}
+
+func TestTasksMatchesSerial(t *testing.T) {
+	ref := smallProblem.SolveSerial(Opts{MaxIter: 20})
+	for _, v := range cgVariants {
+		t.Run(v.name, func(t *testing.T) {
+			rt, err := openmp.New(v.rt, omp.Config{NumThreads: 4, Backend: v.backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Shutdown()
+			got := smallProblem.SolveTasks(rt, 4, Opts{MaxIter: 20, Granularity: 50})
+			if got.Iterations != ref.Iterations {
+				t.Errorf("iterations %d, want %d", got.Iterations, ref.Iterations)
+			}
+			// Atomic partial sums reorder float additions, so allow a
+			// slightly looser tolerance than the work-sharing form.
+			if d := MaxAbsDiff(got.X, ref.X); d > 1e-6 {
+				t.Errorf("solution differs from serial by %v", d)
+			}
+		})
+	}
+}
+
+func TestTasksAllGranularities(t *testing.T) {
+	rt, err := openmp.New("iomp", omp.Config{NumThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	ref := smallProblem.SolveSerial(Opts{MaxIter: 10})
+	for _, g := range Granularities {
+		got := smallProblem.SolveTasks(rt, 4, Opts{MaxIter: 10, Granularity: g})
+		if d := MaxAbsDiff(got.X, ref.X); d > 1e-6 {
+			t.Errorf("granularity %d: solution differs by %v", g, d)
+		}
+	}
+}
+
+func TestTaskCutoffEngages(t *testing.T) {
+	// A tiny cut-off must force some direct executions on the Intel-like
+	// runtime; a huge one must queue everything (the Fig. 14 regimes).
+	for _, tcase := range []struct {
+		cutoff      int
+		wantsDirect bool
+	}{
+		{cutoff: 4, wantsDirect: true},
+		{cutoff: 1 << 20, wantsDirect: false},
+	} {
+		rt, err := openmp.New("iomp", omp.Config{NumThreads: 2, TaskCutoff: tcase.cutoff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.ResetStats()
+		smallProblem.SolveTasks(rt, 2, Opts{MaxIter: 3, Granularity: 10})
+		s := rt.Stats()
+		rt.Shutdown()
+		if tcase.wantsDirect && s.TasksDirect == 0 {
+			t.Errorf("cutoff %d: expected direct executions, got none (queued %d)", tcase.cutoff, s.TasksQueued)
+		}
+		if !tcase.wantsDirect && s.TasksDirect != 0 {
+			t.Errorf("cutoff %d: expected no direct executions, got %d", tcase.cutoff, s.TasksDirect)
+		}
+		if s.TasksQueued+s.TasksDirect == 0 {
+			t.Error("no tasks were accounted at all")
+		}
+	}
+}
+
+func TestSingleThreadTasks(t *testing.T) {
+	// One thread: the producer consumes its own tasks; must still converge.
+	rt, err := openmp.New("glto", omp.Config{NumThreads: 1, Backend: "abt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	ref := smallProblem.SolveSerial(Opts{MaxIter: 10})
+	got := smallProblem.SolveTasks(rt, 1, Opts{MaxIter: 10, Granularity: 100})
+	if d := MaxAbsDiff(got.X, ref.X); d > 1e-6 {
+		t.Errorf("single-thread task solve differs by %v", d)
+	}
+}

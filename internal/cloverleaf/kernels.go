@@ -1,0 +1,321 @@
+package cloverleaf
+
+import "math"
+
+// This file holds the row-range kernels. Each kernel computes rows
+// [j0, j1) of its field so the driver can work-share it across a team with
+// tc.For over rows — the direct analogue of the `!$OMP PARALLEL DO` on the
+// outer loop of every CloverLeaf Fortran kernel.
+
+// cfl is the timestep safety factor.
+const cfl = 0.25
+
+// IdealGasRows applies the ideal-gas equation of state to rows [j0, j1):
+// p = (γ-1)·ρ·e and the sound speed c = sqrt(γ·p/ρ).
+func (g *Grid) IdealGasRows(j0, j1 int) {
+	for j := j0; j < j1; j++ {
+		for i := 0; i < g.NX; i++ {
+			idx := g.C(i, j)
+			p := (Gamma - 1) * g.Density[idx] * g.Energy[idx]
+			g.Pressure[idx] = p
+			g.SoundSp[idx] = math.Sqrt(Gamma * p / g.Density[idx])
+		}
+	}
+}
+
+// divergence of the node velocity field over cell (i,j).
+func (g *Grid) div(i, j int) float64 {
+	ur := (g.XVel[g.Nd(i+1, j)] + g.XVel[g.Nd(i+1, j+1)]) / 2
+	ul := (g.XVel[g.Nd(i, j)] + g.XVel[g.Nd(i, j+1)]) / 2
+	vt := (g.YVel[g.Nd(i, j+1)] + g.YVel[g.Nd(i+1, j+1)]) / 2
+	vb := (g.YVel[g.Nd(i, j)] + g.YVel[g.Nd(i+1, j)]) / 2
+	return (ur-ul)/g.DX + (vt-vb)/g.DY
+}
+
+// ViscosityRows computes the Von Neumann-Richtmyer artificial viscosity for
+// rows [j0, j1): quadratic in the compression rate, zero in expansion.
+func (g *Grid) ViscosityRows(j0, j1 int) {
+	l := math.Min(g.DX, g.DY)
+	for j := j0; j < j1; j++ {
+		for i := 0; i < g.NX; i++ {
+			idx := g.C(i, j)
+			d := g.div(i, j)
+			if d < 0 {
+				g.Visc[idx] = 2.0 * g.Density[idx] * (d * l) * (d * l)
+			} else {
+				g.Visc[idx] = 0
+			}
+		}
+	}
+}
+
+// DtRows returns the CFL-limited timestep over rows [j0, j1); the driver
+// min-reduces it across the team (the paper's calc_dt reduction kernel).
+func (g *Grid) DtRows(j0, j1 int) float64 {
+	dt := math.Inf(1)
+	l := math.Min(g.DX, g.DY)
+	for j := j0; j < j1; j++ {
+		for i := 0; i < g.NX; i++ {
+			idx := g.C(i, j)
+			u := math.Abs(g.XVel[g.Nd(i, j)])
+			v := math.Abs(g.YVel[g.Nd(i, j)])
+			s := g.SoundSp[idx] + u + v + 1e-12
+			if c := cfl * l / s; c < dt {
+				dt = c
+			}
+		}
+	}
+	return dt
+}
+
+// AccelerateRows advances node velocities in rows [j0, j1] (inclusive node
+// rows) from the pressure-plus-viscosity gradient, the Lagrangian
+// acceleration kernel. Node (i, j) sees the four surrounding cells.
+func (g *Grid) AccelerateRows(dt float64, j0, j1 int) {
+	for j := j0; j <= j1; j++ {
+		for i := 0; i <= g.NX; i++ {
+			pq := func(ci, cj int) float64 {
+				idx := g.C(ci, cj)
+				return g.Pressure[idx] + g.Visc[idx]
+			}
+			rho := (g.Density[g.C(i, j)] + g.Density[g.C(i-1, j)] +
+				g.Density[g.C(i, j-1)] + g.Density[g.C(i-1, j-1)]) / 4
+			gradX := ((pq(i, j) + pq(i, j-1)) - (pq(i-1, j) + pq(i-1, j-1))) / (2 * g.DX)
+			gradY := ((pq(i, j) + pq(i-1, j)) - (pq(i, j-1) + pq(i-1, j-1))) / (2 * g.DY)
+			n := g.Nd(i, j)
+			g.XVel[n] -= dt * gradX / rho
+			g.YVel[n] -= dt * gradY / rho
+		}
+	}
+}
+
+// PdVRows applies the compression-work energy update to rows [j0, j1):
+// de = -(p+q)·div·dt/ρ.
+func (g *Grid) PdVRows(dt float64, j0, j1 int) {
+	for j := j0; j < j1; j++ {
+		for i := 0; i < g.NX; i++ {
+			idx := g.C(i, j)
+			g.Energy[idx] -= dt * (g.Pressure[idx] + g.Visc[idx]) * g.div(i, j) / g.Density[idx]
+			if g.Energy[idx] < 1e-10 {
+				g.Energy[idx] = 1e-10
+			}
+		}
+	}
+}
+
+// FluxCalcXRows computes the volume fluxes through the x-faces of cell rows
+// [j0, j1): face-averaged normal velocity times face area times dt.
+func (g *Grid) FluxCalcXRows(dt float64, j0, j1 int) {
+	for j := j0; j < j1; j++ {
+		for i := 0; i <= g.NX; i++ {
+			// x-face between cell (i-1,j) and (i,j): nodes (i,j),(i,j+1)
+			u := (g.XVel[g.Nd(i, j)] + g.XVel[g.Nd(i, j+1)]) / 2
+			g.VolFluxX[g.Nd(i, j)] = u * g.DY * dt
+		}
+	}
+}
+
+// FluxCalcYRows computes the volume fluxes through y-face rows [j0, j1)
+// (face row j separates cell rows j-1 and j; rows run 0..NY inclusive).
+func (g *Grid) FluxCalcYRows(dt float64, j0, j1 int) {
+	for j := j0; j < j1; j++ {
+		for i := 0; i < g.NX; i++ {
+			// y-face between cell (i,j-1) and (i,j): nodes (i,j),(i+1,j)
+			v := (g.YVel[g.Nd(i, j)] + g.YVel[g.Nd(i+1, j)]) / 2
+			g.VolFluxY[g.Nd(i, j)] = v * g.DX * dt
+		}
+	}
+}
+
+// CopyCellRows copies halo-extended cell rows [j0, j1) of src into dst —
+// the pre-remap snapshot the advection sweeps read from, standing in for
+// CloverLeaf's density0/density1 double buffering.
+func (g *Grid) CopyCellRows(dst, src []float64, j0, j1 int) {
+	w := g.cstride()
+	for j := j0; j < j1; j++ {
+		row := (j + halo) * w
+		copy(dst[row:row+w], src[row:row+w])
+	}
+}
+
+// AdvecCellXMassRows computes donor-cell mass fluxes through x-faces for
+// rows [j0, j1), reading the pre-sweep density snapshot preRho (see
+// CopyCellRows).
+func (g *Grid) AdvecCellXMassRows(preRho []float64, j0, j1 int) {
+	for j := j0; j < j1; j++ {
+		for i := 0; i <= g.NX; i++ {
+			f := g.VolFluxX[g.Nd(i, j)]
+			var up int
+			if f >= 0 {
+				up = g.C(i-1, j) // flow to the right: donor is the left cell
+			} else {
+				up = g.C(i, j)
+			}
+			g.MassFlux[g.Nd(i, j)] = f * preRho[up]
+		}
+	}
+}
+
+// AdvecCellXRows applies the x-direction donor-cell remap of density and
+// energy for rows [j0, j1), reading pre-sweep snapshots preRho/preE and the
+// mass fluxes of AdvecCellXMassRows. Reading only snapshots keeps rows
+// independent, so the kernel is safe to work-share.
+func (g *Grid) AdvecCellXRows(preRho, preE []float64, j0, j1 int) {
+	vol := g.DX * g.DY
+	for j := j0; j < j1; j++ {
+		for i := 0; i < g.NX; i++ {
+			idx := g.C(i, j)
+			fIn := g.MassFlux[g.Nd(i, j)]
+			fOut := g.MassFlux[g.Nd(i+1, j)]
+			var eIn, eOut float64
+			if fIn >= 0 {
+				eIn = preE[g.C(i-1, j)]
+			} else {
+				eIn = preE[idx]
+			}
+			if fOut >= 0 {
+				eOut = preE[idx]
+			} else {
+				eOut = preE[g.C(i+1, j)]
+			}
+			preMass := preRho[idx] * vol
+			postMass := preMass + fIn - fOut
+			postEnergyMass := preMass*preE[idx] + fIn*eIn - fOut*eOut
+			g.Density[idx] = postMass / vol
+			g.Energy[idx] = postEnergyMass / postMass
+		}
+	}
+}
+
+// AdvecCellYMassRows computes donor-cell mass fluxes through y-face rows
+// [j0, j1) (rows run 0..NY inclusive) from the pre-sweep density snapshot.
+func (g *Grid) AdvecCellYMassRows(preRho []float64, j0, j1 int) {
+	for j := j0; j < j1; j++ {
+		for i := 0; i < g.NX; i++ {
+			f := g.VolFluxY[g.Nd(i, j)]
+			var up int
+			if f >= 0 {
+				up = g.C(i, j-1)
+			} else {
+				up = g.C(i, j)
+			}
+			g.MassFlux[g.Nd(i, j)] = f * preRho[up]
+		}
+	}
+}
+
+// AdvecCellYRows applies the y-direction donor-cell remap for rows [j0, j1)
+// from pre-sweep snapshots.
+func (g *Grid) AdvecCellYRows(preRho, preE []float64, j0, j1 int) {
+	vol := g.DX * g.DY
+	for j := j0; j < j1; j++ {
+		for i := 0; i < g.NX; i++ {
+			idx := g.C(i, j)
+			fIn := g.MassFlux[g.Nd(i, j)]
+			fOut := g.MassFlux[g.Nd(i, j+1)]
+			var eIn, eOut float64
+			if fIn >= 0 {
+				eIn = preE[g.C(i, j-1)]
+			} else {
+				eIn = preE[idx]
+			}
+			if fOut >= 0 {
+				eOut = preE[idx]
+			} else {
+				eOut = preE[g.C(i, j+1)]
+			}
+			preMass := preRho[idx] * vol
+			postMass := preMass + fIn - fOut
+			postEnergyMass := preMass*preE[idx] + fIn*eIn - fOut*eOut
+			g.Density[idx] = postMass / vol
+			g.Energy[idx] = postEnergyMass / postMass
+		}
+	}
+}
+
+// AdvecMomRows advances node velocities by upwind self-advection for node
+// rows [j0, j1] — the momentum-advection phase, in the simplified
+// non-conservative upwind form. out receives the updated component values
+// so the kernel is safe to run in parallel over rows.
+func (g *Grid) AdvecMomRows(dt float64, comp, out []float64, j0, j1 int) {
+	for j := j0; j <= j1; j++ {
+		for i := 0; i <= g.NX; i++ {
+			n := g.Nd(i, j)
+			u := g.XVel[n]
+			v := g.YVel[n]
+			var ddx, ddy float64
+			if u >= 0 {
+				ddx = (comp[n] - comp[g.Nd(i-1, j)]) / g.DX
+			} else {
+				ddx = (comp[g.Nd(i+1, j)] - comp[n]) / g.DX
+			}
+			if v >= 0 {
+				ddy = (comp[n] - comp[g.Nd(i, j-1)]) / g.DY
+			} else {
+				ddy = (comp[g.Nd(i, j+1)] - comp[n]) / g.DY
+			}
+			out[n] = comp[n] - dt*(u*ddx+v*ddy)
+		}
+	}
+}
+
+// Boundary kernels: reflective walls. Cell fields copy their nearest
+// interior value outward; wall-normal velocities are zeroed on the wall and
+// mirrored into the halo, so boundary faces carry no flux and mass is
+// conserved exactly.
+
+// HaloCellRows reflects a cell-centred field into the halo columns for rows
+// [j0, j1) and, where the range covers them, the halo rows.
+func (g *Grid) HaloCellRows(f []float64, j0, j1 int) {
+	for j := j0; j < j1; j++ {
+		for h := 1; h <= halo; h++ {
+			f[g.C(-h, j)] = f[g.C(h-1, j)]
+			f[g.C(g.NX-1+h, j)] = f[g.C(g.NX-h, j)]
+		}
+	}
+}
+
+// HaloCellCols reflects the top and bottom halo rows (full width including
+// corner halo cells) for column range [i0, i1) in halo-extended coordinates.
+func (g *Grid) HaloCellCols(f []float64, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		ii := i - halo // halo-extended coordinate
+		for h := 1; h <= halo; h++ {
+			f[g.C(ii, -h)] = f[g.C(ii, h-1)]
+			f[g.C(ii, g.NY-1+h)] = f[g.C(ii, g.NY-h)]
+		}
+	}
+}
+
+// BCVelocityRows applies reflective velocity conditions: zero normal
+// velocity on each wall, mirrored (negated) normal components in the halo,
+// copied tangential components.
+func (g *Grid) BCVelocityRows(j0, j1 int) {
+	for j := j0; j <= j1; j++ {
+		// left and right walls
+		g.XVel[g.Nd(0, j)] = 0
+		g.XVel[g.Nd(g.NX, j)] = 0
+		for h := 1; h <= halo; h++ {
+			g.XVel[g.Nd(-h, j)] = -g.XVel[g.Nd(h, j)]
+			g.XVel[g.Nd(g.NX+h, j)] = -g.XVel[g.Nd(g.NX-h, j)]
+			g.YVel[g.Nd(-h, j)] = g.YVel[g.Nd(h, j)]
+			g.YVel[g.Nd(g.NX+h, j)] = g.YVel[g.Nd(g.NX-h, j)]
+		}
+	}
+}
+
+// BCVelocityCols applies the top/bottom wall conditions over node columns
+// [i0, i1] in halo-extended coordinates.
+func (g *Grid) BCVelocityCols(i0, i1 int) {
+	for i := i0; i <= i1; i++ {
+		ii := i - halo
+		g.YVel[g.Nd(ii, 0)] = 0
+		g.YVel[g.Nd(ii, g.NY)] = 0
+		for h := 1; h <= halo; h++ {
+			g.YVel[g.Nd(ii, -h)] = -g.YVel[g.Nd(ii, h)]
+			g.YVel[g.Nd(ii, g.NY+h)] = -g.YVel[g.Nd(ii, g.NY-h)]
+			g.XVel[g.Nd(ii, -h)] = g.XVel[g.Nd(ii, h)]
+			g.XVel[g.Nd(ii, g.NY+h)] = g.XVel[g.Nd(ii, g.NY-h)]
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package core implements GLTO — the paper's primary contribution: an
+// OpenMP runtime built on the Generic Lightweight Threads (GLT) API —
+// registered with the omp front end as "glto".
+//
+// The design follows §IV of the paper:
+//
+//   - GLT_threads (execution streams) are created once, when the runtime is
+//     instantiated, one per requested OpenMP thread, and stay bound for the
+//     runtime's lifetime (§IV-B, Fig. 3).
+//   - Work-sharing: a parallel region converts each OpenMP thread into one
+//     GLT_ult; the master joins them and continues sequentially (§IV-C).
+//     This ULT-per-thread creation is the "work assignment" cost that makes
+//     GLTO slower than the function-pointer handoff of the pthread runtimes
+//     in compute-bound for loops (Fig. 7) — and it is created here on every
+//     region, deliberately.
+//   - Task parallelism: every OMP task becomes a GLT_ult. Tasks created
+//     inside a single/master construct are dispatched round-robin over all
+//     streams; otherwise each stream keeps its own tasks (§IV-D).
+//   - Nested parallelism: the encountering ULT spawns the inner team as
+//     ULTs on its own stream — no new OS threads, hence no oversubscription
+//     (§IV-E, Table II, Figs. 8/9).
+//   - Load imbalance: GLT_SHARED_QUEUES collapses the streams' pools into
+//     one shared queue (§IV-F).
+//   - Backend quirks: under MassiveThreads the master cannot yield (§IV-G);
+//     this arrives via the glt engine's pinned-main rule rather than
+//     anything in this package.
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/glt"
+	_ "repro/glt/backends"
+	"repro/omp"
+)
+
+func init() {
+	omp.RegisterRuntime("glto", func(cfg omp.Config) (omp.Runtime, error) {
+		return New(cfg)
+	})
+}
+
+// Runtime is the GLTO OpenMP runtime.
+type Runtime struct {
+	cfg omp.Config
+	g   *glt.Runtime
+	rr  atomic.Uint64 // round-robin cursor for single/master task dispatch
+
+	regions    atomic.Int64
+	nested     atomic.Int64
+	serialized atomic.Int64
+	ults       atomic.Int64
+	tasks      atomic.Int64
+	stolen     atomic.Int64
+}
+
+// New builds a GLTO runtime. The GLT execution streams are created now
+// ("when the library is loaded", §IV-B): one per configured OpenMP thread.
+func New(cfg omp.Config) (*Runtime, error) {
+	cfg = cfg.WithDefaults()
+	g, err := glt.New(glt.Config{
+		Backend:      cfg.Backend,
+		NumThreads:   cfg.NumThreads,
+		SharedQueues: cfg.SharedQueues,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{cfg: cfg, g: g}, nil
+}
+
+// Name reports "glto".
+func (rt *Runtime) Name() string { return "glto" }
+
+// Config returns the resolved configuration.
+func (rt *Runtime) Config() omp.Config { return rt.cfg }
+
+// Backend reports the underlying GLT library ("abt", "qth" or "mth").
+func (rt *Runtime) Backend() string { return rt.g.Backend() }
+
+// GLT exposes the underlying GLT runtime (the native-driver experiments of
+// Fig. 5 and the ablation benches reach through this).
+func (rt *Runtime) GLT() *glt.Runtime { return rt.g }
+
+// SetNumThreads changes the default team size for subsequent regions. Teams
+// larger than the stream count fold round-robin onto the existing streams;
+// the stream count itself is fixed at construction, as in the paper.
+func (rt *Runtime) SetNumThreads(n int) {
+	if n > 0 {
+		rt.cfg.NumThreads = n
+	}
+}
+
+// Parallel runs a top-level region with the default team size.
+func (rt *Runtime) Parallel(body func(*omp.TC)) { rt.ParallelN(rt.cfg.NumThreads, body) }
+
+// ParallelN runs a top-level region of n threads: n fresh ULTs, one per
+// stream (rank i on stream i mod streams), joined by the caller (§IV-C).
+func (rt *Runtime) ParallelN(n int, body func(*omp.TC)) {
+	if n < 1 {
+		n = 1
+	}
+	rt.regions.Add(1)
+	team := omp.NewTeam(n, 0, rt.cfg)
+	eng := &engine{rt: rt}
+	units := make([]*glt.Unit, n)
+	streams := rt.g.NumThreads()
+	for i := 0; i < n; i++ {
+		rank := i
+		fn := func(c *glt.Ctx) {
+			tc := omp.NewTC(team, rank, eng, c, nil)
+			body(tc)
+			tc.Barrier()
+		}
+		rt.ults.Add(1)
+		if rank == 0 {
+			// The master is the primary work unit: under MassiveThreads it
+			// is pinned and cannot yield (§IV-G).
+			units[i] = rt.g.SpawnMain(0, fn)
+		} else {
+			units[i] = rt.g.Spawn(rank%streams, fn)
+		}
+	}
+	for _, u := range units {
+		u.Join()
+	}
+}
+
+// Shutdown stops the execution streams.
+func (rt *Runtime) Shutdown() { rt.g.Shutdown() }
+
+// Stats reports accounting counters.
+func (rt *Runtime) Stats() omp.Stats {
+	gs := rt.g.Stats()
+	return omp.Stats{
+		Regions:           rt.regions.Load(),
+		NestedRegions:     rt.nested.Load(),
+		SerializedRegions: rt.serialized.Load(),
+		ULTsCreated:       rt.ults.Load(),
+		TasksQueued:       rt.tasks.Load(),
+		TasksStolen:       gs.Migrations + rt.stolen.Load(),
+	}
+}
+
+// ResetStats zeroes the counters.
+func (rt *Runtime) ResetStats() {
+	rt.regions.Store(0)
+	rt.nested.Store(0)
+	rt.serialized.Store(0)
+	rt.ults.Store(0)
+	rt.tasks.Store(0)
+	rt.stolen.Store(0)
+	rt.g.ResetStats()
+}
+
+// engine implements omp.EngineOps over GLT.
+type engine struct {
+	rt *Runtime
+}
+
+func ctxOf(tc *omp.TC) *glt.Ctx {
+	c, _ := tc.Ectx().(*glt.Ctx)
+	return c
+}
+
+// BarrierWait parks the calling ULT in a yield loop until the team arrives
+// and its tasks drain. There is no tryTask callback: GLTO's tasks are ULTs
+// living in the GLT pools, so yielding *is* how waiting threads execute
+// them — the stream's scheduler picks the task ULTs up between yields.
+func (e *engine) BarrierWait(tc *omp.TC) {
+	team := tc.Team()
+	c := ctxOf(tc)
+	team.Bar.Wait(team.Size, &team.Tasks, nil, func() { e.idle(c) })
+}
+
+func (e *engine) idle(c *glt.Ctx) {
+	if c == nil {
+		return
+	}
+	if c.Unit().IsTasklet() {
+		// Tasklets cannot suspend; a waiting tasklet spins while its
+		// children run on other streams.
+		runtime.Gosched()
+		return
+	}
+	c.Yield()
+}
+
+// SpawnTask converts the OMP task into a GLT_ult (§IV-D). Inside a
+// single/master region the producer distributes tasks round-robin over all
+// streams; otherwise the task stays on the creating stream.
+func (e *engine) SpawnTask(tc *omp.TC, node *omp.TaskNode) {
+	// GLTO inherits BOLT/LLVM's correct final semantics: descendants of a
+	// final task are themselves final, so the whole subtree executes
+	// undeferred (this is the task_final validation test GLTO passes and
+	// the pthread runtimes fail, Table I).
+	if tc.CurTask() != nil && tc.CurTask().Final {
+		node.Final = true
+	}
+	if node.Final || node.Undeferred {
+		omp.ExecTask(tc, node)
+		return
+	}
+	team := tc.Team()
+	c := ctxOf(tc)
+	e.rt.tasks.Add(1)
+	e.rt.ults.Add(1)
+	body := func(tcx *glt.Ctx) {
+		num := tcx.Rank() % team.Size
+		node.StartedBy.CompareAndSwap(-1, int32(num))
+		if node.CreatedBy != num {
+			e.rt.stolen.Add(1)
+		}
+		ttc := omp.TaskTC(omp.NewTC(team, num, e, tcx, nil), node)
+		node.Fn(ttc)
+		omp.FinishTask(team, node)
+	}
+	target := glt.AnyThread
+	if c != nil {
+		if tc.InSingleMaster() {
+			target = int(e.rt.rr.Add(1)-1) % e.rt.g.NumThreads()
+		} else {
+			target = c.Rank()
+		}
+	}
+	if e.rt.cfg.Tasklets {
+		// GLT_tasklet execution (paper §III-B): stackless, run to
+		// completion, no suspension. The body still receives its Ctx for
+		// identity, but must not yield — Idle detects tasklet contexts and
+		// spins instead.
+		e.rt.g.SpawnTaskletCtx(target, body)
+		return
+	}
+	if c != nil && target == c.Rank() {
+		c.Spawn(body)
+		return
+	}
+	if c != nil {
+		c.SpawnTo(target, body)
+		return
+	}
+	e.rt.g.Spawn(target, body)
+}
+
+// TryRunTask reports false: GLTO's tasks are ULTs scheduled by the GLT
+// streams, which pick them up while the caller yields in Idle.
+func (e *engine) TryRunTask(tc *omp.TC) bool { return false }
+
+// Taskwait yields until the current task's children complete.
+func (e *engine) Taskwait(tc *omp.TC) {
+	cur := tc.CurTask()
+	c := ctxOf(tc)
+	for cur.Children() > 0 {
+		e.idle(c)
+	}
+}
+
+// Taskyield suspends the current task ULT in favour of whatever its stream
+// schedules next, then records which stream resumed it (the observable the
+// taskyield validation test checks).
+func (e *engine) Taskyield(tc *omp.TC) {
+	c := ctxOf(tc)
+	if c == nil || c.Unit().IsTasklet() {
+		return
+	}
+	c.Yield()
+	tc.CurTask().ResumedBy.Store(int32(c.Rank() % tc.Team().Size))
+}
+
+// Nested spawns the inner team as ULTs on the encountering stream (§IV-E):
+// "each GLT_thread generates and executes the GLT_ults for the nested
+// code". The encountering ULT itself acts as inner rank 0, so a region of n
+// creates n-1 ULTs — hence Table II's 3,500 ULTs for 100 inner regions of
+// 36. Under stealing backends or shared queues the inner ULTs may spread;
+// under abt/qth they run on the creator's stream, avoiding all
+// oversubscription.
+func (e *engine) Nested(tc *omp.TC, n int, body func(*omp.TC)) {
+	e.rt.nested.Add(1)
+	cfg := tc.Team().Cfg
+	team := omp.NewTeam(n, tc.Level()+1, cfg)
+	inner := &engine{rt: e.rt}
+	c := ctxOf(tc)
+	units := make([]*glt.Unit, 0, n-1)
+	for i := 1; i < n; i++ {
+		rank := i
+		e.rt.ults.Add(1)
+		fn := func(cc *glt.Ctx) {
+			itc := omp.NewTC(team, rank, inner, cc, nil)
+			body(itc)
+			itc.Barrier()
+		}
+		var u *glt.Unit
+		if c != nil {
+			u = c.Spawn(fn)
+		} else {
+			u = e.rt.g.Spawn(glt.AnyThread, fn)
+		}
+		units = append(units, u)
+	}
+	itc := omp.NewTC(team, 0, inner, c, nil)
+	body(itc)
+	itc.Barrier()
+	if c != nil {
+		c.JoinAll(units)
+	} else {
+		for _, u := range units {
+			u.Join()
+		}
+	}
+}
+
+// Idle is the engine's wait primitive: a cooperative yield.
+func (e *engine) Idle(tc *omp.TC) {
+	e.idle(ctxOf(tc))
+}

@@ -1,0 +1,228 @@
+// Package gomp implements a GNU-libgomp-like OpenMP runtime over the
+// pthread substrate, registered with the omp front end as "gomp".
+//
+// The behaviours that matter for the paper's comparison are reproduced
+// faithfully:
+//
+//   - The top-level team is a persistent pthread pool; dispatching a region
+//     is a function-pointer handoff (cheap work assignment, Fig. 7).
+//   - Nested parallel regions create a *fresh* team of pthreads for every
+//     inner region and destroy it afterwards — "this approach does not reuse
+//     idle threads" (§VI-D) — which, at 36 outer threads and 100 inner
+//     regions, creates the 3,536 OS threads of Table II and the order-of-
+//     magnitude slowdown of Figs. 8 and 9.
+//   - Explicit tasks go to a single queue shared by the whole team, GNU's
+//     documented design (§III-A).
+//   - Taskyield is a no-op, so started tasks never migrate — the reason the
+//     GNU runtime fails the taskyield/untied validation tests in Table I.
+package gomp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pthread"
+	"repro/internal/ptpool"
+	"repro/omp"
+)
+
+func init() {
+	omp.RegisterRuntime("gomp", func(cfg omp.Config) (omp.Runtime, error) {
+		return New(cfg)
+	})
+}
+
+// Runtime is the GNU-like OpenMP runtime.
+type Runtime struct {
+	cfg  omp.Config
+	pool *ptpool.Pool
+
+	regions     atomic.Int64
+	nested      atomic.Int64
+	serialized  atomic.Int64
+	createdTop  atomic.Int64
+	tasksQueued atomic.Int64
+	stolen      atomic.Int64
+}
+
+// New builds a runtime with the given configuration. The top-level pool is
+// created eagerly, as libgomp does on first use, sized to NumThreads.
+func New(cfg omp.Config) (*Runtime, error) {
+	cfg = cfg.WithDefaults()
+	rt := &Runtime{cfg: cfg}
+	rt.pool = ptpool.New(cfg.NumThreads, waitMode(cfg))
+	return rt, nil
+}
+
+func waitMode(cfg omp.Config) pthread.WaitMode {
+	if cfg.WaitPolicy == omp.ActiveWait {
+		return pthread.ActiveWait
+	}
+	return pthread.PassiveWait
+}
+
+// Name reports "gomp".
+func (rt *Runtime) Name() string { return "gomp" }
+
+// Config returns the resolved configuration.
+func (rt *Runtime) Config() omp.Config { return rt.cfg }
+
+// SetNumThreads changes the default team size for subsequent regions.
+func (rt *Runtime) SetNumThreads(n int) {
+	if n > 0 {
+		rt.cfg.NumThreads = n
+	}
+}
+
+// Parallel runs a top-level region with the default team size.
+func (rt *Runtime) Parallel(body func(*omp.TC)) { rt.ParallelN(rt.cfg.NumThreads, body) }
+
+// ParallelN runs a top-level region with n threads: the persistent pool
+// executes the body, with the calling goroutine as thread 0.
+func (rt *Runtime) ParallelN(n int, body func(*omp.TC)) {
+	if n < 1 {
+		n = 1
+	}
+	rt.regions.Add(1)
+	team := omp.NewTeam(n, 0, rt.cfg)
+	eng := &engine{rt: rt}
+	run := func(rank int) {
+		tc := omp.NewTC(team, rank, eng, nil, nil)
+		body(tc)
+		tc.Barrier() // implicit barrier ending the region
+	}
+	rt.pool.Dispatch(&ptpool.Region{Size: n, Run: run})
+}
+
+// Shutdown stops the pool.
+func (rt *Runtime) Shutdown() { rt.pool.Shutdown() }
+
+// Stats reports accounting counters.
+func (rt *Runtime) Stats() omp.Stats {
+	return omp.Stats{
+		Regions:           rt.regions.Load(),
+		NestedRegions:     rt.nested.Load(),
+		SerializedRegions: rt.serialized.Load(),
+		ThreadsCreated:    rt.pool.Created.Load() + rt.createdTop.Load(),
+		PeakThreads:       pthread.Peak(),
+		TasksQueued:       rt.tasksQueued.Load(),
+		TasksStolen:       rt.stolen.Load(),
+	}
+}
+
+// ResetStats zeroes the counters (the pool's created count is folded into
+// createdTop so history is preserved but resettable).
+func (rt *Runtime) ResetStats() {
+	rt.regions.Store(0)
+	rt.nested.Store(0)
+	rt.serialized.Store(0)
+	rt.createdTop.Store(-rt.pool.Created.Load())
+	rt.tasksQueued.Store(0)
+	rt.stolen.Store(0)
+}
+
+// engine implements omp.EngineOps for the GNU-like runtime.
+type engine struct {
+	rt *Runtime
+}
+
+// teamTasks is the single shared task queue of a team (§III-A: "the GNU
+// version implements a single shared task queue for all the threads").
+type teamTasks struct {
+	mu sync.Mutex
+	q  []*omp.TaskNode
+}
+
+func (e *engine) tasksOf(team *omp.Team) *teamTasks {
+	return team.EngineData(func() any { return &teamTasks{} }).(*teamTasks)
+}
+
+func (e *engine) BarrierWait(tc *omp.TC) {
+	team := tc.Team()
+	team.Bar.Wait(team.Size, &team.Tasks,
+		func() bool { return e.tryRunTask(tc) },
+		func() { e.Idle(tc) })
+}
+
+func (e *engine) SpawnTask(tc *omp.TC, node *omp.TaskNode) {
+	if node.Final || node.Undeferred {
+		// Final and if(false) tasks execute undeferred in the encountering
+		// thread. Finality is not inherited by descendants — the defect the
+		// omp_task_final validation test catches in the 2017 runtimes
+		// (Table I).
+		omp.ExecTask(tc, node)
+		return
+	}
+	ts := e.tasksOf(tc.Team())
+	ts.mu.Lock()
+	ts.q = append(ts.q, node)
+	ts.mu.Unlock()
+	e.rt.tasksQueued.Add(1)
+}
+
+func (e *engine) tryRunTask(tc *omp.TC) bool {
+	ts := e.tasksOf(tc.Team())
+	ts.mu.Lock()
+	if len(ts.q) == 0 {
+		ts.mu.Unlock()
+		return false
+	}
+	node := ts.q[0]
+	copy(ts.q, ts.q[1:])
+	ts.q[len(ts.q)-1] = nil
+	ts.q = ts.q[:len(ts.q)-1]
+	ts.mu.Unlock()
+	if node.CreatedBy != tc.ThreadNum() {
+		e.rt.stolen.Add(1)
+	}
+	omp.ExecTask(tc, node)
+	return true
+}
+
+// TryRunTask exposes the shared-queue pop to construct-level waits.
+func (e *engine) TryRunTask(tc *omp.TC) bool { return e.tryRunTask(tc) }
+
+func (e *engine) Taskwait(tc *omp.TC) {
+	cur := tc.CurTask()
+	for cur.Children() > 0 {
+		if !e.tryRunTask(tc) {
+			e.Idle(tc)
+		}
+	}
+}
+
+// Taskyield is a no-op: libgomp does not reschedule at taskyield, which is
+// why the omp_taskyield validation test fails on it (Table I).
+func (e *engine) Taskyield(tc *omp.TC) {}
+
+// Nested creates a brand-new pthread team for the inner region and destroys
+// it afterwards. The encountering thread is rank 0 of the inner team; ranks
+// 1..n-1 are fresh OS threads, created and thrown away per region.
+func (e *engine) Nested(tc *omp.TC, n int, body func(*omp.TC)) {
+	e.rt.nested.Add(1)
+	cfg := tc.Team().Cfg
+	team := omp.NewTeam(n, tc.Level()+1, cfg)
+	inner := &engine{rt: e.rt}
+	threads := make([]*pthread.Thread, n-1)
+	for i := range threads {
+		rank := i + 1
+		e.rt.createdTop.Add(1)
+		threads[i] = pthread.Create(func() {
+			itc := omp.NewTC(team, rank, inner, nil, nil)
+			body(itc)
+			itc.Barrier()
+		})
+	}
+	itc := omp.NewTC(team, 0, inner, nil, nil)
+	body(itc)
+	itc.Barrier()
+	for _, th := range threads {
+		th.Join()
+	}
+}
+
+// Idle backs construct-level waits: active spinning or a scheduler yield.
+func (e *engine) Idle(tc *omp.TC) {
+	runtime.Gosched()
+}

@@ -1,0 +1,166 @@
+package iomp
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/omp"
+)
+
+func newRT(t testing.TB, cfg omp.Config) *Runtime {
+	t.Helper()
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestNestedWorkersAreReused(t *testing.T) {
+	// Intel's defining behaviour: nested teams draw from a free-worker
+	// cache (§VI-D, Table II).
+	rt := newRT(t, omp.Config{NumThreads: 2, Nested: true})
+	rt.Parallel(func(tc *omp.TC) {})
+	const regions = 10
+	rt.ParallelN(2, func(tc *omp.TC) {
+		tc.Master(func() {
+			for i := 0; i < regions; i++ {
+				tc.Parallel(3, func(itc *omp.TC) {})
+			}
+		})
+	})
+	s := rt.Stats()
+	slots := int64(regions * 2)
+	if s.ThreadsReused == 0 {
+		t.Fatal("no workers reused across nested regions")
+	}
+	nestedCreated := s.ThreadsCreated - 1 // minus the top pool worker
+	if nestedCreated+s.ThreadsReused != slots {
+		t.Errorf("created %d + reused %d != %d slots", nestedCreated, s.ThreadsReused, slots)
+	}
+	// Sequential inner regions from one thread need only one team's worth
+	// of fresh workers.
+	if nestedCreated > 2 {
+		t.Errorf("created %d nested workers, want <= 2", nestedCreated)
+	}
+}
+
+func TestCutoffForcesDirectExecution(t *testing.T) {
+	rt := newRT(t, omp.Config{NumThreads: 1, TaskCutoff: 8})
+	var ran atomic.Int64
+	rt.ParallelN(1, func(tc *omp.TC) {
+		tc.Single(func() {
+			for i := 0; i < 100; i++ {
+				tc.Task(func(*omp.TC) { ran.Add(1) })
+			}
+		})
+	})
+	if ran.Load() != 100 {
+		t.Fatalf("tasks ran %d", ran.Load())
+	}
+	s := rt.Stats()
+	if s.TasksQueued != 8 {
+		t.Errorf("queued %d tasks, want exactly the cut-off bound 8", s.TasksQueued)
+	}
+	if s.TasksDirect != 92 {
+		t.Errorf("direct %d tasks, want 92", s.TasksDirect)
+	}
+}
+
+func TestNoCutoffWithNegativeConfig(t *testing.T) {
+	rt := newRT(t, omp.Config{NumThreads: 1, TaskCutoff: -1})
+	rt.ParallelN(1, func(tc *omp.TC) {
+		tc.Single(func() {
+			for i := 0; i < 1000; i++ {
+				tc.Task(func(*omp.TC) {})
+			}
+		})
+	})
+	s := rt.Stats()
+	if s.TasksDirect != 0 {
+		t.Errorf("unbounded cutoff executed %d tasks directly", s.TasksDirect)
+	}
+	if s.TasksQueued != 1000 {
+		t.Errorf("queued %d, want 1000", s.TasksQueued)
+	}
+}
+
+func TestWorkStealingBalancesLoad(t *testing.T) {
+	// Active waiting keeps the consumers spinning at the barrier from the
+	// start; with passive waiting their wake-up can race the producer's
+	// own LIFO drain on slow-futex hosts.
+	rt := newRT(t, omp.Config{NumThreads: 4, WaitPolicy: omp.ActiveWait})
+	var perThread [4]atomic.Int64
+	var othersRan atomic.Int64
+	rt.Parallel(func(tc *omp.TC) {
+		me := tc.ThreadNum()
+		tc.Single(func() {
+			for i := 0; i < 64; i++ {
+				tc.Task(func(ttc *omp.TC) {
+					perThread[ttc.ThreadNum()].Add(1)
+					if ttc.ThreadNum() != me {
+						othersRan.Add(1)
+					}
+				})
+			}
+			// Hold the single open until a thief provably stole a task;
+			// the consumers are draining at the implied barrier, so this
+			// always terminates if stealing works.
+			for othersRan.Load() == 0 {
+				runtime.Gosched()
+			}
+		})
+	})
+	var total int64
+	for i := range perThread {
+		total += perThread[i].Load()
+	}
+	if total != 64 {
+		t.Fatalf("tasks ran %d times", total)
+	}
+	if othersRan.Load() == 0 {
+		t.Error("no task was stolen by another thread")
+	}
+	s := rt.Stats()
+	if s.TasksStolen == 0 || s.StealAttempts == 0 {
+		t.Errorf("steal accounting empty: %+v", s)
+	}
+}
+
+func TestLIFOOwnDequeOrder(t *testing.T) {
+	// A single thread draining its own deque runs newest-first (locality),
+	// observable through task completion order.
+	rt := newRT(t, omp.Config{NumThreads: 1})
+	var order []int
+	rt.ParallelN(1, func(tc *omp.TC) {
+		for i := 0; i < 5; i++ {
+			i := i
+			tc.Task(func(*omp.TC) { order = append(order, i) })
+		}
+		tc.Taskwait()
+	})
+	if len(order) != 5 {
+		t.Fatalf("ran %d tasks", len(order))
+	}
+	for i, v := range order {
+		if v != 4-i {
+			t.Fatalf("own-deque order %v, want LIFO", order)
+		}
+	}
+}
+
+func TestStatsResetPreservesAccounting(t *testing.T) {
+	rt := newRT(t, omp.Config{NumThreads: 2})
+	rt.Parallel(func(tc *omp.TC) {})
+	rt.ResetStats()
+	s := rt.Stats()
+	if s.Regions != 0 || s.ThreadsCreated != 0 {
+		t.Errorf("stats not zeroed: %+v", s)
+	}
+	rt.Parallel(func(tc *omp.TC) {})
+	if got := rt.Stats().Regions; got != 1 {
+		t.Errorf("regions after reset = %d, want 1", got)
+	}
+}

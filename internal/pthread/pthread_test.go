@@ -1,0 +1,90 @@
+package pthread
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestCreateJoinRuns(t *testing.T) {
+	var ran atomic.Bool
+	th := Create(func() { ran.Store(true) })
+	th.Join()
+	if !ran.Load() {
+		t.Error("thread body did not run")
+	}
+}
+
+func TestCountersTrackLifecycle(t *testing.T) {
+	ResetCounters()
+	base := Alive()
+	const n = 8
+	ths := make([]*Thread, n)
+	gate := make(chan struct{})
+	for i := range ths {
+		ths[i] = Create(func() { <-gate })
+	}
+	if got := Created(); got != n {
+		t.Errorf("Created = %d, want %d", got, n)
+	}
+	if got := Alive(); got != base+n {
+		t.Errorf("Alive = %d, want %d", got, base+n)
+	}
+	if got := Peak(); got < base+n {
+		t.Errorf("Peak = %d, want >= %d", got, base+n)
+	}
+	close(gate)
+	for _, th := range ths {
+		th.Join()
+	}
+	if got := Alive(); got != base {
+		t.Errorf("Alive after join = %d, want %d", got, base)
+	}
+}
+
+func TestBarrierSynchronizesBothModes(t *testing.T) {
+	for _, mode := range []WaitMode{ActiveWait, PassiveWait} {
+		const n = 6
+		b := NewBarrier(n, mode)
+		var phase atomic.Int64
+		var bad atomic.Int64
+		ths := make([]*Thread, n)
+		for i := range ths {
+			ths[i] = Create(func() {
+				for round := 1; round <= 20; round++ {
+					phase.Add(1)
+					b.Wait()
+					if phase.Load() != int64(round*n) {
+						bad.Add(1)
+					}
+					b.Wait()
+				}
+			})
+		}
+		for _, th := range ths {
+			th.Join()
+		}
+		if bad.Load() != 0 {
+			t.Errorf("mode %v: %d barrier phase violations", mode, bad.Load())
+		}
+	}
+}
+
+func TestWaitWhileRunsWorkWhileWaiting(t *testing.T) {
+	var cond atomic.Bool
+	cond.Store(true)
+	var worked atomic.Int64
+	th := Create(func() {
+		WaitWhile(PassiveWait, func() bool { return cond.Load() }, func() bool {
+			if worked.Load() < 5 {
+				worked.Add(1)
+				return true
+			}
+			cond.Store(false) // release ourselves once work is done
+			return false
+		})
+	})
+	th.Join()
+	if worked.Load() != 5 {
+		t.Errorf("tryWork ran %d times, want 5", worked.Load())
+	}
+}

@@ -1,0 +1,206 @@
+// Package sparse provides the compressed-sparse-row (CSR) matrix substrate
+// for the conjugate-gradient workload of the paper's task-parallelism
+// experiments (§VI-E, Figs. 10-13, Table III).
+//
+// The paper factors CG over bmwcra_1, a 148,770-row symmetric positive
+// definite (SPD) matrix from structural engineering, of which it uses a
+// 14,878-row operator. bmwcra_1 is proprietary-by-distribution (SuiteSparse
+// download); GenSPD builds a synthetic stand-in with the properties the
+// experiment depends on: identical row count, comparable nonzeros per row,
+// clustered band structure (so SpMV row blocks have uneven cost), symmetry
+// and strict diagonal dominance (so CG converges). The benchmark sweeps task
+// granularity over rows; only the per-row work distribution matters, not the
+// physics behind the entries.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CSR is a sparse matrix in compressed-sparse-row form.
+type CSR struct {
+	N      int       // square dimension
+	RowPtr []int32   // len N+1; row i occupies [RowPtr[i], RowPtr[i+1])
+	ColIdx []int32   // column indices, sorted within each row
+	Values []float64 // nonzero values
+}
+
+// NNZ reports the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Values) }
+
+// RowNNZ reports the nonzeros of row i.
+func (m *CSR) RowNNZ(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
+
+// MulRow computes (A·x)[i].
+func (m *CSR) MulRow(i int, x []float64) float64 {
+	var s float64
+	for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+		s += m.Values[k] * x[m.ColIdx[k]]
+	}
+	return s
+}
+
+// MulRange computes y[i] = (A·x)[i] for i in [lo, hi) — the unit of work the
+// CG tasks are cut from.
+func (m *CSR) MulRange(lo, hi int, x, y []float64) {
+	for i := lo; i < hi; i++ {
+		y[i] = m.MulRow(i, x)
+	}
+}
+
+// Mul computes y = A·x serially.
+func (m *CSR) Mul(x, y []float64) { m.MulRange(0, m.N, x, y) }
+
+// splitmix64 is the deterministic generator behind GenSPD.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) float() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+func (s *splitmix64) intn(n int) int { return int(s.next() % uint64(n)) }
+
+// GenSPD builds a synthetic SPD CSR matrix: n rows, roughly nnzPerRow
+// nonzeros per row placed in a cluster of halfBand columns around the
+// diagonal (mimicking the dense blocks of a structural-mechanics mesh), made
+// symmetric and strictly diagonally dominant.
+func GenSPD(n, nnzPerRow, halfBand int, seed uint64) *CSR {
+	if halfBand < nnzPerRow {
+		halfBand = nnzPerRow
+	}
+	rng := splitmix64(seed)
+	// Collect the strictly-upper off-diagonal pattern, then mirror it.
+	vals := make([]map[int32]float64, n)
+	for i := range vals {
+		vals[i] = make(map[int32]float64, nnzPerRow+1)
+	}
+	for i := 0; i < n; i++ {
+		// Row cluster density varies by row so task cost is uneven, like
+		// the real matrix: some rows get 2x the average, some half.
+		want := nnzPerRow/2 + rng.intn(nnzPerRow)
+		for k := 0; k < want; k++ {
+			off := 1 + rng.intn(halfBand)
+			j := i + off
+			if j >= n {
+				j = i - off
+			}
+			if j < 0 || j == i {
+				continue
+			}
+			v := rng.float() - 0.5
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			vals[lo][int32(hi)] = v
+		}
+	}
+	// Mirror and assemble with dominant diagonals.
+	type ent struct {
+		col int32
+		v   float64
+	}
+	rows := make([][]ent, n)
+	var rowSum = make([]float64, n)
+	keys := make([]int32, 0, 64)
+	for i := 0; i < n; i++ {
+		// Iterate the pattern in sorted column order: map order is random
+		// per run, and the diagonal below is a float sum whose rounding
+		// must be reproducible.
+		keys = keys[:0]
+		for j := range vals[i] {
+			keys = append(keys, j)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, j := range keys {
+			v := vals[i][j]
+			rows[i] = append(rows[i], ent{j, v})
+			rows[int(j)] = append(rows[int(j)], ent{int32(i), v})
+			rowSum[i] += math.Abs(v)
+			rowSum[j] += math.Abs(v)
+		}
+	}
+	m := &CSR{N: n, RowPtr: make([]int32, n+1)}
+	for i := 0; i < n; i++ {
+		r := rows[i]
+		r = append(r, ent{int32(i), rowSum[i] + 1}) // strict dominance
+		sort.Slice(r, func(a, b int) bool { return r[a].col < r[b].col })
+		for _, e := range r {
+			m.ColIdx = append(m.ColIdx, e.col)
+			m.Values = append(m.Values, e.v)
+		}
+		m.RowPtr[i+1] = int32(len(m.Values))
+		rows[i] = nil
+	}
+	return m
+}
+
+// CheckSymmetric verifies A = Aᵀ, returning an error naming the first
+// asymmetric entry. Tests use it to validate GenSPD.
+func (m *CSR) CheckSymmetric() error {
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := int(m.ColIdx[k])
+			v := m.Values[k]
+			if got, ok := m.at(j, i); !ok || got != v {
+				return fmt.Errorf("asymmetry at (%d,%d): %v vs %v (present %v)", i, j, v, got, ok)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDiagDominant verifies strict diagonal dominance (a sufficient SPD
+// condition given symmetry and positive diagonal).
+func (m *CSR) CheckDiagDominant() error {
+	for i := 0; i < m.N; i++ {
+		var diag, off float64
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.ColIdx[k]) == i {
+				diag = m.Values[k]
+			} else {
+				off += math.Abs(m.Values[k])
+			}
+		}
+		if diag <= off {
+			return fmt.Errorf("row %d not strictly dominant: diag %v vs off %v", i, diag, off)
+		}
+	}
+	return nil
+}
+
+func (m *CSR) at(i, j int) (float64, bool) {
+	lo, hi := int(m.RowPtr[i]), int(m.RowPtr[i+1])
+	idx := lo + sort.Search(hi-lo, func(k int) bool { return m.ColIdx[lo+k] >= int32(j) })
+	if idx < hi && m.ColIdx[idx] == int32(j) {
+		return m.Values[idx], true
+	}
+	return 0, false
+}
+
+// Dot returns xᵀy.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a·x over [lo,hi).
+func Axpy(lo, hi int, a float64, x, y []float64) {
+	for i := lo; i < hi; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }

@@ -1,0 +1,176 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenSPDShape(t *testing.T) {
+	m := GenSPD(500, 8, 64, 1)
+	if m.N != 500 {
+		t.Fatalf("N = %d", m.N)
+	}
+	if len(m.RowPtr) != 501 {
+		t.Fatalf("RowPtr length %d", len(m.RowPtr))
+	}
+	if m.NNZ() != int(m.RowPtr[500]) {
+		t.Errorf("NNZ %d != RowPtr end %d", m.NNZ(), m.RowPtr[500])
+	}
+	if m.NNZ() < 500 {
+		t.Errorf("matrix has fewer nonzeros than rows: %d", m.NNZ())
+	}
+}
+
+func TestGenSPDSymmetric(t *testing.T) {
+	m := GenSPD(300, 6, 32, 7)
+	if err := m.CheckSymmetric(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenSPDDiagDominant(t *testing.T) {
+	m := GenSPD(300, 6, 32, 7)
+	if err := m.CheckDiagDominant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenSPDDeterministic(t *testing.T) {
+	a := GenSPD(200, 5, 24, 99)
+	b := GenSPD(200, 5, 24, 99)
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("nondeterministic generation: %d vs %d nnz", a.NNZ(), b.NNZ())
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] || a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+	c := GenSPD(200, 5, 24, 100)
+	if c.NNZ() == a.NNZ() {
+		same := true
+		for i := range a.Values {
+			if a.Values[i] != c.Values[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical matrices")
+		}
+	}
+}
+
+func TestMulAgainstDense(t *testing.T) {
+	m := GenSPD(50, 4, 16, 3)
+	// Build the dense form and compare products.
+	dense := make([][]float64, 50)
+	for i := range dense {
+		dense[i] = make([]float64, 50)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			dense[i][m.ColIdx[k]] = m.Values[k]
+		}
+	}
+	x := make([]float64, 50)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y := make([]float64, 50)
+	m.Mul(x, y)
+	for i := 0; i < 50; i++ {
+		var want float64
+		for j := 0; j < 50; j++ {
+			want += dense[i][j] * x[j]
+		}
+		if math.Abs(want-y[i]) > 1e-12 {
+			t.Fatalf("row %d: sparse %v dense %v", i, y[i], want)
+		}
+	}
+}
+
+func TestMulRangeComposes(t *testing.T) {
+	m := GenSPD(120, 5, 20, 11)
+	x := make([]float64, 120)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	whole := make([]float64, 120)
+	pieces := make([]float64, 120)
+	m.Mul(x, whole)
+	m.MulRange(0, 40, x, pieces)
+	m.MulRange(40, 90, x, pieces)
+	m.MulRange(90, 120, x, pieces)
+	for i := range whole {
+		if whole[i] != pieces[i] {
+			t.Fatalf("row %d: whole %v pieces %v", i, whole[i], pieces[i])
+		}
+	}
+}
+
+func TestDotAxpyNorm(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, -5, 6}
+	if got := Dot(x, y); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	Axpy(0, 3, 2, x, y) // y += 2x
+	if y[0] != 6 || y[1] != -1 || y[2] != 12 {
+		t.Errorf("Axpy -> %v", y)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+// TestPropertySPDQuadraticForm: xᵀAx > 0 for random nonzero x — the defining
+// SPD property, checked directly.
+func TestPropertySPDQuadraticForm(t *testing.T) {
+	m := GenSPD(150, 6, 24, 5)
+	y := make([]float64, m.N)
+	prop := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		x := make([]float64, m.N)
+		nonzero := false
+		for i := range x {
+			v := float64(raw[i%len(raw)]) / 16
+			x[i] = v
+			if v != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			return true
+		}
+		m.Mul(x, y)
+		return Dot(x, y) > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySymmetryBilinear: xᵀAy == yᵀAx within float tolerance.
+func TestPropertySymmetryBilinear(t *testing.T) {
+	m := GenSPD(100, 5, 20, 8)
+	ax := make([]float64, m.N)
+	ay := make([]float64, m.N)
+	prop := func(sx, sy uint16) bool {
+		x := make([]float64, m.N)
+		y := make([]float64, m.N)
+		for i := range x {
+			x[i] = math.Sin(float64(i) * (1 + float64(sx)/1000))
+			y[i] = math.Cos(float64(i) * (1 + float64(sy)/1000))
+		}
+		m.Mul(x, ax)
+		m.Mul(y, ay)
+		a, b := Dot(x, ay), Dot(y, ax)
+		scale := math.Max(math.Abs(a), 1)
+		return math.Abs(a-b)/scale < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package uts
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/glt"
+	_ "repro/glt/backends"
+	"repro/omp"
+	"repro/openmp"
+)
+
+func TestChildDeterministic(t *testing.T) {
+	root := Tiny.Root()
+	a := Child(root, 3)
+	b := Child(root, 3)
+	if a != b {
+		t.Error("Child is not deterministic")
+	}
+	if a == Child(root, 4) {
+		t.Error("distinct child indices produced identical descriptors")
+	}
+	if a.Depth != 1 {
+		t.Errorf("child depth = %d, want 1", a.Depth)
+	}
+}
+
+func TestSerialCountsAreStable(t *testing.T) {
+	// Lock the preset tree sizes: any change to the SHA-1 stream, the
+	// branching law or the preset parameters shows up here.
+	tiny := Tiny.CountSerial()
+	if tiny.Nodes < 10 || tiny.Nodes > 10000 {
+		t.Errorf("Tiny preset out of its size envelope: %+v", tiny)
+	}
+	again := Tiny.CountSerial()
+	if again != tiny {
+		t.Errorf("serial count not reproducible: %+v vs %+v", again, tiny)
+	}
+	if tiny.Leaves >= tiny.Nodes {
+		t.Errorf("leaves (%d) must be < nodes (%d)", tiny.Leaves, tiny.Nodes)
+	}
+}
+
+func TestGeometricRespectsMaxDepth(t *testing.T) {
+	r := Tiny.CountSerial()
+	if r.MaxDepth > int64(Tiny.MaxDepth) {
+		t.Errorf("max depth %d exceeds bound %d", r.MaxDepth, Tiny.MaxDepth)
+	}
+}
+
+func TestBinomialRootBranching(t *testing.T) {
+	p := Params{Shape: Binomial, Seed: 1, B0: 17, M: 2, Q: 0.3}
+	if nc := p.NumChildren(p.Root()); nc != 17 {
+		t.Errorf("binomial root has %d children, want 17", nc)
+	}
+	r := p.CountSerial()
+	if r.Nodes < 18 {
+		t.Errorf("binomial tree too small: %+v", r)
+	}
+}
+
+func TestPropertyNumChildrenDeterministicAndBounded(t *testing.T) {
+	prop := func(seed int64, idx uint8) bool {
+		p := Params{Shape: Geometric, Seed: seed, B0: 4, MaxDepth: 8}
+		n := Child(p.Root(), int(idx))
+		a, b := p.NumChildren(n), p.NumChildren(n)
+		return a == b && a >= 0 && a < 1000
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenMPDriversMatchSerial(t *testing.T) {
+	want := Tiny.CountSerial()
+	for _, v := range []struct{ name, rt, backend string }{
+		{"gomp", "gomp", ""},
+		{"iomp", "iomp", ""},
+		{"glto-abt", "glto", "abt"},
+		{"glto-qth", "glto", "qth"},
+		{"glto-mth", "glto", "mth"},
+	} {
+		t.Run(v.name, func(t *testing.T) {
+			rt, err := openmp.New(v.rt, omp.Config{NumThreads: 4, Backend: v.backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Shutdown()
+			got := Tiny.CountOpenMP(rt, 4)
+			if got.Nodes != want.Nodes || got.Leaves != want.Leaves {
+				t.Errorf("parallel count %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestPthreadDriverMatchesSerial(t *testing.T) {
+	want := Tiny.CountSerial()
+	got := Tiny.CountPthreads(4)
+	if got.Nodes != want.Nodes || got.Leaves != want.Leaves {
+		t.Errorf("pthread count %+v, want %+v", got, want)
+	}
+}
+
+func TestGLTDriversMatchSerial(t *testing.T) {
+	want := Tiny.CountSerial()
+	for _, backend := range []string{"abt", "qth", "mth"} {
+		t.Run(backend, func(t *testing.T) {
+			g, err := glt.New(glt.Config{Backend: backend, NumThreads: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Shutdown()
+			got := Tiny.CountGLT(g)
+			if got.Nodes != want.Nodes || got.Leaves != want.Leaves {
+				t.Errorf("glt/%s count %+v, want %+v", backend, got, want)
+			}
+		})
+	}
+}
+
+func TestScaledPresetsMatchAcrossDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled tree skipped in -short")
+	}
+	want := T1XXLScaled.CountSerial()
+	t.Logf("T1XXLScaled: %d nodes, %d leaves, depth %d", want.Nodes, want.Leaves, want.MaxDepth)
+	if want.Nodes < 20000 {
+		t.Errorf("T1XXLScaled too small for a meaningful benchmark: %d nodes", want.Nodes)
+	}
+	got := T1XXLScaled.CountPthreads(8)
+	if got.Nodes != want.Nodes {
+		t.Errorf("pthread scaled count %d, want %d", got.Nodes, want.Nodes)
+	}
+}

@@ -1,0 +1,548 @@
+package validation
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/omp"
+)
+
+// Synchronization, reduction and runtime-library tests.
+
+func reductionCheck[T comparable](e *Env, name string, got, want T) error {
+	if got != want {
+		return fmt.Errorf("%s reduction: got %v want %v", name, got, want)
+	}
+	return nil
+}
+
+func init() {
+	add("omp_for_reduction_add", "for reduction(+)", func(e *Env) error {
+		const n = 1000
+		var got int64
+		ident := int64(0)
+		if e.Mode == Cross {
+			ident = 13 // broken identity: every thread's contribution shifts
+		}
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			v := tc.ForReduceInt64(0, n, omp.ForOpts{}, ident, omp.SumInt64,
+				func(i int, acc int64) int64 { return acc + int64(i) })
+			tc.Master(func() { got = v })
+		})
+		want := int64(n * (n - 1) / 2)
+		if e.Mode == Cross {
+			if got == want {
+				return fmt.Errorf("cross check failed to detect broken identity")
+			}
+			return nil
+		}
+		return reductionCheck(e, "+", got, want)
+	}, Normal, Cross, Orphan)
+
+	add("omp_for_reduction_mul", "for reduction(*)", func(e *Env) error {
+		var got float64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			v := tc.ForReduceFloat64(1, 15, omp.ForOpts{}, 1, omp.ProdFloat64,
+				func(i int, acc float64) float64 { return acc * float64(i) })
+			tc.Master(func() { got = v })
+		})
+		want := 1.0
+		for i := 1; i < 15; i++ {
+			want *= float64(i)
+		}
+		if math.Abs(got-want)/want > 1e-12 {
+			return fmt.Errorf("* reduction got %v want %v", got, want)
+		}
+		return nil
+	}, Normal, Orphan)
+
+	add("omp_for_reduction_max", "for reduction(max)", func(e *Env) error {
+		var got int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			v := tc.ForReduceInt64(0, 500, omp.ForOpts{Sched: omp.Dynamic, Chunk: 9},
+				-1<<62, omp.MaxInt64,
+				func(i int, acc int64) int64 {
+					return omp.MaxInt64(acc, int64((i*37)%499))
+				})
+			tc.Master(func() { got = v })
+		})
+		var want int64 = -1 << 62
+		for i := 0; i < 500; i++ {
+			if v := int64((i * 37) % 499); v > want {
+				want = v
+			}
+		}
+		return reductionCheck(e, "max", got, want)
+	}, Normal, Orphan)
+
+	add("omp_for_reduction_min", "for reduction(min)", func(e *Env) error {
+		var got int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			v := tc.ForReduceInt64(0, 500, omp.ForOpts{}, 1<<62, omp.MinInt64,
+				func(i int, acc int64) int64 {
+					return omp.MinInt64(acc, int64((i*91)%503))
+				})
+			tc.Master(func() { got = v })
+		})
+		var want int64 = 1 << 62
+		for i := 0; i < 500; i++ {
+			if v := int64((i * 91) % 503); v < want {
+				want = v
+			}
+		}
+		return reductionCheck(e, "min", got, want)
+	}, Normal, Orphan)
+
+	add("omp_for_reduction_logic_and", "for reduction(&&)", func(e *Env) error {
+		var got bool
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			v := omp.ForReduce(tc, 0, 200, omp.ForOpts{}, true, omp.AndBool,
+				func(i int, acc bool) bool { return acc && i >= 0 })
+			tc.Master(func() { got = v })
+		})
+		if !got {
+			return fmt.Errorf("&& reduction false, want true")
+		}
+		return nil
+	})
+
+	add("omp_for_reduction_logic_or", "for reduction(||)", func(e *Env) error {
+		var got bool
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			v := omp.ForReduce(tc, 0, 200, omp.ForOpts{}, false, omp.OrBool,
+				func(i int, acc bool) bool { return acc || i == 137 })
+			tc.Master(func() { got = v })
+		})
+		if !got {
+			return fmt.Errorf("|| reduction missed the witness")
+		}
+		return nil
+	})
+
+	add("omp_for_reduction_bitand", "for reduction(&)", func(e *Env) error {
+		var got int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			v := tc.ForReduceInt64(0, 64, omp.ForOpts{}, -1,
+				func(a, b int64) int64 { return a & b },
+				func(i int, acc int64) int64 { return acc & ^(int64(1) << uint(i%3)) })
+			tc.Master(func() { got = v })
+		})
+		want := int64(-1) & ^int64(1) & ^int64(2) & ^int64(4)
+		return reductionCheck(e, "&", got, want)
+	})
+
+	add("omp_for_reduction_bitor", "for reduction(|)", func(e *Env) error {
+		var got int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			v := tc.ForReduceInt64(0, 30, omp.ForOpts{}, 0,
+				func(a, b int64) int64 { return a | b },
+				func(i int, acc int64) int64 { return acc | (1 << uint(i)) })
+			tc.Master(func() { got = v })
+		})
+		return reductionCheck(e, "|", got, int64((1<<30)-1))
+	})
+
+	add("omp_for_reduction_bitxor", "for reduction(^)", func(e *Env) error {
+		var got int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			v := tc.ForReduceInt64(0, 100, omp.ForOpts{Sched: omp.Dynamic}, 0,
+				func(a, b int64) int64 { return a ^ b },
+				func(i int, acc int64) int64 { return acc ^ int64(i*7) })
+			tc.Master(func() { got = v })
+		})
+		var want int64
+		for i := 0; i < 100; i++ {
+			want ^= int64(i * 7)
+		}
+		return reductionCheck(e, "^", got, want)
+	})
+
+	add("omp_parallel_reduction", "parallel reduction", func(e *Env) error {
+		// reduction over the region itself: per-thread partials merged once.
+		var sum int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			omp.AtomicAddInt64(&sum, int64(tc.ThreadNum()))
+		})
+		want := int64(e.Threads * (e.Threads - 1) / 2)
+		return reductionCheck(e, "parallel", sum, want)
+	}, Normal, Orphan)
+
+	add("omp_single", "single", func(e *Env) error {
+		var execs atomic.Int64
+		broken := e.Mode == Cross
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			if broken {
+				execs.Add(1) // broken: everyone runs the "single" body
+				tc.Barrier()
+				return
+			}
+			if e.Mode == Orphan {
+				orphanedSingle(tc, func() { execs.Add(1) })
+				return
+			}
+			tc.Single(func() { execs.Add(1) })
+		})
+		if broken {
+			if execs.Load() == 1 {
+				return fmt.Errorf("cross check failed to detect multi-execution")
+			}
+			return nil
+		}
+		if execs.Load() != 1 {
+			return fmt.Errorf("single ran %d times", execs.Load())
+		}
+		return nil
+	}, Normal, Cross, Orphan)
+
+	add("omp_single_nowait", "single nowait", func(e *Env) error {
+		var execs atomic.Int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			for k := 0; k < 10; k++ {
+				tc.SingleNoWait(func() { execs.Add(1) })
+			}
+			tc.Barrier()
+		})
+		if execs.Load() != 10 {
+			return fmt.Errorf("10 nowait singles ran %d bodies", execs.Load())
+		}
+		return nil
+	}, Normal, Orphan)
+
+	add("omp_single_private", "single private", func(e *Env) error {
+		var got atomic.Int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			local := tc.ThreadNum() * 100
+			tc.Single(func() { got.Store(int64(local + 1)) })
+		})
+		v := got.Load()
+		if v%100 != 1 {
+			return fmt.Errorf("single saw corrupted private value %d", v)
+		}
+		return nil
+	}, Normal, Orphan)
+
+	add("omp_single_copyprivate", "single copyprivate", func(e *Env) error {
+		// The value produced inside single must be visible to every thread
+		// after the construct (broadcast).
+		var bad atomic.Int64
+		var shared int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			tc.Single(func() { atomic.StoreInt64(&shared, 12345) })
+			// implied barrier; now everyone reads
+			if atomic.LoadInt64(&shared) != 12345 {
+				bad.Add(1)
+			}
+		})
+		if bad.Load() != 0 {
+			return fmt.Errorf("copyprivate value invisible to %d threads", bad.Load())
+		}
+		return nil
+	}, Normal, Orphan)
+
+	add("omp_master", "master", func(e *Env) error {
+		var runs, offMaster atomic.Int64
+		broken := e.Mode == Cross
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			body := func() {
+				runs.Add(1)
+				if tc.ThreadNum() != 0 {
+					offMaster.Add(1)
+				}
+			}
+			if broken {
+				body() // broken: all threads run the "master" body
+				return
+			}
+			tc.Master(body)
+		})
+		if broken {
+			if offMaster.Load() == 0 && e.Threads > 1 {
+				return fmt.Errorf("cross check failed to detect non-master execution")
+			}
+			return nil
+		}
+		if runs.Load() != 1 || offMaster.Load() != 0 {
+			return fmt.Errorf("master ran %d times (%d off thread 0)", runs.Load(), offMaster.Load())
+		}
+		return nil
+	}, Normal, Cross, Orphan)
+
+	add("omp_critical", "critical", func(e *Env) error {
+		var inside, violations int64
+		iters := 300
+		broken := e.Mode == Cross
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			body := func() {
+				if atomic.AddInt64(&inside, 1) > 1 {
+					atomic.AddInt64(&violations, 1)
+				}
+				atomic.AddInt64(&inside, -1)
+			}
+			for k := 0; k < iters; k++ {
+				if broken {
+					body() // broken: no mutual exclusion
+				} else {
+					tc.Critical("c", body)
+				}
+			}
+		})
+		if broken {
+			// Overlap is probabilistic; accept any outcome, the mode exists
+			// to exercise the detector code path.
+			return nil
+		}
+		if violations != 0 {
+			return fmt.Errorf("%d mutual-exclusion violations", violations)
+		}
+		return nil
+	}, Normal, Cross, Orphan)
+
+	add("omp_critical_named", "critical(name)", func(e *Env) error {
+		var x, y int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			for k := 0; k < 100; k++ {
+				tc.Critical("a", func() { x++ })
+				tc.Critical("b", func() { y++ })
+			}
+		})
+		want := int64(100 * e.Threads)
+		if x != want || y != want {
+			return fmt.Errorf("named criticals: x=%d y=%d want %d", x, y, want)
+		}
+		return nil
+	}, Normal, Orphan)
+
+	add("omp_barrier", "barrier", func(e *Env) error {
+		var phase atomic.Int64
+		var bad atomic.Int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			for round := 1; round <= 10; round++ {
+				phase.Add(1)
+				tc.Barrier()
+				if phase.Load() != int64(round*e.Threads) {
+					bad.Add(1)
+				}
+				tc.Barrier()
+			}
+		})
+		if bad.Load() != 0 {
+			return fmt.Errorf("%d barrier phase violations", bad.Load())
+		}
+		return nil
+	}, Normal, Orphan)
+
+	add("omp_atomic", "atomic", func(e *Env) error {
+		var x int64
+		broken := e.Mode == Cross
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			for k := 0; k < 1000; k++ {
+				if broken {
+					// Broken variant: a read-modify-write split into two
+					// atomic halves, losing updates without a data race
+					// (the race detector must stay clean on deliberate
+					// breakage too).
+					v := atomic.LoadInt64(&x)
+					atomic.StoreInt64(&x, v+1)
+				} else {
+					omp.AtomicAddInt64(&x, 1)
+				}
+			}
+		})
+		want := int64(1000 * e.Threads)
+		if broken {
+			return nil // lost updates are probabilistic; mode exercises path
+		}
+		if x != want {
+			return fmt.Errorf("atomic add lost updates: %d of %d", x, want)
+		}
+		return nil
+	}, Normal, Cross, Orphan)
+
+	add("omp_atomic_float", "atomic float", func(e *Env) error {
+		var bits uint64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			for k := 0; k < 500; k++ {
+				omp.AtomicAddFloat64(&bits, 0.5)
+			}
+		})
+		got := omp.Float64FromBits(bits)
+		want := 0.5 * 500 * float64(e.Threads)
+		if got != want {
+			return fmt.Errorf("atomic float64 add: %v want %v", got, want)
+		}
+		return nil
+	}, Normal, Orphan)
+
+	add("omp_flush", "flush", func(e *Env) error {
+		// Producer/consumer through an atomic flag: the write before the
+		// flag must be visible after observing the flag (release/acquire).
+		var data int64
+		var flag atomic.Bool
+		var bad atomic.Int64
+		e.RT.ParallelN(2, func(tc *omp.TC) {
+			if tc.ThreadNum() == 0 {
+				atomic.StoreInt64(&data, 99)
+				flag.Store(true)
+			} else {
+				for !flag.Load() {
+				}
+				if atomic.LoadInt64(&data) != 99 {
+					bad.Add(1)
+				}
+			}
+		})
+		if bad.Load() != 0 {
+			return fmt.Errorf("flush visibility violated")
+		}
+		return nil
+	}, Normal, Orphan)
+
+	add("omp_threadprivate", "threadprivate", func(e *Env) error {
+		// Per-thread storage persists across two parallel regions with the
+		// same team size (the threadprivate persistence rule).
+		store := make([]int64, e.Threads)
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			store[tc.ThreadNum()] = int64(tc.ThreadNum()*10 + 1)
+		})
+		var bad atomic.Int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			if store[tc.ThreadNum()] != int64(tc.ThreadNum()*10+1) {
+				bad.Add(1)
+			}
+		})
+		if bad.Load() != 0 {
+			return fmt.Errorf("threadprivate lost on %d threads", bad.Load())
+		}
+		return nil
+	}, Normal, Orphan)
+
+	add("omp_lock", "omp_lock", func(e *Env) error {
+		var l omp.Lock
+		var counter int64
+		broken := e.Mode == Cross
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			for k := 0; k < 200; k++ {
+				if !broken {
+					l.Set()
+					counter++
+					l.Unset()
+					continue
+				}
+				// Broken variant: unguarded split read-modify-write (atomic
+				// halves, so the detector stays clean while updates can
+				// still be lost).
+				v := atomic.LoadInt64(&counter)
+				atomic.StoreInt64(&counter, v+1)
+			}
+		})
+		want := int64(200 * e.Threads)
+		if broken {
+			return nil
+		}
+		if counter != want {
+			return fmt.Errorf("lock-protected counter %d, want %d", counter, want)
+		}
+		return nil
+	}, Normal, Cross, Orphan)
+
+	add("omp_test_lock", "omp_test_lock", func(e *Env) error {
+		var l omp.Lock
+		if e.Mode == Cross {
+			// Held lock must fail Test.
+			l.Set()
+			if l.Test() {
+				return fmt.Errorf("Test succeeded on a held lock")
+			}
+			l.Unset()
+			return nil
+		}
+		if !l.Test() {
+			return fmt.Errorf("Test failed on a free lock")
+		}
+		l.Unset()
+		return nil
+	}, Normal, Cross)
+
+	add("omp_nest_lock", "omp_nest_lock", func(e *Env) error {
+		var l omp.NestLock
+		var counter int64
+		e.RT.ParallelN(e.Threads, func(tc *omp.TC) {
+			for k := 0; k < 100; k++ {
+				l.Set(tc)
+				l.Set(tc) // re-entrant
+				counter++
+				l.Unset(tc)
+				l.Unset(tc)
+			}
+		})
+		want := int64(100 * e.Threads)
+		if counter != want {
+			return fmt.Errorf("nest-lock counter %d, want %d", counter, want)
+		}
+		return nil
+	}, Normal, Orphan)
+
+	add("omp_test_nest_lock", "omp_test_nest_lock", func(e *Env) error {
+		var l omp.NestLock
+		me, other := "a", "b"
+		if n := l.Test(me); n != 1 {
+			return fmt.Errorf("first Test = %d, want 1", n)
+		}
+		if e.Mode == Cross {
+			if n := l.Test(other); n != 0 {
+				return fmt.Errorf("foreign Test = %d, want 0", n)
+			}
+			l.Unset(me)
+			return nil
+		}
+		if n := l.Test(me); n != 2 {
+			return fmt.Errorf("nested Test = %d, want 2", n)
+		}
+		l.Unset(me)
+		l.Unset(me)
+		return nil
+	}, Normal, Cross)
+
+	add("omp_get_wtime", "omp_get_wtime", func(e *Env) error {
+		a := omp.Wtime()
+		for i := 0; i < 100000; i++ {
+			_ = i
+		}
+		b := omp.Wtime()
+		if b < a {
+			return fmt.Errorf("wtime went backwards: %v -> %v", a, b)
+		}
+		return nil
+	})
+
+	add("omp_get_num_procs", "omp_get_num_procs", func(e *Env) error {
+		if omp.NumProcs() < 1 {
+			return fmt.Errorf("num_procs = %d", omp.NumProcs())
+		}
+		return nil
+	})
+
+	add("omp_set_num_threads", "omp_set_num_threads", func(e *Env) error {
+		old := e.RT.Config().NumThreads
+		defer e.RT.SetNumThreads(old)
+		e.RT.SetNumThreads(2)
+		var count atomic.Int64
+		e.RT.Parallel(func(tc *omp.TC) { count.Add(1) })
+		if count.Load() != 2 {
+			return fmt.Errorf("after set_num_threads(2) body ran %d times", count.Load())
+		}
+		return nil
+	})
+
+	add("omp_get_max_threads", "omp_get_max_threads", func(e *Env) error {
+		if e.RT.Config().NumThreads < 1 {
+			return fmt.Errorf("max threads = %d", e.RT.Config().NumThreads)
+		}
+		return nil
+	})
+}
+
+func orphanedSingle(tc *omp.TC, body func()) {
+	tc.Single(body)
+}

@@ -1,0 +1,123 @@
+package validation
+
+import (
+	"testing"
+
+	"repro/omp"
+	"repro/openmp"
+)
+
+func TestSuiteShapeMatchesPaper(t *testing.T) {
+	// Table I: "OpenMP constructs 62, Used tests 123".
+	if got := NumTests(); got != 123 {
+		t.Errorf("suite has %d tests, want 123", got)
+	}
+	if got := NumConstructs(); got != 62 {
+		t.Errorf("suite covers %d constructs, want 62", got)
+	}
+}
+
+func TestNoDuplicateTestModePairs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, tt := range Tests() {
+		key := tt.Name + "/" + string(tt.Mode)
+		if seen[key] {
+			t.Errorf("duplicate test entry %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+// runtimeExpectations capture the paper's Table I failure analysis: which of
+// the discriminating tests each runtime must fail, by mechanism.
+var runtimeExpectations = []struct {
+	name      string
+	rtName    string
+	backend   string
+	mustFail  []string // test names that must fail in every mode they run in
+	mustPass  []string // discriminating names that must pass
+	threshold int      // minimum passes overall (sanity floor)
+}{
+	{
+		name: "gomp", rtName: "gomp",
+		mustFail:  []string{"omp_taskyield", "omp_task_untied", "omp_task_final"},
+		threshold: 115,
+	},
+	{
+		name: "iomp", rtName: "iomp",
+		mustFail:  []string{"omp_taskyield", "omp_task_untied", "omp_task_final"},
+		threshold: 115,
+	},
+	{
+		name: "glto-abt", rtName: "glto", backend: "abt",
+		mustFail:  []string{"omp_taskyield", "omp_task_untied"},
+		mustPass:  []string{"omp_task_final"},
+		threshold: 118,
+	},
+	{
+		name: "glto-qth", rtName: "glto", backend: "qth",
+		mustFail:  []string{"omp_taskyield", "omp_task_untied"},
+		mustPass:  []string{"omp_task_final"},
+		threshold: 118,
+	},
+	{
+		name: "glto-mth", rtName: "glto", backend: "mth",
+		// MassiveThreads steals, so untied tasks migrate; the paper's MTH
+		// column fails only taskyield, and there only because "not enough
+		// tasks change" — a statistical outcome we do not pin down.
+		mustPass:  []string{"omp_task_untied", "omp_task_final"},
+		threshold: 119,
+	},
+}
+
+func TestTable1RuntimeOutcomes(t *testing.T) {
+	for _, exp := range runtimeExpectations {
+		t.Run(exp.name, func(t *testing.T) {
+			rt, err := openmp.New(exp.rtName, omp.Config{
+				NumThreads: 4,
+				Backend:    exp.backend,
+				Nested:     true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Shutdown()
+			rep := RunSuite(rt, 4)
+			t.Logf("%s: %d/%d passed; failed: %v", exp.name, rep.Passed(), len(rep.Outcomes), rep.FailedNames())
+			if rep.Constructs() != 62 {
+				t.Errorf("report covers %d constructs", rep.Constructs())
+			}
+			if rep.Passed() < exp.threshold {
+				t.Errorf("passed %d, expected at least %d", rep.Passed(), exp.threshold)
+			}
+			failed := map[string]bool{}
+			for _, o := range rep.Outcomes {
+				if !o.Pass() {
+					failed[o.Name] = true
+				}
+			}
+			for _, name := range exp.mustFail {
+				if !failed[name] {
+					t.Errorf("expected %s to fail on %s (mechanism check), but it passed", name, exp.name)
+				}
+			}
+			for _, name := range exp.mustPass {
+				if failed[name] {
+					t.Errorf("expected %s to pass on %s, but it failed", name, exp.name)
+				}
+			}
+			// No unexpected failures beyond the discriminating set.
+			for name := range failed {
+				ok := false
+				for _, f := range exp.mustFail {
+					if name == f {
+						ok = true
+					}
+				}
+				if !ok && name != "omp_taskyield" { // mth's statistical case
+					t.Errorf("unexpected failure on %s: %s", exp.name, name)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package omp
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// This file provides the #pragma omp atomic equivalents: lock-free updates
+// to shared scalars. Integer forms are thin wrappers over sync/atomic;
+// the float64 form is the classic CAS loop on the bit pattern.
+
+// AtomicAddInt64 atomically adds delta to *p and returns the new value.
+func AtomicAddInt64(p *int64, delta int64) int64 { return atomic.AddInt64(p, delta) }
+
+// AtomicAddFloat64 atomically adds delta to *p (interpreted as a float64 bit
+// pattern holder) and returns the new value.
+func AtomicAddFloat64(p *uint64, delta float64) float64 {
+	for {
+		old := atomic.LoadUint64(p)
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(p, old, next) {
+			return math.Float64frombits(next)
+		}
+	}
+}
+
+// AtomicMaxInt64 atomically raises *p to v if v is larger.
+func AtomicMaxInt64(p *int64, v int64) {
+	for {
+		old := atomic.LoadInt64(p)
+		if v <= old || atomic.CompareAndSwapInt64(p, old, v) {
+			return
+		}
+	}
+}
+
+// AtomicMinFloat64 atomically lowers *p (a float64 bit pattern holder) to v
+// if v is smaller. It is the atomic form of the timestep reduction in the
+// CloverLeaf workload.
+func AtomicMinFloat64(p *uint64, v float64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if atomic.CompareAndSwapUint64(p, old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Float64Bits and Float64FromBits re-export the math conversions so call
+// sites using the atomic float64 helpers do not need to import math.
+func Float64Bits(f float64) uint64     { return math.Float64bits(f) }
+func Float64FromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,212 @@
+package omp
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Schedule selects a loop scheduling kind, as the schedule clause does.
+type Schedule int
+
+const (
+	// Static divides iterations into contiguous blocks assigned round-robin
+	// to threads before the loop starts; with Chunk 0 each thread gets one
+	// nearly equal block. No synchronization is needed during the loop.
+	Static Schedule = iota
+	// Dynamic hands out chunks of Chunk iterations (default 1) from a
+	// shared counter as threads become free.
+	Dynamic
+	// Guided hands out chunks that start large and decay exponentially to
+	// Chunk (default 1), trading dispatch overhead against load balance.
+	Guided
+)
+
+// String returns the lowercase clause spelling of the schedule kind.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	}
+	return "unknown"
+}
+
+// WaitPolicy mirrors OMP_WAIT_POLICY: what idle threads do while waiting for
+// work or at barriers. The paper sets it to active for work-sharing codes
+// (lower wake-up latency) and passive/default for task parallelism (spinning
+// consumers aggravate contention on the producer's queue, §VI-A).
+type WaitPolicy int
+
+const (
+	// PassiveWait lets waiting threads release the processor.
+	PassiveWait WaitPolicy = iota
+	// ActiveWait makes waiting threads spin.
+	ActiveWait
+)
+
+// String returns the OMP_WAIT_POLICY spelling.
+func (w WaitPolicy) String() string {
+	if w == ActiveWait {
+		return "active"
+	}
+	return "passive"
+}
+
+// Config holds the internal control variables (ICVs) of a runtime instance,
+// the library-level equivalent of the OMP_* environment.
+type Config struct {
+	// NumThreads is the default team size (OMP_NUM_THREADS).
+	// Zero means runtime.NumCPU().
+	NumThreads int
+	// Nested enables nested parallelism (OMP_NESTED). When false, inner
+	// parallel regions are serialized onto the encountering thread. The
+	// paper's experiments run with OMP_NESTED=true.
+	Nested bool
+	// MaxActiveLevels bounds the depth of nested *parallel* execution
+	// (OMP_MAX_ACTIVE_LEVELS). Zero means unlimited.
+	MaxActiveLevels int
+	// WaitPolicy is OMP_WAIT_POLICY.
+	WaitPolicy WaitPolicy
+	// Schedule and Chunk set the default loop schedule (OMP_SCHEDULE).
+	Schedule Schedule
+	// Chunk is the default chunk size for the default schedule; zero picks
+	// the kind's natural default.
+	Chunk int
+	// BindProc requests thread-to-core binding (OMP_PROC_BIND). The Go
+	// runtime cannot pin goroutines to specific cores; the pthread substrate
+	// instead guarantees a dedicated kernel thread per OpenMP thread, which
+	// is the property the paper's analysis relies on.
+	BindProc bool
+
+	// TaskCutoff is the Intel runtime's bound on queued tasks per thread:
+	// beyond it, new tasks execute immediately ("undeferred") instead of
+	// being queued. The paper measures 256 as the default and studies 16
+	// and 4096 in Fig. 14. Zero means 256; use a negative value for "no
+	// cut-off". Only the iomp runtime honours it.
+	TaskCutoff int
+
+	// Backend selects the GLT backend for the glto runtime:
+	// "abt", "qth" or "mth" (GLTO_BACKEND / GLT_IMPL).
+	Backend string
+	// SharedQueues is GLT_SHARED_QUEUES (glto runtime only).
+	SharedQueues bool
+	// Tasklets makes the glto runtime execute explicit tasks as GLT
+	// tasklets — stackless, run-to-completion work units — instead of ULTs
+	// (GLTO_TASKLETS). Tasklets are the lighter work unit the GLT API
+	// offers beyond what OpenMP needs (paper §III-B); the trade is that a
+	// task must not suspend: taskyield becomes a no-op and a taskwait
+	// inside a task spins instead of yielding. Safe for leaf-task
+	// workloads like the paper's CG.
+	Tasklets bool
+}
+
+// DefaultTaskCutoff is the Intel runtime's default task queue bound.
+const DefaultTaskCutoff = 256
+
+// WithDefaults resolves zero fields to their defaults.
+func (c Config) WithDefaults() Config {
+	if c.NumThreads <= 0 {
+		c.NumThreads = runtime.NumCPU()
+	}
+	if c.TaskCutoff == 0 {
+		c.TaskCutoff = DefaultTaskCutoff
+	}
+	if c.Backend == "" {
+		c.Backend = "abt"
+	}
+	return c
+}
+
+// EffectiveCutoff returns the task cut-off bound, with negative meaning "no
+// bound" translated to a huge value.
+func (c Config) EffectiveCutoff() int {
+	if c.TaskCutoff < 0 {
+		return int(^uint(0) >> 1)
+	}
+	if c.TaskCutoff == 0 {
+		return DefaultTaskCutoff
+	}
+	return c.TaskCutoff
+}
+
+// FromEnv fills unset fields from the OMP_* (and GLT_*/KMP_*) environment
+// variables and returns the result.
+func (c Config) FromEnv() Config {
+	if c.NumThreads == 0 {
+		if v, err := strconv.Atoi(os.Getenv("OMP_NUM_THREADS")); err == nil && v > 0 {
+			c.NumThreads = v
+		}
+	}
+	if !c.Nested && envBool("OMP_NESTED") {
+		c.Nested = true
+	}
+	if c.MaxActiveLevels == 0 {
+		if v, err := strconv.Atoi(os.Getenv("OMP_MAX_ACTIVE_LEVELS")); err == nil && v > 0 {
+			c.MaxActiveLevels = v
+		}
+	}
+	if os.Getenv("OMP_WAIT_POLICY") == "active" {
+		c.WaitPolicy = ActiveWait
+	}
+	if s := os.Getenv("OMP_SCHEDULE"); s != "" {
+		kind, chunk := parseSchedule(s)
+		c.Schedule = kind
+		if c.Chunk == 0 {
+			c.Chunk = chunk
+		}
+	}
+	if !c.BindProc && envBool("OMP_PROC_BIND") {
+		c.BindProc = true
+	}
+	if c.TaskCutoff == 0 {
+		if v, err := strconv.Atoi(os.Getenv("KMP_TASK_CUTOFF")); err == nil && v != 0 {
+			c.TaskCutoff = v
+		}
+	}
+	if c.Backend == "" {
+		if v := os.Getenv("GLTO_BACKEND"); v != "" {
+			c.Backend = v
+		} else if v := os.Getenv("GLT_IMPL"); v != "" {
+			c.Backend = v
+		}
+	}
+	if !c.SharedQueues && envBool("GLT_SHARED_QUEUES") {
+		c.SharedQueues = true
+	}
+	if !c.Tasklets && envBool("GLTO_TASKLETS") {
+		c.Tasklets = true
+	}
+	return c
+}
+
+func envBool(name string) bool {
+	switch strings.ToLower(os.Getenv(name)) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
+}
+
+// parseSchedule parses an OMP_SCHEDULE value like "dynamic,4".
+func parseSchedule(s string) (Schedule, int) {
+	kind := Static
+	chunk := 0
+	parts := strings.SplitN(s, ",", 2)
+	switch strings.TrimSpace(strings.ToLower(parts[0])) {
+	case "dynamic":
+		kind = Dynamic
+	case "guided":
+		kind = Guided
+	}
+	if len(parts) == 2 {
+		if v, err := strconv.Atoi(strings.TrimSpace(parts[1])); err == nil && v > 0 {
+			chunk = v
+		}
+	}
+	return kind, chunk
+}

@@ -1,0 +1,96 @@
+package omp
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// This file provides the OpenMP runtime-library lock routines and small API
+// helpers (omp_init_lock/omp_set_lock/..., omp_get_wtime, omp_get_num_procs)
+// that the validation suite exercises.
+
+// Lock is an omp_lock_t: a plain, non-reentrant mutex with a test-and-set
+// operation.
+type Lock struct {
+	mu sync.Mutex
+}
+
+// Set acquires the lock (omp_set_lock).
+func (l *Lock) Set() { l.mu.Lock() }
+
+// Unset releases the lock (omp_unset_lock).
+func (l *Lock) Unset() { l.mu.Unlock() }
+
+// Test tries to acquire the lock without blocking and reports success
+// (omp_test_lock).
+func (l *Lock) Test() bool { return l.mu.TryLock() }
+
+// NestLock is an omp_nest_lock_t: reentrant for the owning thread, counting
+// acquisitions. Ownership is tracked by an explicit owner token because Go
+// has no thread identity; callers pass any stable per-thread value (the TC
+// works well).
+type NestLock struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	owner any
+	count int
+}
+
+func (l *NestLock) lazyInit() {
+	if l.cond == nil {
+		l.cond = sync.NewCond(&l.mu)
+	}
+}
+
+// Set acquires the lock for owner, blocking unless owner already holds it;
+// it returns the resulting nesting count (omp_set_nest_lock).
+func (l *NestLock) Set(owner any) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lazyInit()
+	for l.count > 0 && l.owner != owner {
+		l.cond.Wait()
+	}
+	l.owner = owner
+	l.count++
+	return l.count
+}
+
+// Unset releases one level of the lock (omp_unset_nest_lock); at zero the
+// lock becomes available to other owners.
+func (l *NestLock) Unset(owner any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 || l.owner != owner {
+		panic("omp: NestLock.Unset by non-owner")
+	}
+	l.count--
+	if l.count == 0 {
+		l.owner = nil
+		l.lazyInit()
+		l.cond.Broadcast()
+	}
+}
+
+// Test is the non-blocking Set (omp_test_nest_lock): it returns the new
+// nesting count on success and 0 on failure.
+func (l *NestLock) Test(owner any) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count > 0 && l.owner != owner {
+		return 0
+	}
+	l.owner = owner
+	l.count++
+	return l.count
+}
+
+// Wtime returns elapsed wall-clock seconds from an arbitrary fixed origin
+// (omp_get_wtime).
+func Wtime() float64 { return time.Since(wtimeOrigin).Seconds() }
+
+var wtimeOrigin = time.Now()
+
+// NumProcs reports the number of processors available (omp_get_num_procs).
+func NumProcs() int { return runtime.NumCPU() }

@@ -1,0 +1,198 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForOpts carries the clauses of a work-shared loop.
+type ForOpts struct {
+	// Sched is the schedule kind. The zero value defers to the runtime's
+	// configured default (OMP_SCHEDULE), which itself defaults to Static.
+	Sched Schedule
+	// UseDefault, when false and Sched is Static, still means Static; set
+	// it to true to take the runtime default schedule instead of the
+	// explicit zero value. tc.For sets it for the clause-less form.
+	UseDefault bool
+	// Chunk is the chunk size; 0 picks the schedule's natural default
+	// (one nearly equal block per thread for static, 1 for dynamic/guided).
+	Chunk int
+	// NoWait elides the implied barrier at loop end.
+	NoWait bool
+	// Ordered declares that iterations call tc.Ordered exactly once each,
+	// enabling sequenced execution of that region.
+	Ordered bool
+}
+
+// loopState is the shared descriptor of one work-shared loop (or sections)
+// instance within a team.
+type loopState struct {
+	next    atomic.Int64 // dispatch cursor for dynamic/guided/sections
+	hi      int64
+	lo      int64
+	chunk   int64
+	guided  bool
+	ordNext atomic.Int64 // next iteration admitted to the ordered region
+
+	redMu  sync.Mutex
+	redF   float64
+	redI   int64
+	redAny any
+	redSet bool
+}
+
+// For executes body(i) for every i in [lo, hi) work-shared across the team
+// using the runtime's default schedule, with the implied barrier at the end
+// (#pragma omp for). Every team member must call it with the same bounds.
+func (tc *TC) For(lo, hi int, body func(i int)) {
+	tc.ForSpec(lo, hi, ForOpts{UseDefault: true}, body)
+}
+
+// ForSpec is For with explicit clauses.
+func (tc *TC) ForSpec(lo, hi int, opts ForOpts, body func(i int)) {
+	sched, chunk := tc.resolveSchedule(opts)
+	switch sched {
+	case Static:
+		tc.staticLoop(lo, hi, chunk, opts, body)
+	default:
+		tc.dispatchLoop(lo, hi, chunk, sched == Guided, opts, body)
+	}
+	if !opts.NoWait {
+		tc.Barrier()
+	}
+}
+
+func (tc *TC) resolveSchedule(opts ForOpts) (Schedule, int) {
+	sched, chunk := opts.Sched, opts.Chunk
+	if opts.UseDefault {
+		sched = tc.team.Cfg.Schedule
+		if chunk == 0 {
+			chunk = tc.team.Cfg.Chunk
+		}
+	}
+	return sched, chunk
+}
+
+// staticLoop needs no shared state unless the loop is ordered: iterations
+// are partitioned by arithmetic alone. This is the cheap path the pthread
+// runtimes exploit in the paper's compute-bound scenario (§VI-C).
+func (tc *TC) staticLoop(lo, hi, chunk int, opts ForOpts, body func(i int)) {
+	n := hi - lo
+	if n <= 0 {
+		if opts.Ordered {
+			tc.loopSeq++ // keep encounter numbering aligned across members
+		}
+		return
+	}
+	var ls *loopState
+	if opts.Ordered {
+		ls = tc.orderedState(lo, hi)
+	}
+	size, num := tc.team.Size, tc.num
+	if chunk <= 0 {
+		// One nearly equal contiguous block per thread.
+		per := n / size
+		rem := n % size
+		start := lo + num*per + min(num, rem)
+		end := start + per
+		if num < rem {
+			end++
+		}
+		tc.runChunk(start, end, ls, body)
+		return
+	}
+	// Chunked static: blocks of chunk iterations round-robin by thread.
+	for start := lo + num*chunk; start < hi; start += size * chunk {
+		end := min(start+chunk, hi)
+		tc.runChunk(start, end, ls, body)
+	}
+}
+
+// dispatchLoop implements dynamic and guided scheduling from a shared
+// cursor.
+func (tc *TC) dispatchLoop(lo, hi, chunk int, guided bool, opts ForOpts, body func(i int)) {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	tc.loopSeq++
+	ls := tc.team.loopFor(tc.loopSeq, func() *loopState {
+		s := &loopState{hi: int64(hi), lo: int64(lo), chunk: int64(chunk), guided: guided}
+		s.next.Store(int64(lo))
+		s.ordNext.Store(int64(lo))
+		return s
+	})
+	size := int64(tc.team.Size)
+	for {
+		var start, end int64
+		if guided {
+			// Guided: take remaining/(2*size), at least chunk, via CAS.
+			for {
+				cur := ls.next.Load()
+				if cur >= int64(hi) {
+					return
+				}
+				take := (int64(hi) - cur) / (2 * size)
+				if take < int64(chunk) {
+					take = int64(chunk)
+				}
+				if cur+take > int64(hi) {
+					take = int64(hi) - cur
+				}
+				if ls.next.CompareAndSwap(cur, cur+take) {
+					start, end = cur, cur+take
+					break
+				}
+			}
+		} else {
+			start = ls.next.Add(int64(chunk)) - int64(chunk)
+			if start >= int64(hi) {
+				return
+			}
+			end = min(start+int64(chunk), int64(hi))
+		}
+		var ols *loopState
+		if opts.Ordered {
+			ols = ls
+		}
+		tc.runChunk(int(start), int(end), ols, body)
+	}
+}
+
+func (tc *TC) runChunk(start, end int, ordered *loopState, body func(i int)) {
+	if ordered != nil {
+		prev := tc.curOrdered
+		tc.curOrdered = ordered
+		defer func() { tc.curOrdered = prev }()
+	}
+	for i := start; i < end; i++ {
+		body(i)
+	}
+}
+
+// orderedState fetches the shared loop state for an ordered static loop
+// (dynamic/guided loops allocate it in dispatchLoop).
+func (tc *TC) orderedState(lo, hi int) *loopState {
+	tc.loopSeq++
+	return tc.team.loopFor(tc.loopSeq, func() *loopState {
+		s := &loopState{hi: int64(hi), lo: int64(lo)}
+		s.next.Store(int64(lo))
+		s.ordNext.Store(int64(lo))
+		return s
+	})
+}
+
+// Ordered executes body for iteration i in strict iteration order
+// (#pragma omp ordered). The enclosing loop must have been declared with
+// ForOpts.Ordered, and every iteration of that loop must call Ordered
+// exactly once, or the sequencing stalls — the same contract as the pragma.
+func (tc *TC) Ordered(i int, body func()) {
+	ls := tc.curOrdered
+	if ls == nil {
+		panic("omp: Ordered called outside a loop declared with ForOpts.Ordered")
+	}
+	for ls.ordNext.Load() != int64(i) {
+		tc.ops.Idle(tc)
+	}
+	body()
+	ls.ordNext.Store(int64(i) + 1)
+}

@@ -1,0 +1,159 @@
+// Package omp is a runtime-agnostic OpenMP programming model for Go: the
+// work-sharing, synchronization and tasking directives of OpenMP expressed
+// as library calls over a pluggable runtime engine.
+//
+// It is the front end of this repository's reproduction of
+//
+//	Castelló et al., "GLTO: On the Adequacy of Lightweight Thread Approaches
+//	for OpenMP Implementations", ICPP 2017.
+//
+// The paper compares three OpenMP *runtimes* — GNU's libgomp, the Intel
+// OpenMP runtime (both pthread-based) and GLTO (lightweight-thread based) —
+// under identical application code. This package plays the role of the
+// compiler-generated calls: application code is written once against TC (the
+// per-thread context inside a parallel region) and executes unchanged over
+// any registered runtime, exactly as the paper links the same binary against
+// different runtime libraries (paper Fig. 2).
+//
+// # Mapping from OpenMP pragmas
+//
+//	#pragma omp parallel                 rt.Parallel(func(tc *omp.TC) { ... })
+//	#pragma omp parallel num_threads(n)  rt.ParallelN(n, func(tc *omp.TC) { ... })
+//	#pragma omp for                      tc.For(lo, hi, func(i int) { ... })
+//	#pragma omp for schedule(dynamic,c)  tc.ForSpec(lo, hi, omp.ForOpts{Sched: omp.Dynamic, Chunk: c}, ...)
+//	reduction(+:x)                       x := tc.ForReduceFloat64(...)
+//	#pragma omp barrier                  tc.Barrier()
+//	#pragma omp single                   tc.Single(func() { ... })
+//	#pragma omp master                   tc.Master(func() { ... })
+//	#pragma omp critical(name)           tc.Critical("name", func() { ... })
+//	#pragma omp sections                 tc.Sections(f1, f2, ...)
+//	#pragma omp task                     tc.Task(func(tc *omp.TC) { ... })
+//	#pragma omp taskwait                 tc.Taskwait()
+//	#pragma omp taskyield                tc.Taskyield()
+//	nested #pragma omp parallel          tc.Parallel(n, func(tc *omp.TC) { ... })
+//
+// # Runtimes
+//
+// Runtime implementations register themselves with RegisterRuntime; the
+// repro/openmp package imports the three of this repository (GNU-like
+// "gomp", Intel-like "iomp", and the paper's contribution "glto") and
+// provides convenience constructors.
+package omp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Runtime is an instantiated OpenMP runtime: a persistent set of worker
+// threads (or execution streams) plus the policies for work sharing, nested
+// parallelism and tasking. Implementations must be safe for use from a
+// single "initial thread" goroutine, matching OpenMP's host model.
+type Runtime interface {
+	// Name identifies the runtime ("gomp", "iomp", "glto", ...).
+	Name() string
+	// Config returns the configuration the runtime was built with, with
+	// defaults resolved.
+	Config() Config
+	// SetNumThreads changes the default team size for subsequent parallel
+	// regions (omp_set_num_threads).
+	SetNumThreads(n int)
+	// Parallel executes body on a team of Config().NumThreads threads and
+	// returns when the region (including its implicit barrier) completes.
+	Parallel(body func(*TC))
+	// ParallelN is Parallel with an explicit team size, the library
+	// equivalent of the num_threads clause.
+	ParallelN(n int, body func(*TC))
+	// Shutdown releases the runtime's threads. The runtime must not be used
+	// afterwards.
+	Shutdown()
+	// Stats returns a snapshot of the runtime's accounting counters.
+	Stats() Stats
+	// ResetStats zeroes the accounting counters.
+	ResetStats()
+}
+
+// Stats aggregates runtime accounting. The nested-parallelism thread
+// accounting of the paper's Table II and the task-queueing percentages of
+// Table III are read from here.
+type Stats struct {
+	// Regions counts top-level parallel regions executed.
+	Regions int64
+	// NestedRegions counts nested (non-serialized) parallel regions.
+	NestedRegions int64
+	// SerializedRegions counts parallel regions executed serially because
+	// nesting was disabled or the active-level limit was reached.
+	SerializedRegions int64
+	// ThreadsCreated counts OS-backed threads created (pthread runtimes).
+	ThreadsCreated int64
+	// ThreadsReused counts nested-team slots satisfied by an existing idle
+	// thread instead of a new one (Intel-like hot teams).
+	ThreadsReused int64
+	// PeakThreads is the maximum number of simultaneously alive OS-backed
+	// threads observed.
+	PeakThreads int64
+	// ULTsCreated counts user-level threads created (GLTO).
+	ULTsCreated int64
+	// TasksQueued counts explicit tasks that were deferred into a queue.
+	TasksQueued int64
+	// TasksDirect counts explicit tasks executed immediately at the spawn
+	// site (the Intel cut-off mechanism, if(0) clauses, or serialization).
+	TasksDirect int64
+	// TasksStolen counts tasks executed by a thread other than their
+	// creator.
+	TasksStolen int64
+	// StealAttempts counts queue inspections on other threads' queues,
+	// successful or not (a proxy for task-system contention).
+	StealAttempts int64
+}
+
+// QueuedTaskPercent reports the share of explicit tasks that went through a
+// queue rather than executing directly — the quantity of the paper's
+// Table III.
+func (s Stats) QueuedTaskPercent() float64 {
+	total := s.TasksQueued + s.TasksDirect
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.TasksQueued) / float64(total)
+}
+
+var (
+	runtimesMu sync.Mutex
+	runtimes   = map[string]func(Config) (Runtime, error){}
+)
+
+// RegisterRuntime makes a runtime constructor available to NewRuntime under
+// the given name. Runtime packages call it from init.
+func RegisterRuntime(name string, mk func(Config) (Runtime, error)) {
+	runtimesMu.Lock()
+	defer runtimesMu.Unlock()
+	if _, dup := runtimes[name]; dup {
+		panic("omp: duplicate runtime registration: " + name)
+	}
+	runtimes[name] = mk
+}
+
+// NewRuntime instantiates a registered runtime by name.
+func NewRuntime(name string, cfg Config) (Runtime, error) {
+	runtimesMu.Lock()
+	mk, ok := runtimes[name]
+	runtimesMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("omp: unknown runtime %q (registered: %v)", name, RegisteredRuntimes())
+	}
+	return mk(cfg)
+}
+
+// RegisteredRuntimes lists registered runtime names in sorted order.
+func RegisteredRuntimes() []string {
+	runtimesMu.Lock()
+	defer runtimesMu.Unlock()
+	names := make([]string, 0, len(runtimes))
+	for n := range runtimes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,145 @@
+package omp
+
+// This file implements reduction clauses: work-shared loops whose per-thread
+// partial results are combined into a single value returned to every team
+// member, as reduction(op:var) does.
+
+// ForReduceFloat64 executes a work-shared loop with a float64 reduction.
+// body receives the iteration index and the thread-local accumulator and
+// returns the updated accumulator; ident is the operation's identity element
+// and comb combines two partials. All members receive the combined result.
+//
+//	sum := tc.ForReduceFloat64(0, n, omp.ForOpts{}, 0,
+//	    func(a, b float64) float64 { return a + b },
+//	    func(i int, acc float64) float64 { return acc + x[i]*y[i] })
+func (tc *TC) ForReduceFloat64(lo, hi int, opts ForOpts, ident float64, comb func(a, b float64) float64, body func(i int, acc float64) float64) float64 {
+	tc.loopSeq++
+	ls := tc.team.loopFor(tc.loopSeq, func() *loopState {
+		s := &loopState{redF: ident}
+		return s
+	})
+	local := ident
+	inner := opts
+	inner.NoWait = true
+	inner.Ordered = false
+	tc.ForSpec(lo, hi, inner, func(i int) { local = body(i, local) })
+	ls.redMu.Lock()
+	ls.redF = comb(ls.redF, local)
+	ls.redMu.Unlock()
+	if !opts.NoWait {
+		tc.Barrier()
+		ls.redMu.Lock()
+		v := ls.redF
+		ls.redMu.Unlock()
+		return v
+	}
+	// Without the barrier only the partials merged so far are visible;
+	// callers using NoWait must combine externally.
+	ls.redMu.Lock()
+	v := ls.redF
+	ls.redMu.Unlock()
+	return v
+}
+
+// ForReduceInt64 is ForReduceFloat64 for int64 accumulators.
+func (tc *TC) ForReduceInt64(lo, hi int, opts ForOpts, ident int64, comb func(a, b int64) int64, body func(i int, acc int64) int64) int64 {
+	tc.loopSeq++
+	ls := tc.team.loopFor(tc.loopSeq, func() *loopState {
+		s := &loopState{redI: ident}
+		return s
+	})
+	local := ident
+	inner := opts
+	inner.NoWait = true
+	inner.Ordered = false
+	tc.ForSpec(lo, hi, inner, func(i int) { local = body(i, local) })
+	ls.redMu.Lock()
+	ls.redI = comb(ls.redI, local)
+	ls.redMu.Unlock()
+	if !opts.NoWait {
+		tc.Barrier()
+		ls.redMu.Lock()
+		v := ls.redI
+		ls.redMu.Unlock()
+		return v
+	}
+	ls.redMu.Lock()
+	v := ls.redI
+	ls.redMu.Unlock()
+	return v
+}
+
+// ForReduce is the generic reduction: like ForReduceFloat64 for any
+// accumulator type. It is a package-level function because Go methods cannot
+// be generic.
+func ForReduce[T any](tc *TC, lo, hi int, opts ForOpts, ident T, comb func(a, b T) T, body func(i int, acc T) T) T {
+	tc.loopSeq++
+	ls := tc.team.loopFor(tc.loopSeq, func() *loopState {
+		return &loopState{redAny: ident, redSet: true}
+	})
+	local := ident
+	inner := opts
+	inner.NoWait = true
+	inner.Ordered = false
+	tc.ForSpec(lo, hi, inner, func(i int) { local = body(i, local) })
+	ls.redMu.Lock()
+	ls.redAny = comb(ls.redAny.(T), local)
+	ls.redMu.Unlock()
+	if !opts.NoWait {
+		tc.Barrier()
+	}
+	ls.redMu.Lock()
+	v := ls.redAny.(T)
+	ls.redMu.Unlock()
+	return v
+}
+
+// Reduction identities and combiners for the standard OpenMP operators, so
+// call sites read like the clause they reproduce.
+
+// SumFloat64 is the reduction(+) combiner for float64.
+func SumFloat64(a, b float64) float64 { return a + b }
+
+// ProdFloat64 is the reduction(*) combiner for float64.
+func ProdFloat64(a, b float64) float64 { return a * b }
+
+// MaxFloat64 is the reduction(max) combiner for float64.
+func MaxFloat64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinFloat64 is the reduction(min) combiner for float64.
+func MinFloat64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SumInt64 is the reduction(+) combiner for int64.
+func SumInt64(a, b int64) int64 { return a + b }
+
+// MaxInt64 is the reduction(max) combiner for int64.
+func MaxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinInt64 is the reduction(min) combiner for int64.
+func MinInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// AndBool is the reduction(&&) combiner.
+func AndBool(a, b bool) bool { return a && b }
+
+// OrBool is the reduction(||) combiner.
+func OrBool(a, b bool) bool { return a || b }

@@ -1,0 +1,124 @@
+package omp
+
+import "sync/atomic"
+
+// TaskNode is one explicit task (the object behind #pragma omp task) or the
+// implicit task of a team member. It records the parent/child structure that
+// taskwait synchronizes on, and the identity of the threads that created,
+// started and resumed it — the observable the OpenUH validation suite's
+// taskyield/untied tests check (paper Table I).
+type TaskNode struct {
+	// Fn is the task body. It receives the TC of the thread executing the
+	// task, with CurTask pointing at this node.
+	Fn func(*TC)
+	// Tied marks the task as tied to the first thread that runs it; once
+	// started it may not resume elsewhere. Untied tasks may migrate.
+	// OpenMP tasks are tied by default.
+	Tied bool
+	// Final marks a final task: its children must execute immediately
+	// (undeferred) in the encountering thread.
+	Final bool
+	// Undeferred forces immediate execution at the spawn site without the
+	// inheritance semantics of Final (the if(false) clause).
+	Undeferred bool
+
+	parent   *TaskNode
+	children atomic.Int64
+	group    *TaskGroup
+
+	// CreatedBy, StartedBy and ResumedBy record team-thread numbers for
+	// conformance checks; ResumedBy is -1 until the task resumes after a
+	// yield.
+	CreatedBy int
+	StartedBy atomic.Int32
+	ResumedBy atomic.Int32
+}
+
+// newTaskNode links a fresh node under parent and pre-sets the bookkeeping
+// fields.
+func newTaskNode(fn func(*TC), parent *TaskNode, createdBy int) *TaskNode {
+	n := &TaskNode{Fn: fn, Tied: true, parent: parent, CreatedBy: createdBy}
+	n.StartedBy.Store(-1)
+	n.ResumedBy.Store(-1)
+	return n
+}
+
+// Children reports the number of unfinished direct children.
+func (n *TaskNode) Children() int64 { return n.children.Load() }
+
+// TaskOpt customizes Task.
+type TaskOpt func(*TaskNode)
+
+// Untied marks the task as untied: it may resume on a different thread after
+// a task scheduling point. Whether it actually migrates depends on the
+// runtime — per the paper, only GLTO over MassiveThreads moves started tasks
+// between threads.
+func Untied() TaskOpt { return func(n *TaskNode) { n.Tied = false } }
+
+// Final marks the task final: it and its descendants execute undeferred.
+func Final() TaskOpt { return func(n *TaskNode) { n.Final = true } }
+
+// If gives the task an if clause: with cond false the task is undeferred,
+// executing immediately at the spawn site.
+func If(cond bool) TaskOpt { return func(n *TaskNode) { n.Undeferred = !cond } }
+
+// ExecTask runs node on the calling thread, giving its body a task-scoped TC
+// and settling the completion bookkeeping (parent child count, team task
+// count) when the body returns. Engines call it from their dequeue paths and
+// for undeferred execution.
+func ExecTask(tc *TC, node *TaskNode) {
+	node.StartedBy.CompareAndSwap(-1, int32(tc.num))
+	ttc := &TC{
+		team:  tc.team,
+		num:   tc.num,
+		ops:   tc.ops,
+		ectx:  tc.ectx,
+		cur:   node,
+		group: node.group, // descendants join the creator's taskgroup
+	}
+	node.Fn(ttc)
+	FinishTask(tc.team, node)
+}
+
+// FinishTask performs the completion bookkeeping for node: it detaches the
+// task from its parent's child count and from the team's outstanding-task
+// count. Engines that execute task bodies themselves (e.g. as ULTs) call it
+// after the body returns; ExecTask calls it automatically.
+func FinishTask(team *Team, node *TaskNode) {
+	if node.parent != nil {
+		node.parent.children.Add(-1)
+	}
+	if node.group != nil {
+		node.group.count.Add(-1)
+	}
+	team.Tasks.Add(-1)
+	emitTrace(func(tr Tracer) { tr.TaskEnd(team) })
+}
+
+// PrepareTask builds the TaskNode for a tc.Task call and registers it with
+// the parent task and the team counters. It is exported for runtime engines;
+// application code uses tc.Task.
+func PrepareTask(tc *TC, fn func(*TC), opts ...TaskOpt) *TaskNode {
+	node := newTaskNode(fn, tc.cur, tc.num)
+	for _, o := range opts {
+		o(node)
+	}
+	if node.parent != nil {
+		node.parent.children.Add(1)
+	}
+	if tc.group != nil {
+		node.group = tc.group
+		tc.group.count.Add(1)
+	}
+	tc.team.Tasks.Add(1)
+	emitTrace(func(tr Tracer) { tr.TaskCreate(tc.team, node) })
+	return node
+}
+
+// TaskTC builds the task-scoped thread context used to run node on the
+// thread owning tc, without executing it. Engines that run task bodies in
+// their own work units (GLTO's ULT-per-task) use it together with
+// FinishTask; ExecTask is the packaged combination.
+func TaskTC(tc *TC, node *TaskNode) *TC {
+	return &TC{team: tc.team, num: tc.num, ops: tc.ops, ectx: tc.ectx, cur: node, group: node.group}
+}

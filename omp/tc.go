@@ -1,0 +1,229 @@
+package omp
+
+// TC is the per-thread context inside a parallel region: the receiver for
+// every OpenMP construct the thread executes. A TC is created by the runtime
+// for each implicit task of a region (and for each explicit task body) and
+// must only be used by the goroutine or work unit it was handed to.
+type TC struct {
+	team *Team
+	num  int
+	ops  EngineOps
+	ectx any
+	cur  *TaskNode
+
+	// inSM tracks whether execution is lexically inside a single or master
+	// construct. GLTO's task dispatch policy switches on it: tasks created
+	// inside single/master are distributed round-robin over the execution
+	// streams, while tasks created by all threads stay thread-local
+	// (paper §IV-D).
+	inSM bool
+
+	loopSeq   int64
+	singleSeq int64
+	sectSeq   int64
+
+	// curOrdered points at the loop state of the ordered loop currently
+	// executing on this thread, if any.
+	curOrdered *loopState
+
+	// group is the innermost active taskgroup, inherited by tasks created
+	// in its extent (see taskgroup.go).
+	group *TaskGroup
+}
+
+// EngineOps is the service provider interface a runtime engine implements to
+// back the constructs of a TC. All other construct logic (loop scheduling,
+// single election, critical sections, reductions, ordered sequencing) is
+// shared and lives in this package.
+type EngineOps interface {
+	// BarrierWait blocks tc at the team barrier, executing queued tasks
+	// while waiting, until all members arrive and the team's task count
+	// drains (task scheduling point semantics).
+	BarrierWait(tc *TC)
+	// SpawnTask makes node runnable according to the engine's tasking
+	// policy (queue, deque, ULT, or immediate undeferred execution).
+	SpawnTask(tc *TC, node *TaskNode)
+	// Taskwait blocks until the current task's children have completed,
+	// executing queued tasks while waiting.
+	Taskwait(tc *TC)
+	// Taskyield is a task scheduling point at which the engine may suspend
+	// the current task in favour of other work.
+	Taskyield(tc *TC)
+	// Nested runs a non-serialized inner parallel region of n threads with
+	// tc as the master. It returns after the inner region's implicit
+	// barrier.
+	Nested(tc *TC, n int, body func(*TC))
+	// TryRunTask executes one queued task of the team if the engine's
+	// tasking structures hold one, reporting whether it did. Engines whose
+	// tasks are scheduled elsewhere (GLTO's ULTs run under the stream
+	// scheduler during Idle) report false. Construct-level waits that must
+	// guarantee task progress (taskgroup) use it together with Idle.
+	TryRunTask(tc *TC) bool
+	// Idle is the engine's waiting primitive: spin hint for pthread
+	// engines, cooperative yield for ULT engines. Construct-level waits
+	// (ordered sequencing, reductions) use it.
+	Idle(tc *TC)
+}
+
+// NewTC constructs a thread context. It is exported for runtime engines;
+// application code receives TCs from Runtime.Parallel and tc.Parallel. The
+// node argument is the context's current (implicit or explicit) task; pass
+// nil for a fresh implicit task.
+func NewTC(team *Team, num int, ops EngineOps, ectx any, node *TaskNode) *TC {
+	if node == nil {
+		node = newTaskNode(nil, nil, num)
+	}
+	return &TC{team: team, num: num, ops: ops, ectx: ectx, cur: node}
+}
+
+// ThreadNum reports the calling thread's number within its team
+// (omp_get_thread_num).
+func (tc *TC) ThreadNum() int { return tc.num }
+
+// NumThreads reports the team size (omp_get_num_threads).
+func (tc *TC) NumThreads() int { return tc.team.Size }
+
+// Level reports the nesting depth of the enclosing region
+// (omp_get_level): 0 for a top-level region.
+func (tc *TC) Level() int { return tc.team.Level }
+
+// Team exposes the region's shared state. Engines and conformance tests use
+// it; applications normally do not need it.
+func (tc *TC) Team() *Team { return tc.team }
+
+// Ectx returns the engine-specific execution context attached to this
+// thread (for GLTO, the *glt.Ctx of the backing ULT).
+func (tc *TC) Ectx() any { return tc.ectx }
+
+// CurTask returns the task node of the currently executing (implicit or
+// explicit) task.
+func (tc *TC) CurTask() *TaskNode { return tc.cur }
+
+// InSingleMaster reports whether execution is lexically inside a single or
+// master construct (see the note on the inSM field).
+func (tc *TC) InSingleMaster() bool { return tc.inSM }
+
+// Barrier executes a team barrier (#pragma omp barrier). Barriers are task
+// scheduling points: waiting threads execute queued tasks.
+func (tc *TC) Barrier() {
+	emitTrace(func(tr Tracer) { tr.BarrierEnter(tc.team) })
+	tc.ops.BarrierWait(tc)
+	emitTrace(func(tr Tracer) { tr.BarrierExit(tc.team) })
+}
+
+// Master runs body on thread 0 only, with no implied barrier
+// (#pragma omp master).
+func (tc *TC) Master(body func()) {
+	if tc.num != 0 {
+		return
+	}
+	prev := tc.inSM
+	tc.inSM = true
+	body()
+	tc.inSM = prev
+}
+
+// Single runs body on the first thread to arrive and makes every member wait
+// at an implied barrier (#pragma omp single). It reports whether this thread
+// was the one elected.
+func (tc *TC) Single(body func()) bool {
+	return tc.single(body, false)
+}
+
+// SingleNoWait is Single with the nowait clause: no implied barrier.
+func (tc *TC) SingleNoWait(body func()) bool {
+	return tc.single(body, true)
+}
+
+func (tc *TC) single(body func(), nowait bool) bool {
+	tc.singleSeq++
+	elected := tc.team.claimSingle(tc.singleSeq)
+	if elected {
+		prev := tc.inSM
+		tc.inSM = true
+		body()
+		tc.inSM = prev
+	}
+	if !nowait {
+		tc.Barrier()
+	}
+	return elected
+}
+
+// Critical runs body under the team-wide mutex identified by name
+// (#pragma omp critical(name)). The empty name is the unnamed critical.
+func (tc *TC) Critical(name string, body func()) {
+	m := tc.team.criticalFor(name)
+	m.Lock()
+	defer m.Unlock()
+	body()
+}
+
+// Task creates an explicit task (#pragma omp task). The body receives a
+// task-scoped TC whose ThreadNum is the executing thread. Deferral,
+// placement and stealing are runtime policy: the GNU-like runtime queues to
+// a shared team queue, the Intel-like runtime to per-thread deques with a
+// cut-off, and GLTO creates a ULT (paper §IV-D).
+func (tc *TC) Task(fn func(*TC), opts ...TaskOpt) {
+	node := PrepareTask(tc, fn, opts...)
+	tc.ops.SpawnTask(tc, node)
+}
+
+// Taskwait blocks until all children of the current task complete
+// (#pragma omp taskwait).
+func (tc *TC) Taskwait() { tc.ops.Taskwait(tc) }
+
+// Taskyield allows the runtime to suspend the current task in favour of
+// other work (#pragma omp taskyield).
+func (tc *TC) Taskyield() { tc.ops.Taskyield(tc) }
+
+// Sections executes each function as one section of a sections construct,
+// distributing them dynamically over the team, with an implied barrier
+// (#pragma omp sections).
+func (tc *TC) Sections(fns ...func()) {
+	tc.sectSeq++
+	ls := tc.team.loopFor(^tc.sectSeq, func() *loopState {
+		return &loopState{hi: int64(len(fns)), chunk: 1}
+	})
+	for {
+		i := ls.next.Add(1) - 1
+		if i >= int64(len(fns)) {
+			break
+		}
+		fns[i]()
+	}
+	tc.Barrier()
+}
+
+// Parallel opens a nested parallel region of n threads with this thread as
+// its master (a nested #pragma omp parallel num_threads(n); pass 0 for the
+// configured default size). Whether the region is active or serialized
+// follows the nesting ICVs: with Nested disabled or the max-active-levels
+// limit reached, body runs on this thread alone in a team of one — which is
+// how the pthread runtimes dodge the oversubscription the paper measures
+// when nesting is *enabled* (OMP_NESTED=true, §VI-A).
+func (tc *TC) Parallel(n int, body func(*TC)) {
+	cfg := tc.team.Cfg
+	if n <= 0 {
+		n = cfg.NumThreads
+	}
+	// Any tc.Parallel call is by construction nested (top-level regions come
+	// from Runtime.Parallel), so OMP_NESTED=false serializes it outright.
+	serialize := !cfg.Nested ||
+		cfg.MaxActiveLevels > 0 && tc.team.Level+1 >= cfg.MaxActiveLevels
+	if n == 1 || serialize {
+		tc.serialRegion(body)
+		return
+	}
+	tc.ops.Nested(tc, n, body)
+}
+
+// serialRegion runs a serialized parallel region: a team of one on the
+// encountering thread, reusing the engine's tasking machinery so explicit
+// tasks inside still work.
+func (tc *TC) serialRegion(body func(*TC)) {
+	team := NewTeam(1, tc.team.Level+1, tc.team.Cfg)
+	inner := NewTC(team, 0, tc.ops, tc.ectx, nil)
+	body(inner)
+	inner.Barrier() // implicit region-end barrier: drains the inner team's tasks
+}

@@ -1,0 +1,130 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Team is the shared state of one parallel region: the data behind every
+// work-sharing and synchronization construct its members execute. A fresh
+// Team is allocated per region — runtimes reuse *threads* across regions
+// (that reuse is exactly what the paper's Fig. 7 and Table II measure) but
+// never Team objects, so per-encounter bookkeeping cannot leak across the
+// hundreds of thousands of regions in the CloverLeaf experiment.
+type Team struct {
+	// Size is the number of implicit tasks (OpenMP threads) in the team.
+	Size int
+	// Level is the nesting depth: 0 for a top-level region.
+	Level int
+	// Cfg is the runtime configuration governing this region.
+	Cfg Config
+	// Bar is the region's barrier, shared by explicit tc.Barrier calls, the
+	// implied barriers of work-sharing constructs, and the implicit barrier
+	// ending the region.
+	Bar BarrierState
+	// Tasks counts explicit tasks bound to this region that have not yet
+	// finished. The implicit barrier at region end waits for it to drain,
+	// per the OpenMP task-completion rules.
+	Tasks atomic.Int64
+
+	loops   sync.Map // encounter seq -> *loopState
+	singles sync.Map // encounter seq -> *atomic.Bool (claimed)
+
+	critMu sync.Mutex
+	crit   map[string]*sync.Mutex
+
+	engOnce sync.Once
+	engData any
+}
+
+// NewTeam creates the shared state for a parallel region of the given size
+// at the given nesting level.
+func NewTeam(size, level int, cfg Config) *Team {
+	if size < 1 {
+		size = 1
+	}
+	t := &Team{Size: size, Level: level, Cfg: cfg}
+	emitTrace(func(tr Tracer) { tr.RegionBegin(t) })
+	return t
+}
+
+// EngineData returns per-team engine state, initializing it with init on
+// first use. Engines use it to attach region-local structures (task queues,
+// deques) to teams they did not create, e.g. serialized inner regions.
+func (t *Team) EngineData(init func() any) any {
+	t.engOnce.Do(func() { t.engData = init() })
+	return t.engData
+}
+
+// criticalFor returns the mutex backing the named critical construct,
+// creating it on first use. Unnamed criticals share the "" mutex, matching
+// the unnamed-critical semantics of the specification.
+func (t *Team) criticalFor(name string) *sync.Mutex {
+	t.critMu.Lock()
+	defer t.critMu.Unlock()
+	if t.crit == nil {
+		t.crit = make(map[string]*sync.Mutex)
+	}
+	m, ok := t.crit[name]
+	if !ok {
+		m = new(sync.Mutex)
+		t.crit[name] = m
+	}
+	return m
+}
+
+// loopFor returns the state of the work-shared loop with the given
+// per-thread encounter sequence number, creating it if this thread is the
+// first to arrive. All members encounter work-sharing constructs in the same
+// order (an OpenMP requirement), so the sequence number identifies the
+// construct instance.
+func (t *Team) loopFor(seq int64, mk func() *loopState) *loopState {
+	if v, ok := t.loops.Load(seq); ok {
+		return v.(*loopState)
+	}
+	v, _ := t.loops.LoadOrStore(seq, mk())
+	return v.(*loopState)
+}
+
+// claimSingle reports whether the caller is the thread that executes the
+// single construct with the given encounter sequence number.
+func (t *Team) claimSingle(seq int64) bool {
+	v, _ := t.singles.LoadOrStore(seq, new(atomic.Bool))
+	return v.(*atomic.Bool).CompareAndSwap(false, true)
+}
+
+// BarrierState is a reusable epoch barrier that lets waiting threads execute
+// queued tasks — the OpenMP rule that barriers are task scheduling points,
+// and the mechanism by which consumer threads in the paper's CG experiment
+// pick up the producer's tasks while parked at the single construct's
+// barrier.
+type BarrierState struct {
+	arrived atomic.Int64
+	epoch   atomic.Uint64
+}
+
+// Wait blocks until all size participants have arrived and, if tasks is
+// non-nil, until it has drained to zero. While waiting, tryTask (if non-nil)
+// is invoked to execute queued work; when it reports no work, idle is called
+// (spin hint, cooperative yield, ...).
+//
+// The last arriver performs the release; everyone else helps with tasks.
+func (b *BarrierState) Wait(size int, tasks *atomic.Int64, tryTask func() bool, idle func()) {
+	epoch := b.epoch.Load()
+	if b.arrived.Add(1) == int64(size) {
+		// Last arriver: the region's tasks must complete before release.
+		for tasks != nil && tasks.Load() > 0 {
+			if tryTask == nil || !tryTask() {
+				idle()
+			}
+		}
+		b.arrived.Store(0)
+		b.epoch.Add(1)
+		return
+	}
+	for b.epoch.Load() == epoch {
+		if tryTask == nil || !tryTask() {
+			idle()
+		}
+	}
+}

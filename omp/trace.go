@@ -1,0 +1,85 @@
+package omp
+
+import "sync/atomic"
+
+// This file provides an OMPT-style tool interface: a process-wide Tracer
+// receives runtime events from hook points in the shared construct code, so
+// profiling tools can observe region, task and barrier activity without
+// modifying any runtime — the role OMPT plays for the native runtimes, and
+// the kind of introspection behind the paper's Fig. 7 "time spent in the
+// work assignment step inside the OpenMP runtime".
+//
+// The tracer is global and off by default; the hooks cost one atomic load
+// when disabled.
+
+// Tracer receives runtime events. Implementations must be safe for
+// concurrent use from every team thread; hot paths call them.
+type Tracer interface {
+	// RegionBegin fires when a team is formed, before any member runs.
+	RegionBegin(team *Team)
+	// RegionEnd fires after the region's implicit barrier releases, once
+	// per team, on the member that completed it last.
+	RegionEnd(team *Team)
+	// TaskCreate fires when an explicit task is created (before deferral
+	// policy applies).
+	TaskCreate(team *Team, node *TaskNode)
+	// TaskEnd fires when an explicit task's body has completed.
+	TaskEnd(team *Team)
+	// BarrierEnter and BarrierExit bracket each thread's wait at any team
+	// barrier (explicit, work-sharing, or region-end).
+	BarrierEnter(team *Team)
+	BarrierExit(team *Team)
+}
+
+var activeTracer atomic.Pointer[Tracer]
+
+// SetTracer installs tr as the process-wide tracer; nil disables tracing.
+// It returns the previous tracer.
+func SetTracer(tr Tracer) Tracer {
+	var prev Tracer
+	if p := activeTracer.Swap(ptrOrNil(tr)); p != nil {
+		prev = *p
+	}
+	return prev
+}
+
+func ptrOrNil(tr Tracer) *Tracer {
+	if tr == nil {
+		return nil
+	}
+	return &tr
+}
+
+// emitTrace invokes f with the active tracer, if any.
+func emitTrace(f func(Tracer)) {
+	if p := activeTracer.Load(); p != nil {
+		f(*p)
+	}
+}
+
+// CountingTracer is a ready-made Tracer that counts events, usable as a
+// cheap profiler and as the reference implementation.
+type CountingTracer struct {
+	Regions  atomic.Int64
+	Tasks    atomic.Int64
+	TaskEnds atomic.Int64
+	Barriers atomic.Int64
+}
+
+// RegionBegin implements Tracer.
+func (c *CountingTracer) RegionBegin(*Team) { c.Regions.Add(1) }
+
+// RegionEnd implements Tracer.
+func (c *CountingTracer) RegionEnd(*Team) {}
+
+// TaskCreate implements Tracer.
+func (c *CountingTracer) TaskCreate(*Team, *TaskNode) { c.Tasks.Add(1) }
+
+// TaskEnd implements Tracer.
+func (c *CountingTracer) TaskEnd(*Team) { c.TaskEnds.Add(1) }
+
+// BarrierEnter implements Tracer.
+func (c *CountingTracer) BarrierEnter(*Team) { c.Barriers.Add(1) }
+
+// BarrierExit implements Tracer.
+func (c *CountingTracer) BarrierExit(*Team) {}

@@ -1,0 +1,164 @@
+package openmp_test
+
+// Tests for the OpenMP 4.x extension constructs (taskgroup, taskloop,
+// collapse) and the OMPT-style tracer, across all runtimes.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/omp"
+)
+
+func TestTaskgroupWaitsForDescendants(t *testing.T) {
+	// taskwait only waits for direct children; taskgroup must wait for the
+	// whole subtree.
+	forEachRuntime(t, func(t *testing.T, rt omp.Runtime) {
+		var leaves atomic.Int64
+		var violations atomic.Int64
+		rt.Parallel(func(tc *omp.TC) {
+			tc.Single(func() {
+				tc.Taskgroup(func() {
+					for i := 0; i < 8; i++ {
+						tc.Task(func(ttc *omp.TC) {
+							for j := 0; j < 8; j++ {
+								ttc.Task(func(*omp.TC) { leaves.Add(1) })
+							}
+							// no taskwait here: the grandchildren are left
+							// to the taskgroup
+						})
+					}
+				})
+				if leaves.Load() != 64 {
+					violations.Add(1)
+				}
+			})
+		})
+		if violations.Load() != 0 {
+			t.Errorf("taskgroup released before %d descendants finished", 64-leaves.Load())
+		}
+	})
+}
+
+func TestTaskgroupScopesAreIndependent(t *testing.T) {
+	forEachRuntime(t, func(t *testing.T, rt omp.Runtime) {
+		var a, b atomic.Int64
+		rt.Parallel(func(tc *omp.TC) {
+			tc.Single(func() {
+				tc.Taskgroup(func() {
+					tc.Task(func(*omp.TC) { a.Add(1) })
+				})
+				if a.Load() != 1 {
+					a.Add(100)
+				}
+				tc.Taskgroup(func() {
+					tc.Task(func(*omp.TC) { b.Add(1) })
+				})
+			})
+		})
+		if a.Load() != 1 || b.Load() != 1 {
+			t.Errorf("independent taskgroups: a=%d b=%d", a.Load(), b.Load())
+		}
+	})
+}
+
+func TestTaskloopCoversRange(t *testing.T) {
+	forEachRuntime(t, func(t *testing.T, rt omp.Runtime) {
+		const n = 333
+		hits := make([]int32, n)
+		rt.Parallel(func(tc *omp.TC) {
+			tc.Single(func() {
+				tc.Taskloop(0, n, 16, func(i int) { atomic.AddInt32(&hits[i], 1) })
+				// Taskloop includes its own deep wait; everything must be
+				// done right here.
+				for i := range hits {
+					if atomic.LoadInt32(&hits[i]) != 1 {
+						atomic.AddInt32(&hits[i], 100)
+					}
+				}
+			})
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("taskloop iteration %d executed %d times", i, h)
+			}
+		}
+	})
+}
+
+func TestTaskloopDefaultGrain(t *testing.T) {
+	forEachRuntime(t, func(t *testing.T, rt omp.Runtime) {
+		var sum atomic.Int64
+		rt.Parallel(func(tc *omp.TC) {
+			tc.Single(func() {
+				tc.Taskloop(0, 100, 0, func(i int) { sum.Add(int64(i)) })
+			})
+		})
+		if sum.Load() != 4950 {
+			t.Errorf("taskloop sum = %d, want 4950", sum.Load())
+		}
+	})
+}
+
+func TestForCollapse2Coverage(t *testing.T) {
+	forEachRuntime(t, func(t *testing.T, rt omp.Runtime) {
+		const n0, n1 = 13, 17
+		var hits [n0][n1]int32
+		rt.Parallel(func(tc *omp.TC) {
+			tc.ForCollapse2(0, n0, 0, n1, omp.ForOpts{Sched: omp.Dynamic, Chunk: 7},
+				func(i, j int) { atomic.AddInt32(&hits[i][j], 1) })
+		})
+		for i := range hits {
+			for j := range hits[i] {
+				if hits[i][j] != 1 {
+					t.Fatalf("collapse cell (%d,%d) executed %d times", i, j, hits[i][j])
+				}
+			}
+		}
+	})
+}
+
+func TestForCollapse2Empty(t *testing.T) {
+	forEachRuntime(t, func(t *testing.T, rt omp.Runtime) {
+		var ran atomic.Int64
+		rt.Parallel(func(tc *omp.TC) {
+			tc.ForCollapse2(0, 0, 0, 5, omp.ForOpts{}, func(i, j int) { ran.Add(1) })
+			tc.ForCollapse2(0, 5, 3, 3, omp.ForOpts{}, func(i, j int) { ran.Add(1) })
+		})
+		if ran.Load() != 0 {
+			t.Errorf("empty collapse ran %d iterations", ran.Load())
+		}
+	})
+}
+
+func TestTracerObservesEvents(t *testing.T) {
+	forEachRuntime(t, func(t *testing.T, rt omp.Runtime) {
+		tr := &omp.CountingTracer{}
+		prev := omp.SetTracer(tr)
+		defer omp.SetTracer(prev)
+		rt.Parallel(func(tc *omp.TC) {
+			tc.Barrier()
+			tc.Single(func() {
+				for i := 0; i < 10; i++ {
+					tc.Task(func(*omp.TC) {})
+				}
+			})
+		})
+		omp.SetTracer(prev)
+		if tr.Regions.Load() < 1 {
+			t.Errorf("tracer saw %d regions", tr.Regions.Load())
+		}
+		if tr.Tasks.Load() != 10 || tr.TaskEnds.Load() != 10 {
+			t.Errorf("tracer saw %d creates / %d ends, want 10/10", tr.Tasks.Load(), tr.TaskEnds.Load())
+		}
+		if tr.Barriers.Load() < int64(4) { // at least the explicit barrier per member
+			t.Errorf("tracer saw %d barrier entries", tr.Barriers.Load())
+		}
+	})
+}
+
+func TestTracerDisabledByDefault(t *testing.T) {
+	if prev := omp.SetTracer(nil); prev != nil {
+		t.Error("a tracer was installed by default")
+	}
+}
