@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/glt"
@@ -24,6 +25,15 @@ import (
 
 // benchThreads is the team size used by the fixed-size benches.
 const benchThreads = 4
+
+// shortN trims a sweep parameter under -short, so CI can exercise every
+// benchmark code path without paying for the full paper-scale runs.
+func shortN(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
 
 func newRT(b *testing.B, v harness.Variant, mutate func(*omp.Config)) omp.Runtime {
 	b.Helper()
@@ -104,6 +114,7 @@ func BenchmarkFig7Dispatch(b *testing.B) {
 }
 
 func nestedBench(b *testing.B, outer int) {
+	outer = shortN(outer, 10)
 	perVariant(b, harness.PaperVariants, func(b *testing.B, v harness.Variant) {
 		rt := newRT(b, v, nil)
 		b.ResetTimer()
@@ -131,14 +142,26 @@ func BenchmarkFig9Nested1000(b *testing.B) {
 	nestedBench(b, 1000)
 }
 
-var benchProblem = cg.NewProblem(1500, 7)
+var (
+	benchProblemOnce sync.Once
+	benchProblemVal  *cg.Problem
+)
+
+// benchProblem builds the CG system lazily so its size can honour -short
+// (testing.Short is only valid after flag parsing).
+func benchProblem() *cg.Problem {
+	benchProblemOnce.Do(func() {
+		benchProblemVal = cg.NewProblem(shortN(1500, 240), 7)
+	})
+	return benchProblemVal
+}
 
 func cgBench(b *testing.B, granularity int) {
 	perVariant(b, harness.TaskVariants, func(b *testing.B, v harness.Variant) {
 		rt := newRT(b, v, nil)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			benchProblem.SolveTasks(rt, benchThreads, cg.Opts{MaxIter: 5, Granularity: granularity})
+			benchProblem().SolveTasks(rt, benchThreads, cg.Opts{MaxIter: 5, Granularity: granularity})
 		}
 	})
 }
@@ -153,8 +176,13 @@ func BenchmarkFig13CG(b *testing.B) { cgBench(b, 100) }
 // BenchmarkFig14Cutoff: 4,000 single-producer tasks under the three cut-off
 // values of Fig. 14.
 func BenchmarkFig14Cutoff(b *testing.B) {
-	for _, cutoff := range []int{16, 256, 4096} {
+	cutoffs := []int{16, 256, 4096}
+	if testing.Short() {
+		cutoffs = []int{256} // the paper's default; one point covers the path
+	}
+	for _, cutoff := range cutoffs {
 		cutoff := cutoff
+		tasks := shortN(4000, 400)
 		b.Run(fmt.Sprint(cutoff), func(b *testing.B) {
 			rt, err := openmp.New("iomp", omp.Config{
 				NumThreads: benchThreads, TaskCutoff: cutoff, Nested: true,
@@ -167,7 +195,7 @@ func BenchmarkFig14Cutoff(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				rt.ParallelN(benchThreads, func(tc *omp.TC) {
 					tc.Single(func() {
-						for k := 0; k < 4000; k++ {
+						for k := 0; k < tasks; k++ {
 							tc.Task(func(*omp.TC) {})
 						}
 					})
@@ -219,7 +247,11 @@ func BenchmarkTable2Nested(b *testing.B) {
 // BenchmarkTable3QueuedTasks: the CG run whose queue accounting produces
 // Table III, timed per granularity on the Intel-like runtime.
 func BenchmarkTable3QueuedTasks(b *testing.B) {
-	for _, g := range cg.Granularities {
+	granularities := cg.Granularities
+	if testing.Short() {
+		granularities = granularities[:1]
+	}
+	for _, g := range granularities {
 		g := g
 		b.Run(fmt.Sprint(g), func(b *testing.B) {
 			rt, err := openmp.New("iomp", omp.Config{NumThreads: benchThreads, Nested: true})
@@ -229,7 +261,7 @@ func BenchmarkTable3QueuedTasks(b *testing.B) {
 			defer rt.Shutdown()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				benchProblem.SolveTasks(rt, benchThreads, cg.Opts{MaxIter: 3, Granularity: g})
+				benchProblem().SolveTasks(rt, benchThreads, cg.Opts{MaxIter: 3, Granularity: g})
 			}
 			b.StopTimer()
 			s := rt.Stats()
@@ -352,7 +384,11 @@ func BenchmarkAblationSharedQueues(b *testing.B) {
 // BenchmarkAblationFEBStripes: Qthreads' word-lock table contention as a
 // function of stripe count, the knob behind the qth backend's scaling.
 func BenchmarkAblationFEBStripes(b *testing.B) {
-	for _, stripes := range []int{1, 8, 32, 256} {
+	counts := []int{1, 8, 32, 256}
+	if testing.Short() {
+		counts = []int{feb.DefaultStripes}
+	}
+	for _, stripes := range counts {
 		stripes := stripes
 		b.Run(fmt.Sprint(stripes), func(b *testing.B) {
 			tab := feb.NewTable(stripes)
@@ -391,7 +427,33 @@ func BenchmarkAblationGLTOTaskletTasks(b *testing.B) {
 			defer rt.Shutdown()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				benchProblem.SolveTasks(rt, benchThreads, cg.Opts{MaxIter: 5, Granularity: 20})
+				benchProblem().SolveTasks(rt, benchThreads, cg.Opts{MaxIter: 5, Granularity: 20})
+			}
+		})
+	}
+}
+
+// BenchmarkRegionRespawn: the ParallelN respawn hot path under the default
+// batched, descriptor-recycling dispatch against the paper-faithful per-unit
+// mode (omp.Config.PerUnitDispatch). Run with -benchmem: the engine refactor
+// is accepted on ≥30% fewer allocs/op for the batched variant.
+func BenchmarkRegionRespawn(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		perUnit bool
+	}{{"batched", false}, {"per-unit", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			rt := newRT(b, harness.Variant{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+				func(c *omp.Config) {
+					c.PerUnitDispatch = mode.perUnit
+					c.WaitPolicy = omp.ActiveWait
+				})
+			rt.ParallelN(benchThreads, func(tc *omp.TC) {})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.ParallelN(benchThreads, func(tc *omp.TC) {})
 			}
 		})
 	}

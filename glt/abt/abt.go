@@ -42,6 +42,15 @@ func (p *pool) push(u *glt.Unit) {
 	p.mu.Unlock()
 }
 
+// pushAll appends a run of units under a single lock acquisition: one
+// synchronization episode per run instead of one per unit. Slice order is
+// preserved, so FIFO semantics match a sequence of push calls.
+func (p *pool) pushAll(units []*glt.Unit) {
+	p.mu.Lock()
+	p.q = append(p.q, units...)
+	p.mu.Unlock()
+}
+
 func (p *pool) pop() *glt.Unit {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -85,6 +94,21 @@ func (p *policy) Push(from, to int, u *glt.Unit) {
 		return
 	}
 	p.pools[to].push(u)
+}
+
+// PushBatch enqueues a fresh spawn batch as contiguous equal-Home runs, each
+// appended to its private FIFO under one lock acquisition — observably
+// equivalent to glt.PushEach, minus the per-unit locking. Scanning runs
+// front to back means a unit's Home is never read after the unit has been
+// handed to a pool (at which point a worker may already be recycling it).
+func (p *policy) PushBatch(from int, units []*glt.Unit) {
+	if p.shared {
+		p.pools[0].pushAll(units)
+		return
+	}
+	glt.ForEachHomeRun(units, func(to int, run []*glt.Unit) {
+		p.pools[to].pushAll(run)
+	})
 }
 
 func (p *policy) Pop(self int) *glt.Unit {

@@ -30,6 +30,11 @@ func (c *Ctx) Unit() *Unit { return c.u }
 // IsMain reports whether this unit was spawned with SpawnMain.
 func (c *Ctx) IsMain() bool { return c.u.main }
 
+// Tag reports the unit's caller-assigned tag (the batch index assigned by
+// SpawnTeam/SpawnBatch; the OpenMP team rank in GLTO). Unlike Rank it is
+// fixed for the unit's lifetime.
+func (c *Ctx) Tag() int { return c.u.tag }
+
 // Yield gives the execution token back to the worker, making the unit
 // runnable again at the tail of its current stream's pool (or wherever
 // MigrateTo directed it). Control returns when a worker reschedules the unit.
@@ -75,7 +80,7 @@ func (c *Ctx) MigrateTo(rank int) {
 // (paper §IV-E: "each GLT_thread generates and executes the GLT_ults for the
 // nested code").
 func (c *Ctx) Spawn(fn Func) *Unit {
-	u := newULT(c.rt, fn)
+	u := c.rt.newUnit(fn, false)
 	c.rt.dispatchFrom(c.w.rank, c.w.rank, u)
 	return u
 }
@@ -83,7 +88,7 @@ func (c *Ctx) Spawn(fn Func) *Unit {
 // SpawnTo creates a ULT on the pool of the stream with the given rank
 // (or round-robin for AnyThread).
 func (c *Ctx) SpawnTo(rank int, fn Func) *Unit {
-	u := newULT(c.rt, fn)
+	u := c.rt.newUnit(fn, false)
 	c.rt.dispatchFrom(c.w.rank, rank, u)
 	return u
 }
@@ -91,9 +96,37 @@ func (c *Ctx) SpawnTo(rank int, fn Func) *Unit {
 // SpawnTasklet creates a tasklet on the given stream's pool
 // (or round-robin for AnyThread).
 func (c *Ctx) SpawnTasklet(rank int, fn func()) *Unit {
-	u := newTasklet(c.rt, fn)
+	u := c.rt.newUnit(func(*Ctx) { fn() }, true)
 	c.rt.dispatchFrom(c.w.rank, rank, u)
 	return u
+}
+
+// SpawnDetached creates a fire-and-forget work unit on the given stream's
+// pool (AnyThread for round-robin); see Runtime.SpawnDetached. tasklet
+// selects the stackless kind. This is GLTO's task-dispatch primitive: the
+// OpenMP layer tracks task completion through its own team counters, so no
+// handle is needed and the descriptor recycles the moment the task ends.
+func (c *Ctx) SpawnDetached(rank int, fn Func, tasklet bool) {
+	c.rt.spawnDetached(c.w.rank, rank, fn, tasklet)
+}
+
+// SpawnBatch creates n ULTs sharing one body on the current stream's pool in
+// a single batch, tagged baseTag, baseTag+1, ... — the batched form of
+// Spawn. GLTO's nested regions use it: the encountering stream generates the
+// whole inner team (§IV-E) under one synchronization episode. out is as in
+// Runtime.SpawnTeam.
+func (c *Ctx) SpawnBatch(n, baseTag int, fn Func, out []*Unit) []*Unit {
+	rt := c.rt
+	units := unitSlice(out, n)
+	rt.units.getBatch(rt, units)
+	for i, u := range units {
+		u.fn = fn
+		u.tag = baseTag + i
+		u.home = c.w.rank
+		u.refs.Store(2)
+	}
+	rt.dispatchBatch(c.w.rank, units)
+	return units
 }
 
 // Join waits cooperatively for u to complete, yielding the token between
@@ -112,12 +145,10 @@ func (c *Ctx) JoinAll(us []*Unit) {
 	}
 }
 
-// dispatchFrom is dispatch with an originating rank, so policies can apply
-// locality rules (e.g. work-first placement).
+// dispatchFrom is the single-unit dispatch path, with an originating rank so
+// policies can apply locality rules (e.g. work-first placement).
 func (rt *Runtime) dispatchFrom(from, target int, u *Unit) {
-	if target == AnyThread {
-		target = int(rt.rr.inc()-1) % len(rt.threads)
-	}
+	target = rt.resolveTarget(target)
 	u.home = target
 	rt.policy.Push(from, target, u)
 	rt.threads[target].park.wake()

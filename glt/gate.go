@@ -24,6 +24,12 @@ type gate struct {
 	ch    atomic.Pointer[chan struct{}]
 }
 
+// reset rearms the gate for its unit's next incarnation (see Unit.recycle).
+// The park channel is kept: the strict alternation protocol guarantees it is
+// empty whenever the unit is quiescent, and reallocating it would reintroduce
+// the per-spawn cost the free list exists to avoid.
+func (g *gate) reset() { g.state.Store(0) }
+
 // park returns the gate's channel, allocating it on first use.
 func (g *gate) park() chan struct{} {
 	if ch := g.ch.Load(); ch != nil {

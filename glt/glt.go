@@ -66,6 +66,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -90,6 +91,14 @@ type Config struct {
 	// (GLT_SHARED_QUEUES), enforcing work-sharing behaviour under load
 	// imbalance at the price of a contended queue.
 	SharedQueues bool
+	// PerUnitDispatch restores the paper-faithful per-unit hot path
+	// (GLT_PER_UNIT_DISPATCH): every spawn allocates a fresh descriptor and
+	// performs its own Policy.Push — one synchronization episode per unit —
+	// and Release becomes a no-op. By default the engine batches team spawns
+	// through Policy.PushBatch and recycles descriptors through a free list;
+	// the deliberate per-unit work-assignment cost of Fig. 7 is only
+	// measurable with this set.
+	PerUnitDispatch bool
 }
 
 // FromEnv fills unset fields of c from the GLT_* environment variables and
@@ -103,13 +112,23 @@ func (c Config) FromEnv() Config {
 			c.NumThreads = v
 		}
 	}
-	if !c.SharedQueues {
-		switch os.Getenv("GLT_SHARED_QUEUES") {
-		case "1", "true", "TRUE", "yes":
-			c.SharedQueues = true
-		}
+	if !c.SharedQueues && envBool("GLT_SHARED_QUEUES") {
+		c.SharedQueues = true
+	}
+	if !c.PerUnitDispatch && envBool("GLT_PER_UNIT_DISPATCH") {
+		c.PerUnitDispatch = true
 	}
 	return c
+}
+
+// envBool interprets the common truthy spellings, matching the omp layer's
+// environment handling so GLT_* and GLTO_* switches accept the same values.
+func envBool(name string) bool {
+	switch strings.ToLower(os.Getenv(name)) {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +153,9 @@ type Runtime struct {
 	wg       sync.WaitGroup
 	shutdown flag
 	shells   shellPool
+	units    unitPool
+	// batchPushes counts batch dispatch episodes (Policy.PushBatch calls).
+	batchPushes counter
 }
 
 // New creates a runtime with the given configuration and starts its
@@ -148,6 +170,9 @@ func New(cfg Config) (*Runtime, error) {
 	// Keep a few idle ULT-hosting goroutines per stream; beyond that,
 	// shells exit instead of accumulating.
 	rt.shells.cap = 8 * cfg.NumThreads
+	// Descriptor free list, sized for a healthy task backlog per stream.
+	rt.units.cap = 64 * cfg.NumThreads
+	rt.units.disable = cfg.PerUnitDispatch
 	rt.policy.Setup(cfg.NumThreads, cfg.SharedQueues)
 	rt.threads = make([]*Thread, cfg.NumThreads)
 	for i := range rt.threads {
@@ -191,10 +216,11 @@ func (rt *Runtime) SharedQueues() bool { return rt.cfg.SharedQueues }
 // Spawn creates a ULT running fn and makes it runnable on the execution
 // stream with the given rank (or a round-robin one for AnyThread). It never
 // blocks. The returned Unit can be joined, from plain goroutines with
-// Unit.Join or cooperatively from other ULTs with Ctx.Join.
+// Unit.Join or cooperatively from other ULTs with Ctx.Join, and its
+// descriptor can be recycled with Release once the caller is done with it.
 func (rt *Runtime) Spawn(target int, fn Func) *Unit {
-	u := newULT(rt, fn)
-	rt.dispatch(-1, target, u)
+	u := rt.newUnit(fn, false)
+	rt.dispatchFrom(-1, target, u)
 	return u
 }
 
@@ -203,17 +229,17 @@ func (rt *Runtime) Spawn(target int, fn Func) *Unit {
 // paper §IV-G) treat this unit specially: it cannot yield and cannot be
 // stolen.
 func (rt *Runtime) SpawnMain(target int, fn Func) *Unit {
-	u := newULT(rt, fn)
+	u := rt.newUnit(fn, false)
 	u.main = true
-	rt.dispatch(-1, target, u)
+	rt.dispatchFrom(-1, target, u)
 	return u
 }
 
 // SpawnTasklet creates a stackless tasklet running fn. Tasklets run to
 // completion on the Thread that dequeues them; fn must not yield.
 func (rt *Runtime) SpawnTasklet(target int, fn func()) *Unit {
-	u := newTasklet(rt, fn)
-	rt.dispatch(-1, target, u)
+	u := rt.newUnit(func(*Ctx) { fn() }, true)
+	rt.dispatchFrom(-1, target, u)
 	return u
 }
 
@@ -221,18 +247,174 @@ func (rt *Runtime) SpawnTasklet(target int, fn func()) *Unit {
 // context (stream rank, spawning): the Ctx is valid except that Yield
 // panics, since tasklets run to completion.
 func (rt *Runtime) SpawnTaskletCtx(target int, fn Func) *Unit {
-	u := newTasklet(rt, func() {})
-	u.fn = fn
-	rt.dispatch(-1, target, u)
+	u := rt.newUnit(fn, true)
+	rt.dispatchFrom(-1, target, u)
 	return u
 }
 
-func (rt *Runtime) dispatch(from, target int, u *Unit) {
-	if target != AnyThread && (target < 0 || target >= len(rt.threads)) {
-		panic(fmt.Sprintf("glt: spawn target %d out of range [0,%d)", target, len(rt.threads)))
-	}
+// SpawnDetached is Spawn for fire-and-forget work: no handle is returned,
+// the unit cannot be joined, and its descriptor is recycled by the executing
+// worker the moment it completes. Completion must be observed out of band
+// (GLTO's team task counters do), and detached units must finish before
+// Shutdown like any other.
+func (rt *Runtime) SpawnDetached(target int, fn Func) {
+	rt.spawnDetached(-1, target, fn, false)
+}
+
+// SpawnDetachedTasklet is SpawnDetached for a stackless tasklet; fn receives
+// its Ctx but must not yield.
+func (rt *Runtime) SpawnDetachedTasklet(target int, fn Func) {
+	rt.spawnDetached(-1, target, fn, true)
+}
+
+func (rt *Runtime) spawnDetached(from, target int, fn Func, tasklet bool) {
+	u := rt.newUnit(fn, tasklet)
+	u.detached = true
+	u.refs.Store(1) // only the executing worker may touch the descriptor
 	rt.dispatchFrom(from, target, u)
 }
+
+// SpawnTeam creates an n-member team of ULTs sharing one body: unit i is
+// tagged i (recovered inside the body via Ctx.Tag), lands on stream
+// i mod NumThreads, and unit 0 is the primary (SpawnMain) unit. All n units
+// are made runnable in one batch — descriptors leave the free list under a
+// single lock acquisition and the policy receives a single PushBatch — which
+// turns GLTO's one-ULT-per-OpenMP-thread region spawn (§IV-C) from n
+// synchronization episodes into one. Under Config.PerUnitDispatch it
+// degrades to n ordinary spawns.
+//
+// out, when it has capacity for n units, is used as the backing store;
+// passing the previous region's slice back makes respawn allocation-free.
+func (rt *Runtime) SpawnTeam(n int, fn Func, out []*Unit) []*Unit {
+	if n < 1 {
+		n = 1
+	}
+	units := unitSlice(out, n)
+	rt.units.getBatch(rt, units)
+	// Build the batch grouped by destination stream (tags stay ascending
+	// within each group), so every pool's share of the team is one
+	// contiguous run and the policy takes exactly one lock per pool.
+	streams := len(rt.threads)
+	k := 0
+	for h := 0; h < streams && h < n; h++ {
+		for tag := h; tag < n; tag += streams {
+			u := units[k]
+			k++
+			u.fn = fn
+			u.tag = tag
+			u.home = h
+			u.refs.Store(2)
+		}
+	}
+	units[0].main = true // tag 0: grouping keeps it first
+	rt.dispatchBatch(-1, units)
+	return units
+}
+
+// SpawnBatch creates len(targets) ULTs sharing one body: unit i is tagged i
+// and dispatched to targets[i] (AnyThread resolves round-robin), all under
+// one policy synchronization episode. out is as in SpawnTeam.
+func (rt *Runtime) SpawnBatch(fn Func, targets []int, out []*Unit) []*Unit {
+	units := unitSlice(out, len(targets))
+	rt.units.getBatch(rt, units)
+	for i, u := range units {
+		u.fn = fn
+		u.tag = i
+		u.home = rt.resolveTarget(targets[i])
+		u.refs.Store(2)
+	}
+	rt.dispatchBatch(-1, units)
+	return units
+}
+
+// ReleaseAll releases every non-nil unit in units (see Unit.Release),
+// returning the batch to the free list under one lock acquisition, and nils
+// the slice entries so the caller's scratch buffer does not retain recycled
+// descriptors.
+func (rt *Runtime) ReleaseAll(units []*Unit) {
+	// Compact the descriptors whose last reference we hold into the front of
+	// the slice, then recycle them wholesale. Units whose worker has not yet
+	// dropped its reference recycle themselves when it does.
+	k := 0
+	for _, u := range units {
+		if u == nil {
+			continue
+		}
+		if !u.finished.Load() {
+			panic("glt: ReleaseAll of unfinished unit")
+		}
+		if u.refs.Add(-1) == 0 {
+			units[k] = u
+			k++
+		}
+	}
+	rt.units.putAll(units[:k])
+	for i := range units {
+		units[i] = nil
+	}
+}
+
+// unitSlice returns out resized to n when it has the capacity, or a fresh
+// slice otherwise.
+func unitSlice(out []*Unit, n int) []*Unit {
+	if cap(out) >= n {
+		return out[:n]
+	}
+	return make([]*Unit, n)
+}
+
+// resolveTarget maps AnyThread to the next round-robin rank and validates
+// explicit ranks.
+func (rt *Runtime) resolveTarget(target int) int {
+	if target == AnyThread {
+		return int(rt.rr.inc()-1) % len(rt.threads)
+	}
+	if target < 0 || target >= len(rt.threads) {
+		panic(fmt.Sprintf("glt: spawn target %d out of range [0,%d)", target, len(rt.threads)))
+	}
+	return target
+}
+
+// dispatchBatch makes a batch of freshly built units (homes already
+// resolved) runnable: one PushBatch, then one wake sweep over the streams.
+// Under Config.PerUnitDispatch it falls back to one dispatch per unit.
+func (rt *Runtime) dispatchBatch(from int, units []*Unit) {
+	if len(units) == 0 {
+		return
+	}
+	if rt.cfg.PerUnitDispatch {
+		for _, u := range units {
+			rt.dispatchFrom(from, u.home, u)
+		}
+		return
+	}
+	// Record the destination ranks before the push: ownership of a unit
+	// transfers the instant it is enqueued, so homes must not be read
+	// afterwards. Under stealing or shared-queue policies any stream can
+	// serve the batch, so a full sweep is the correct wake; with private
+	// pools, waking a stream that cannot pop the new units would only pull
+	// it out of park to spin on an empty pool (the nested-region path puts
+	// a whole batch on one stream).
+	wakeAll := rt.cfg.SharedQueues || rt.policy.Steals() || len(rt.threads) > len(wakeMask{})*64
+	var mask wakeMask
+	if !wakeAll {
+		for _, u := range units {
+			mask[u.home>>6] |= 1 << (u.home & 63)
+		}
+	}
+	rt.batchPushes.inc()
+	rt.policy.PushBatch(from, units)
+	for r, t := range rt.threads {
+		if wakeAll || mask[r>>6]&(1<<(r&63)) != 0 {
+			t.park.wake()
+		}
+	}
+}
+
+// wakeMask is a stack-allocated bitmap of destination ranks, sized for any
+// realistic stream count (dispatchBatch falls back to waking every stream
+// beyond it).
+type wakeMask [4]uint64
 
 // Shutdown stops all execution streams and waits for them to exit. Pending
 // units are not executed. Shutdown must not be called from inside a ULT.
@@ -255,6 +437,8 @@ func (rt *Runtime) Stats() Stats {
 		s.add(t.stats.snapshot())
 	}
 	s.Threads = len(rt.threads)
+	s.BatchPushes = int64(rt.batchPushes.load())
+	s.UnitsReused = rt.units.reused.Load()
 	return s
 }
 
@@ -263,6 +447,8 @@ func (rt *Runtime) ResetStats() {
 	for _, t := range rt.threads {
 		t.stats.reset()
 	}
+	rt.batchPushes.reset()
+	rt.units.reused.Store(0)
 }
 
 // RegisteredBackends lists the names of all registered scheduling policies in

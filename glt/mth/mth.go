@@ -57,6 +57,17 @@ func (d *deque) pushHead(u *glt.Unit) {
 	d.mu.Unlock()
 }
 
+// pushTailAll bulk-loads a run of units onto the hot end of the deque under
+// one lock acquisition, so the run is never observed half-enqueued by the
+// owner or a thief. Batched units are fresh spawns (never started), so they
+// all belong at the hot end; slice order is preserved — the owner pops the
+// run LIFO (work-first), thieves steal it FIFO from the cold end.
+func (d *deque) pushTailAll(units []*glt.Unit) {
+	d.mu.Lock()
+	d.q = append(d.q, units...)
+	d.mu.Unlock()
+}
+
 func (d *deque) popTail() *glt.Unit {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -138,6 +149,28 @@ func (p *policy) Push(from, to int, u *glt.Unit) {
 		return
 	}
 	d.pushTail(u)
+}
+
+// PushBatch bulk-loads each destination deque with one lock acquisition per
+// contiguous equal-Home run; the engine wakes stealers only after it
+// returns, so a region's units land wholesale before any thief looks.
+// Work-first placement applies as in Push: a batch spawned from inside a
+// stream goes entirely to the spawner's deque. Batched units are fresh
+// spawns, so there are no suspended continuations to route to the cold end,
+// and a unit is never read again once its run has been enqueued (ownership
+// transfers on enqueue).
+func (p *policy) PushBatch(from int, units []*glt.Unit) {
+	if p.shared {
+		p.deques[0].pushTailAll(units)
+		return
+	}
+	if from >= 0 {
+		p.deques[from].pushTailAll(units)
+		return
+	}
+	glt.ForEachHomeRun(units, func(to int, run []*glt.Unit) {
+		p.deques[to].pushTailAll(run)
+	})
 }
 
 func (p *policy) Pop(self int) *glt.Unit {

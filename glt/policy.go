@@ -1,12 +1,16 @@
 package glt
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Policy is the pluggable scheduling policy of a runtime: it owns the pools
 // that hold runnable units and decides which unit an execution stream runs
-// next. The engine guarantees that Push and Pop may be called concurrently
-// from any stream; policies must provide their own synchronization (whose
-// cost is precisely one of the things the paper measures).
+// next. The engine guarantees that Push, PushBatch and Pop may be called
+// concurrently from any stream; policies must provide their own
+// synchronization (whose cost is precisely one of the things the paper
+// measures).
 type Policy interface {
 	// Name identifies the backend ("abt", "qth", "mth", ...).
 	Name() string
@@ -18,6 +22,26 @@ type Policy interface {
 	// main goroutine). to is the requested destination rank; policies may
 	// reinterpret it (a shared pool ignores it).
 	Push(from, to int, u *Unit)
+	// PushBatch makes every unit in units runnable, amortizing
+	// synchronization across the batch where the pool topology allows it
+	// (one lock acquisition per destination pool rather than one per unit).
+	// Each unit carries its requested destination in Unit.Home, set by the
+	// engine before the call; from is as in Push. The engine only batches
+	// fresh spawns, so every unit satisfies Started() == false, and groups
+	// batches by Home where it can, so contiguous equal-Home runs cover the
+	// common case.
+	//
+	// Ownership of a unit transfers the instant it is enqueued: a worker
+	// may pop, run, requeue and even recycle it while PushBatch is still
+	// working through the rest of the slice. Implementations must therefore
+	// never read a unit (including Home) after pushing it — pushing
+	// contiguous runs front to back respects this naturally.
+	//
+	// Implementations must be observably equivalent to
+	// PushEach(p, from, units) — same pools, same order within each pool.
+	// PushEach is also the honest single-push fallback for policies with
+	// nothing to amortize.
+	PushBatch(from int, units []*Unit)
 	// Pop returns the next unit for stream self, or nil if none is
 	// available. Stealing policies may return units pushed to other ranks.
 	Pop(self int) *Unit
@@ -26,6 +50,33 @@ type Policy interface {
 	// PinMain reports whether the primary unit is pinned: it is never
 	// stolen and its Yield is a no-op (MassiveThreads, paper §IV-G).
 	PinMain() bool
+}
+
+// PushEach is the reference implementation of Policy.PushBatch: one Push per
+// unit, in slice order, each to its own Home rank. Policies that cannot
+// amortize synchronization across a batch may use it verbatim; it also
+// defines the semantics every native PushBatch must preserve.
+func PushEach(p Policy, from int, units []*Unit) {
+	for _, u := range units {
+		p.Push(from, u.Home(), u)
+	}
+}
+
+// ForEachHomeRun invokes fn once per contiguous equal-Home run of units,
+// front to back, preserving slice order. It is the scanning idiom the
+// PushBatch ownership rule requires: every Home is read before fn has been
+// handed any later unit, so a policy that enqueues (and thereby gives up)
+// each run inside fn never touches a pushed unit again.
+func ForEachHomeRun(units []*Unit, fn func(to int, run []*Unit)) {
+	for i := 0; i < len(units); {
+		to := units[i].Home()
+		j := i + 1
+		for j < len(units) && units[j].Home() == to {
+			j++
+		}
+		fn(to, units[i:j])
+		i = j
+	}
 }
 
 var (
@@ -43,6 +94,18 @@ func Register(name string, mk func() Policy) {
 		panic("glt: duplicate backend registration: " + name)
 	}
 	policies[name] = mk
+}
+
+// NewPolicy instantiates a registered backend's policy without starting a
+// runtime. It serves tests and tooling that drive a Policy directly (the
+// caller must invoke Setup before any Push/Pop); New remains the way to
+// obtain a running engine.
+func NewPolicy(name string) (Policy, error) {
+	mk, ok := lookupPolicy(name)
+	if !ok {
+		return nil, fmt.Errorf("glt: unknown backend %q (registered: %v)", name, RegisteredBackends())
+	}
+	return mk(), nil
 }
 
 func lookupPolicy(name string) (func() Policy, bool) {

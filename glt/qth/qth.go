@@ -73,6 +73,36 @@ func (p *pool) push(u *glt.Unit) {
 	p.tail.WriteEF(tail + 1)
 }
 
+// pushAll enqueues a run of units under one head/tail FEB acquisition. The
+// queue-metadata synchronization is amortized across the run — the
+// readFE/writeEF round-trips that grow with stream count happen once per run
+// instead of once per unit — while the per-word FEB fill that Qthreads pays
+// for each queued work unit (slot.TouchFE) remains per unit, keeping the
+// backend's distinctive cost signature. FIFO order matches a sequence of
+// pushes.
+func (p *pool) pushAll(units []*glt.Unit) {
+	n := len(units)
+	if n == 0 {
+		return
+	}
+	tail := p.tail.ReadFE()
+	head := p.head.ReadFE()
+	for int(tail-head)+n > len(p.ring) {
+		bigger := make([]*glt.Unit, 2*len(p.ring))
+		for i := head; i < tail; i++ {
+			bigger[i%uint64(len(bigger))] = p.ring[i%uint64(len(p.ring))]
+		}
+		p.ring = bigger
+	}
+	for _, u := range units {
+		p.ring[tail%uint64(len(p.ring))] = u
+		p.slot.TouchFE()
+		tail++
+	}
+	p.head.WriteEF(head)
+	p.tail.WriteEF(tail)
+}
+
 func (p *pool) pop() *glt.Unit {
 	tail := p.tail.ReadFE()
 	head := p.head.ReadFE()
@@ -123,6 +153,20 @@ func (p *policy) Push(from, to int, u *glt.Unit) {
 		return
 	}
 	p.pools[to].push(u)
+}
+
+// PushBatch enqueues a fresh spawn batch as contiguous equal-Home runs, one
+// FEB head/tail acquisition per run, preserving FIFO order within each pool.
+// A unit's Home is never read after the unit has been handed to a pool:
+// ownership transfers on enqueue.
+func (p *policy) PushBatch(from int, units []*glt.Unit) {
+	if p.shared {
+		p.pools[0].pushAll(units)
+		return
+	}
+	glt.ForEachHomeRun(units, func(to int, run []*glt.Unit) {
+		p.pools[to].pushAll(run)
+	})
 }
 
 func (p *policy) Pop(self int) *glt.Unit {

@@ -24,6 +24,13 @@ type Stats struct {
 	Migrations int64
 	// Parks counts times a stream went to sleep for lack of work.
 	Parks int64
+	// BatchPushes counts batch dispatch episodes: each SpawnTeam/SpawnBatch
+	// that reached Policy.PushBatch contributes one, however many units it
+	// carried. Zero under Config.PerUnitDispatch.
+	BatchPushes int64
+	// UnitsReused counts unit descriptors recycled from the runtime's free
+	// list instead of freshly allocated. Zero under Config.PerUnitDispatch.
+	UnitsReused int64
 }
 
 func (s *Stats) add(o Stats) {
@@ -76,7 +83,9 @@ func (t *threadStats) reset() {
 // counter is a shared monotonically increasing counter.
 type counter struct{ v atomic.Uint64 }
 
-func (c *counter) inc() uint64 { return c.v.Add(1) }
+func (c *counter) inc() uint64  { return c.v.Add(1) }
+func (c *counter) load() uint64 { return c.v.Load() }
+func (c *counter) reset()       { c.v.Store(0) }
 
 // flag is a one-way boolean.
 type flag struct{ v atomic.Bool }

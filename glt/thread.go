@@ -60,13 +60,16 @@ func (t *Thread) loop() {
 	}
 }
 
-// exec runs one unit until it yields or completes.
+// exec runs one unit until it yields or completes. On completion the worker
+// drops its lifetime reference; for detached units that is the last one, so
+// the descriptor recycles right here, on the stream that ran it.
 func (t *Thread) exec(u *Unit) {
 	if u.tasklet {
 		u.ctx.w = t
 		u.fn(&u.ctx)
 		t.stats.taskletsRun.Add(1)
 		u.complete()
+		u.unref()
 		return
 	}
 	if !u.started {
@@ -80,6 +83,7 @@ func (t *Thread) exec(u *Unit) {
 	if u.fnDone.Load() {
 		t.stats.ultsCompleted.Add(1)
 		u.complete()
+		u.unref()
 		return
 	}
 	// The unit yielded: requeue it, honouring a migration request if any.
@@ -96,6 +100,10 @@ func (t *Thread) exec(u *Unit) {
 // the worker is not parked is not lost.
 type parker struct {
 	ch chan struct{}
+	// timer is reused across parks (only the owning stream parks, so no
+	// synchronization is needed). A fresh time.NewTimer per park would
+	// charge every idle period one allocation.
+	timer *time.Timer
 }
 
 func (p *parker) wake() {
@@ -106,10 +114,14 @@ func (p *parker) wake() {
 }
 
 func (p *parker) parkTimeout(d time.Duration) {
-	timer := time.NewTimer(d)
+	if p.timer == nil {
+		p.timer = time.NewTimer(d)
+	} else {
+		p.timer.Reset(d)
+	}
 	select {
 	case <-p.ch:
-	case <-timer.C:
+	case <-p.timer.C:
 	}
-	timer.Stop()
+	p.timer.Stop()
 }

@@ -16,13 +16,21 @@ type Func func(*Ctx)
 // OpenMP task: the token gates are embedded by value with lazily allocated
 // park channels, the completion channel exists only if someone calls Join,
 // and the backing goroutine comes from a shell pool rather than a fresh
-// spawn.
+// spawn. Descriptors themselves are recycled through the runtime's free list
+// (see Release and the Spawn*Detached variants), so the steady-state spawn
+// path allocates nothing.
 type Unit struct {
 	rt *Runtime
 	fn Func
 
 	tasklet bool
 	main    bool // primary unit; pinned by backends with PinMain
+	// detached marks a fire-and-forget unit: no *Unit handle escapes to the
+	// application, so the executing worker recycles the descriptor the
+	// moment it completes. Join is impossible by construction.
+	detached bool
+
+	tag int // caller-assigned identity (the OpenMP team rank in GLTO)
 
 	// sched carries the execution token from a worker to the ULT; yield
 	// carries it back when the ULT yields or finishes.
@@ -36,6 +44,11 @@ type Unit struct {
 	fnDone atomic.Bool
 	// doneCh is the Join rendezvous, created on demand by the first joiner.
 	doneCh atomic.Pointer[chan struct{}]
+	// refs counts the parties that may still touch the descriptor: the
+	// executing worker and (unless detached) the owner of the *Unit handle.
+	// Whoever drops the last reference returns the descriptor to the free
+	// list, so a recycle can never race with the worker's completion path.
+	refs atomic.Int32
 	// started is only accessed by the worker currently holding the unit;
 	// pool push/pop ordering provides the necessary happens-before edges.
 	started bool
@@ -47,19 +60,25 @@ type Unit struct {
 	ctx  Ctx
 }
 
-func newULT(rt *Runtime, fn Func) *Unit {
-	u := &Unit{rt: rt, fn: fn}
+// allocUnit builds a fresh descriptor. All spawn paths go through
+// Runtime.newUnit, which prefers the free list; this is the slow path.
+func allocUnit(rt *Runtime) *Unit {
+	u := &Unit{rt: rt}
 	u.migrate.Store(-1)
 	u.ctx.u = u
 	u.ctx.rt = rt
 	return u
 }
 
-func newTasklet(rt *Runtime, fn func()) *Unit {
-	u := &Unit{rt: rt, fn: func(c *Ctx) { fn() }, tasklet: true}
-	u.migrate.Store(-1)
-	u.ctx.u = u
-	u.ctx.rt = rt
+// newUnit returns a descriptor for fn, recycled from the runtime's free list
+// when one is available. tasklet selects the stackless kind; this is the
+// single construction path for both kinds, so a unit's kind and body are
+// always set together.
+func (rt *Runtime) newUnit(fn Func, tasklet bool) *Unit {
+	u := rt.units.get(rt)
+	u.fn = fn
+	u.tasklet = tasklet
+	u.refs.Store(2)
 	return u
 }
 
@@ -73,11 +92,43 @@ func (u *Unit) IsTasklet() bool { return u.tasklet }
 // execution; see Policy.PinMain).
 func (u *Unit) IsMain() bool { return u.main }
 
+// Tag reports the caller-assigned tag: the batch index for units created by
+// SpawnTeam/SpawnBatch (GLTO stores the OpenMP team rank here), 0 otherwise.
+func (u *Unit) Tag() int { return u.tag }
+
+// Home reports the rank the unit was last dispatched to — the `to` of the
+// Push (or the per-unit destination of the PushBatch) that made it runnable.
+// Policies use it to route the members of a batch.
+func (u *Unit) Home() int { return u.home }
+
 // Started reports whether the unit's body has begun executing at least once.
 // Policies use it to distinguish fresh spawns from suspended continuations
 // being requeued after a yield; it is only meaningful inside Policy.Push,
 // where the pool lock orders it against the worker that set it.
 func (u *Unit) Started() bool { return u.started }
+
+// Release returns a finished unit's descriptor to the runtime's free list
+// for reuse by later spawns. The caller asserts that every Join has returned
+// and that it holds the last application reference: any use of the unit
+// after Release races with its next incarnation. Releasing is optional —
+// unreleased descriptors are simply garbage collected — and a no-op under
+// Config.PerUnitDispatch.
+func (u *Unit) Release() {
+	if !u.finished.Load() {
+		panic("glt: Release of unfinished unit")
+	}
+	u.unref()
+}
+
+// unref drops one of the unit's lifetime references (executing worker,
+// application handle). The party dropping the last one recycles the
+// descriptor, which guarantees the worker's completion path has fully
+// quiesced before the descriptor can be respawned.
+func (u *Unit) unref() {
+	if u.refs.Add(-1) == 0 {
+		u.rt.units.put(u)
+	}
+}
 
 // Join blocks the calling goroutine until the unit completes. It must not be
 // called from inside a ULT, because blocking a ULT blocks its entire
@@ -114,6 +165,27 @@ func (u *Unit) complete() {
 	if ch := u.doneCh.Load(); ch != nil {
 		close(*ch)
 	}
+}
+
+// recycle clears per-execution state so the descriptor can host its next
+// incarnation. The gates' park channels and the ctx back-pointers survive:
+// they are position-independent, and reallocating them is exactly the
+// per-spawn cost the free list exists to avoid.
+func (u *Unit) recycle() {
+	u.fn = nil
+	u.tasklet = false
+	u.main = false
+	u.detached = false
+	u.tag = 0
+	u.sched.reset()
+	u.yield.reset()
+	u.finished.Store(false)
+	u.fnDone.Store(false)
+	u.doneCh.Store(nil)
+	u.started = false
+	u.migrate.Store(-1)
+	u.home = 0
+	u.ctx.w = nil
 }
 
 // body executes the user function and returns the token; it runs on a shell

@@ -1,0 +1,103 @@
+package glt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// unitPool is the runtime's free list of unit descriptors. The GLTO region
+// path creates one ULT per OpenMP thread per parallel region (§IV-C) and one
+// per task (§IV-D); recycling descriptors turns that steady-state churn into
+// zero allocations. The list is bounded: beyond cap, descriptors are dropped
+// to the garbage collector rather than accumulated.
+//
+// Batch variants move whole teams in and out under a single lock
+// acquisition, matching the single-synchronization-episode contract of
+// Policy.PushBatch.
+type unitPool struct {
+	mu   sync.Mutex
+	free []*Unit
+	cap  int
+	// disable restores per-spawn allocation (Config.PerUnitDispatch): get
+	// always allocates and put drops, so every unit pays the paper-faithful
+	// per-unit creation cost.
+	disable bool
+	reused  atomic.Int64
+}
+
+// get returns one descriptor, recycled if possible.
+func (p *unitPool) get(rt *Runtime) *Unit {
+	if p.disable {
+		return allocUnit(rt)
+	}
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		u := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		p.reused.Add(1)
+		return u
+	}
+	p.mu.Unlock()
+	return allocUnit(rt)
+}
+
+// getBatch fills out with descriptors, draining the free list under a single
+// lock acquisition and allocating only the shortfall.
+func (p *unitPool) getBatch(rt *Runtime, out []*Unit) {
+	if p.disable {
+		for i := range out {
+			out[i] = allocUnit(rt)
+		}
+		return
+	}
+	p.mu.Lock()
+	n := len(p.free)
+	took := min(n, len(out))
+	copy(out[:took], p.free[n-took:])
+	for i := n - took; i < n; i++ {
+		p.free[i] = nil
+	}
+	p.free = p.free[:n-took]
+	p.mu.Unlock()
+	if took > 0 {
+		p.reused.Add(int64(took))
+	}
+	for i := took; i < len(out); i++ {
+		out[i] = allocUnit(rt)
+	}
+}
+
+// put recycles one descriptor. Callers must hold the last reference (see
+// Unit.unref).
+func (p *unitPool) put(u *Unit) {
+	if p.disable {
+		return
+	}
+	u.recycle()
+	p.mu.Lock()
+	if len(p.free) < p.cap {
+		p.free = append(p.free, u)
+	}
+	p.mu.Unlock()
+}
+
+// putAll recycles a batch of descriptors under one lock acquisition.
+func (p *unitPool) putAll(units []*Unit) {
+	if p.disable || len(units) == 0 {
+		return
+	}
+	for _, u := range units {
+		u.recycle()
+	}
+	p.mu.Lock()
+	room := p.cap - len(p.free)
+	if room > len(units) {
+		room = len(units)
+	}
+	if room > 0 {
+		p.free = append(p.free, units[:room]...)
+	}
+	p.mu.Unlock()
+}

@@ -28,6 +28,7 @@ package core
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/glt"
@@ -45,7 +46,13 @@ func init() {
 type Runtime struct {
 	cfg omp.Config
 	g   *glt.Runtime
+	eng engine        // the one EngineOps instance; stateless beyond rt
 	rr  atomic.Uint64 // round-robin cursor for single/master task dispatch
+
+	// teamBufs recycles the per-region unit slices, so respawning a region
+	// reuses both the descriptors (the glt free list) and the slice that
+	// carries them to SpawnTeam.
+	teamBufs sync.Pool
 
 	regions    atomic.Int64
 	nested     atomic.Int64
@@ -60,14 +67,21 @@ type Runtime struct {
 func New(cfg omp.Config) (*Runtime, error) {
 	cfg = cfg.WithDefaults()
 	g, err := glt.New(glt.Config{
-		Backend:      cfg.Backend,
-		NumThreads:   cfg.NumThreads,
-		SharedQueues: cfg.SharedQueues,
+		Backend:         cfg.Backend,
+		NumThreads:      cfg.NumThreads,
+		SharedQueues:    cfg.SharedQueues,
+		PerUnitDispatch: cfg.PerUnitDispatch,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{cfg: cfg, g: g}, nil
+	rt := &Runtime{cfg: cfg, g: g}
+	rt.eng.rt = rt
+	rt.teamBufs.New = func() any {
+		s := make([]*glt.Unit, 0, cfg.NumThreads)
+		return &s
+	}
+	return rt, nil
 }
 
 // Name reports "glto".
@@ -95,36 +109,33 @@ func (rt *Runtime) SetNumThreads(n int) {
 // Parallel runs a top-level region with the default team size.
 func (rt *Runtime) Parallel(body func(*omp.TC)) { rt.ParallelN(rt.cfg.NumThreads, body) }
 
-// ParallelN runs a top-level region of n threads: n fresh ULTs, one per
-// stream (rank i on stream i mod streams), joined by the caller (§IV-C).
+// ParallelN runs a top-level region of n threads: n ULTs, one per stream
+// (rank i on stream i mod streams), joined by the caller (§IV-C). The whole
+// team is built from recycled descriptors and handed to the backend as one
+// PushBatch — one scheduling synchronization episode per region instead of n
+// — unless Config.PerUnitDispatch restores the paper's per-unit cost. Unit 0
+// is the primary work unit: under MassiveThreads it is pinned and cannot
+// yield (§IV-G).
 func (rt *Runtime) ParallelN(n int, body func(*omp.TC)) {
 	if n < 1 {
 		n = 1
 	}
 	rt.regions.Add(1)
 	team := omp.NewTeam(n, 0, rt.cfg)
-	eng := &engine{rt: rt}
-	units := make([]*glt.Unit, n)
-	streams := rt.g.NumThreads()
-	for i := 0; i < n; i++ {
-		rank := i
-		fn := func(c *glt.Ctx) {
-			tc := omp.NewTC(team, rank, eng, c, nil)
-			body(tc)
-			tc.Barrier()
-		}
-		rt.ults.Add(1)
-		if rank == 0 {
-			// The master is the primary work unit: under MassiveThreads it
-			// is pinned and cannot yield (§IV-G).
-			units[i] = rt.g.SpawnMain(0, fn)
-		} else {
-			units[i] = rt.g.Spawn(rank%streams, fn)
-		}
+	fn := func(c *glt.Ctx) {
+		tc := omp.NewTC(team, c.Tag(), &rt.eng, c, nil)
+		body(tc)
+		tc.Barrier()
 	}
+	rt.ults.Add(int64(n))
+	buf := rt.teamBufs.Get().(*[]*glt.Unit)
+	units := rt.g.SpawnTeam(n, fn, *buf)
 	for _, u := range units {
 		u.Join()
 	}
+	rt.g.ReleaseAll(units)
+	*buf = units[:0]
+	rt.teamBufs.Put(buf)
 }
 
 // Shutdown stops the execution streams.
@@ -224,23 +235,25 @@ func (e *engine) SpawnTask(tc *omp.TC, node *omp.TaskNode) {
 			target = c.Rank()
 		}
 	}
+	// Tasks are fire-and-forget at the GLT level: completion is tracked by
+	// the team's task counters (FinishTask), never by joining the unit. The
+	// detached spawn paths exploit that — the descriptor recycles on the
+	// worker that ran the task, so per-task dispatch is allocation-free in
+	// steady state (modulo the task closure itself).
 	if e.rt.cfg.Tasklets {
 		// GLT_tasklet execution (paper §III-B): stackless, run to
 		// completion, no suspension. The body still receives its Ctx for
 		// identity, but must not yield — Idle detects tasklet contexts and
-		// spins instead.
-		e.rt.g.SpawnTaskletCtx(target, body)
-		return
-	}
-	if c != nil && target == c.Rank() {
-		c.Spawn(body)
+		// spins instead. Dispatched with no originating rank so the
+		// requested target wins even under work-first policies.
+		e.rt.g.SpawnDetachedTasklet(target, body)
 		return
 	}
 	if c != nil {
-		c.SpawnTo(target, body)
+		c.SpawnDetached(target, body, false)
 		return
 	}
-	e.rt.g.Spawn(target, body)
+	e.rt.g.SpawnDetached(target, body)
 }
 
 // TryRunTask reports false: GLTO's tasks are ULTs scheduled by the GLT
@@ -272,35 +285,38 @@ func (e *engine) Taskyield(tc *omp.TC) {
 // "each GLT_thread generates and executes the GLT_ults for the nested
 // code". The encountering ULT itself acts as inner rank 0, so a region of n
 // creates n-1 ULTs — hence Table II's 3,500 ULTs for 100 inner regions of
-// 36. Under stealing backends or shared queues the inner ULTs may spread;
-// under abt/qth they run on the creator's stream, avoiding all
-// oversubscription.
+// 36 — batched onto the creator's pool in one synchronization episode.
+// Under stealing backends or shared queues the inner ULTs may spread; under
+// abt/qth they run on the creator's stream, avoiding all oversubscription.
 func (e *engine) Nested(tc *omp.TC, n int, body func(*omp.TC)) {
 	e.rt.nested.Add(1)
 	cfg := tc.Team().Cfg
 	team := omp.NewTeam(n, tc.Level()+1, cfg)
-	inner := &engine{rt: e.rt}
+	inner := &e.rt.eng
 	c := ctxOf(tc)
-	units := make([]*glt.Unit, 0, n-1)
-	for i := 1; i < n; i++ {
-		rank := i
-		e.rt.ults.Add(1)
-		fn := func(cc *glt.Ctx) {
-			itc := omp.NewTC(team, rank, inner, cc, nil)
-			body(itc)
-			itc.Barrier()
-		}
-		var u *glt.Unit
-		if c != nil {
-			u = c.Spawn(fn)
-		} else {
-			u = e.rt.g.Spawn(glt.AnyThread, fn)
-		}
-		units = append(units, u)
+	// run is the inner-team member body, shared by every spawn flavour (and
+	// the encountering ULT itself as rank 0).
+	run := func(cc *glt.Ctx, rank int) {
+		itc := omp.NewTC(team, rank, inner, cc, nil)
+		body(itc)
+		itc.Barrier()
 	}
-	itc := omp.NewTC(team, 0, inner, c, nil)
-	body(itc)
-	itc.Barrier()
+	e.rt.ults.Add(int64(n - 1))
+	buf := e.rt.teamBufs.Get().(*[]*glt.Unit)
+	var units []*glt.Unit
+	if n > 1 {
+		if c != nil {
+			// Inner ranks are 1..n-1; rank 0 is the encountering ULT below.
+			units = c.SpawnBatch(n-1, 1, func(cc *glt.Ctx) { run(cc, cc.Tag()) }, *buf)
+		} else {
+			units = (*buf)[:0]
+			for i := 1; i < n; i++ {
+				rank := i
+				units = append(units, e.rt.g.Spawn(glt.AnyThread, func(cc *glt.Ctx) { run(cc, rank) }))
+			}
+		}
+	}
+	run(c, 0)
 	if c != nil {
 		c.JoinAll(units)
 	} else {
@@ -308,6 +324,11 @@ func (e *engine) Nested(tc *omp.TC, n int, body func(*omp.TC)) {
 			u.Join()
 		}
 	}
+	if units != nil {
+		e.rt.g.ReleaseAll(units)
+		*buf = units[:0]
+	}
+	e.rt.teamBufs.Put(buf)
 }
 
 // Idle is the engine's wait primitive: a cooperative yield.

@@ -194,7 +194,7 @@ func init() {
 			}
 			const outer = 100
 			tbl := NewTable(fmt.Sprintf("Nested thread accounting, OMP_NUM_THREADS=%d, outer=%d", n, outer),
-				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs"})
+				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused"})
 			for _, v := range PaperVariants {
 				if v.Label == "GLTO(QTH)" || v.Label == "GLTO(MTH)" {
 					continue // Table II lists GCC, Intel and GLTO once
@@ -207,7 +207,6 @@ func init() {
 				}
 				runNested(rt, n, outer)
 				s := rt.Stats()
-				rt.Shutdown()
 				label := map[string]string{"GCC": "GCC", "ICC": "Intel", "GLTO(ABT)": "GLTO"}[v.Label]
 				if v.Runtime == "glto" {
 					tbl.Set(label, "CreatedThreads", fmt.Sprint(n))
@@ -215,12 +214,24 @@ func init() {
 					// The paper's 3,500 counts the nested-region ULTs; the
 					// runtime's counter also includes the n top-level ones.
 					tbl.Set(label, "CreatedULTs", fmt.Sprint(s.ULTsCreated-int64(n)))
+					// Scheduling-engine counters: how many of those ULTs were
+					// dispatched in batches and served by recycled
+					// descriptors (zero under GLTO_PER_UNIT_DISPATCH).
+					if g, ok := rt.(interface{ GLT() *glt.Runtime }); ok {
+						gs := g.GLT().Stats()
+						tbl.Set(label, "BatchPushes", fmt.Sprint(gs.BatchPushes))
+						tbl.Set(label, "UnitsReused", fmt.Sprint(gs.UnitsReused))
+					}
+					rt.Shutdown()
 					continue
 				}
+				rt.Shutdown()
 				// +1 counts the master thread, as the paper's totals do.
 				tbl.Set(label, "CreatedThreads", fmt.Sprint(s.ThreadsCreated+1))
 				tbl.Set(label, "ReusedThreads", fmt.Sprint(s.ThreadsReused))
 				tbl.Set(label, "CreatedULTs", "—")
+				tbl.Set(label, "BatchPushes", "—")
+				tbl.Set(label, "UnitsReused", "—")
 			}
 			tbl.Render(cfg.Out)
 			return nil

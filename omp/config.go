@@ -103,6 +103,12 @@ type Config struct {
 	// inside a task spins instead of yielding. Safe for leaf-task
 	// workloads like the paper's CG.
 	Tasklets bool
+	// PerUnitDispatch makes the glto runtime dispatch region and task work
+	// units one at a time with freshly allocated descriptors
+	// (GLTO_PER_UNIT_DISPATCH), restoring the paper-faithful per-unit
+	// work-assignment cost of Fig. 7. By default GLTO batches a region's
+	// team into one scheduling episode and recycles unit descriptors.
+	PerUnitDispatch bool
 }
 
 // DefaultTaskCutoff is the Intel runtime's default task queue bound.
@@ -181,8 +187,17 @@ func (c Config) FromEnv() Config {
 	if !c.Tasklets && envBool("GLTO_TASKLETS") {
 		c.Tasklets = true
 	}
+	if !c.PerUnitDispatch && envBool("GLTO_PER_UNIT_DISPATCH") {
+		c.PerUnitDispatch = true
+	}
 	return c
 }
+
+// PerUnitDispatchFromEnv reports whether GLTO_PER_UNIT_DISPATCH requests the
+// paper-faithful per-unit dispatch mode. It exists for callers like the
+// figure harness that pin every other ICV deliberately and must not consult
+// the wider OMP_* environment through Config.FromEnv.
+func PerUnitDispatchFromEnv() bool { return envBool("GLTO_PER_UNIT_DISPATCH") }
 
 func envBool(name string) bool {
 	switch strings.ToLower(os.Getenv(name)) {
