@@ -1,0 +1,90 @@
+package repro_test
+
+// Allocation-regression guards for the pooled region path. The SPI redesign
+// made steady-state region respawn allocation-free by construction on every
+// runtime (front-end Team/TC pooling + glt descriptor recycling + the
+// generation-counted join gate); these tests pin that property so it cannot
+// silently regress. They run under -short, so CI's test step enforces them
+// on every push.
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/omp"
+)
+
+// regionAllocCeiling is the accepted steady-state allocation budget per
+// region respawn (the ISSUE-2 acceptance bound; measured 0 at submission,
+// the slack absorbs GC-emptied sync.Pools).
+const regionAllocCeiling = 2.0
+
+func TestRegionRespawnAllocCeiling(t *testing.T) {
+	variants := []harness.Variant{
+		{Label: "GCC", Runtime: "gomp"},
+		{Label: "Intel", Runtime: "iomp"},
+		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+	}
+	body := func(*omp.TC) {}
+	for _, v := range variants {
+		v := v
+		t.Run(v.Label, func(t *testing.T) {
+			rt, err := v.New(benchThreads, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Shutdown()
+			for i := 0; i < 50; i++ {
+				rt.ParallelN(benchThreads, body) // warm descriptor and shell pools
+			}
+			got := testing.AllocsPerRun(100, func() { rt.ParallelN(benchThreads, body) })
+			t.Logf("%s: %.2f allocs/region", v.Label, got)
+			if got > regionAllocCeiling {
+				t.Errorf("%s respawn allocates %.2f/region, ceiling %.1f", v.Label, got, regionAllocCeiling)
+			}
+		})
+	}
+}
+
+// TestTaskRespawnAllocsBounded pins the task path's allocation profile under
+// batched submission: per empty task, the engines may allocate the task node
+// and closure plus a bounded constant, but nothing proportional to dispatch
+// episodes (the producer-side buffer amortizes those). This is a loose bound
+// — the point is catching structural regressions (per-task channels, per-
+// flush slices), not chasing zero.
+func TestTaskRespawnAllocsBounded(t *testing.T) {
+	const tasks = 64
+	for _, v := range []harness.Variant{
+		{Label: "Intel", Runtime: "iomp"},
+		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+	} {
+		v := v
+		t.Run(v.Label, func(t *testing.T) {
+			rt, err := v.New(benchThreads, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Shutdown()
+			run := func() {
+				rt.ParallelN(benchThreads, func(tc *omp.TC) {
+					tc.Single(func() {
+						for i := 0; i < tasks; i++ {
+							tc.Task(func(*omp.TC) {})
+						}
+					})
+				})
+			}
+			for i := 0; i < 20; i++ {
+				run()
+			}
+			got := testing.AllocsPerRun(30, run)
+			perTask := got / tasks
+			t.Logf("%s: %.2f allocs/run, %.2f per task", v.Label, got, perTask)
+			// Node + body TC (+ GLTO's task TC) ≈ 2-3 per task; 6 leaves
+			// headroom without masking a per-task channel or queue alloc.
+			if perTask > 6 {
+				t.Errorf("%s task spawn allocates %.2f per task, ceiling 6", v.Label, perTask)
+			}
+		})
+	}
+}

@@ -433,28 +433,37 @@ func BenchmarkAblationGLTOTaskletTasks(b *testing.B) {
 	}
 }
 
-// BenchmarkRegionRespawn: the ParallelN respawn hot path under the default
-// batched, descriptor-recycling dispatch against the paper-faithful per-unit
-// mode (omp.Config.PerUnitDispatch). Run with -benchmem: the engine refactor
-// is accepted on ≥30% fewer allocs/op for the batched variant.
+// BenchmarkRegionRespawn: the ParallelN respawn hot path on every runtime,
+// under the default pooled front end (teams recycled, batched dispatch)
+// against the paper-faithful per-unit mode (omp.Config.PerUnitDispatch).
+// Run with -benchmem: the SPI redesign is accepted on ≤ 2 allocs/op for the
+// pooled variant of each runtime (the ceiling TestRegionRespawnAllocCeiling
+// enforces in CI).
 func BenchmarkRegionRespawn(b *testing.B) {
+	variants := []harness.Variant{
+		{Label: "GCC", Runtime: "gomp"},
+		{Label: "Intel", Runtime: "iomp"},
+		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+	}
 	for _, mode := range []struct {
 		name    string
 		perUnit bool
-	}{{"batched", false}, {"per-unit", true}} {
+	}{{"pooled", false}, {"per-unit", true}} {
 		mode := mode
-		b.Run(mode.name, func(b *testing.B) {
-			rt := newRT(b, harness.Variant{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
-				func(c *omp.Config) {
+		for _, v := range variants {
+			v := v
+			b.Run(mode.name+"/"+v.Label, func(b *testing.B) {
+				rt := newRT(b, v, func(c *omp.Config) {
 					c.PerUnitDispatch = mode.perUnit
 					c.WaitPolicy = omp.ActiveWait
 				})
-			rt.ParallelN(benchThreads, func(tc *omp.TC) {})
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
 				rt.ParallelN(benchThreads, func(tc *omp.TC) {})
-			}
-		})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rt.ParallelN(benchThreads, func(tc *omp.TC) {})
+				}
+			})
+		}
 	}
 }

@@ -110,6 +110,18 @@ func (c *Ctx) SpawnDetached(rank int, fn Func, tasklet bool) {
 	c.rt.spawnDetached(c.w.rank, rank, fn, tasklet)
 }
 
+// SpawnDetachedBatch is Runtime.SpawnDetachedBatch with the calling stream
+// as the originating rank, so work-first policies (mth) apply the same
+// locality rule as a sequence of Ctx.SpawnDetached calls. It is GLTO's
+// batched task-dispatch primitive: one scheduling synchronization episode
+// makes a whole producer-side task buffer runnable.
+func (c *Ctx) SpawnDetachedBatch(fn Func, targets []int, args []any, tasklet bool) {
+	c.rt.spawnDetachedBatch(c.w.rank, fn, targets, args, tasklet)
+}
+
+// Arg reports the unit's batch payload (see Runtime.SpawnDetachedBatch).
+func (c *Ctx) Arg() any { return c.u.arg }
+
 // SpawnBatch creates n ULTs sharing one body on the current stream's pool in
 // a single batch, tagged baseTag, baseTag+1, ... — the batched form of
 // Spawn. GLTO's nested regions use it: the encountering stream generates the

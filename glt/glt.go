@@ -154,6 +154,10 @@ type Runtime struct {
 	shutdown flag
 	shells   shellPool
 	units    unitPool
+	// detachedBufs recycles the scratch unit slices of SpawnDetachedBatch:
+	// detached units return no handles, so the batch slice is internal and
+	// reusable the moment dispatch completes.
+	detachedBufs sync.Pool
 	// batchPushes counts batch dispatch episodes (Policy.PushBatch calls).
 	batchPushes counter
 }
@@ -272,6 +276,54 @@ func (rt *Runtime) spawnDetached(from, target int, fn Func, tasklet bool) {
 	u.detached = true
 	u.refs.Store(1) // only the executing worker may touch the descriptor
 	rt.dispatchFrom(from, target, u)
+}
+
+// SpawnDetachedBatch creates len(targets) fire-and-forget units sharing one
+// body under a single scheduling synchronization episode: descriptors leave
+// the free list in one batch and the policy receives one PushBatch. Unit i
+// goes to targets[i] (AnyThread resolves round-robin) and carries args[i] as
+// its payload (recovered in the body via Ctx.Arg; args may be nil). tasklet
+// selects the stackless kind for the whole batch. This is the engine-side
+// half of GLTO's batched task submission: a producer's buffered OpenMP tasks
+// become runnable in one episode instead of one locked push each. Both args
+// and targets are free for reuse when the call returns.
+func (rt *Runtime) SpawnDetachedBatch(fn Func, targets []int, args []any, tasklet bool) {
+	rt.spawnDetachedBatch(-1, fn, targets, args, tasklet)
+}
+
+func (rt *Runtime) spawnDetachedBatch(from int, fn Func, targets []int, args []any, tasklet bool) {
+	n := len(targets)
+	if n == 0 {
+		return
+	}
+	if args != nil && len(args) != n {
+		panic("glt: SpawnDetachedBatch args/targets length mismatch")
+	}
+	bp, _ := rt.detachedBufs.Get().(*[]*Unit)
+	if bp == nil {
+		s := make([]*Unit, 0, n)
+		bp = &s
+	}
+	units := unitSlice(*bp, n)
+	rt.units.getBatch(rt, units)
+	for i, u := range units {
+		u.fn = fn
+		u.tasklet = tasklet
+		u.detached = true
+		if args != nil {
+			u.arg = args[i]
+		}
+		u.home = rt.resolveTarget(targets[i])
+		u.refs.Store(1) // only the executing worker may touch the descriptor
+	}
+	rt.dispatchBatch(from, units)
+	// Ownership of every unit transferred on enqueue; only our slice of
+	// pointers remains, which must not retain recycled descriptors.
+	for i := range units {
+		units[i] = nil
+	}
+	*bp = units[:0]
+	rt.detachedBufs.Put(bp)
 }
 
 // SpawnTeam creates an n-member team of ULTs sharing one body: unit i is

@@ -1,0 +1,79 @@
+package glt_test
+
+// Tests for the generation-counted join gate: Unit.Join must be
+// allocation-free and its rendezvous must survive descriptor recycling
+// (the seed allocated a fresh channel per parked joiner).
+
+import (
+	"sync"
+	"testing"
+
+	"repro/glt"
+	_ "repro/glt/backends"
+)
+
+// TestJoinReusesRendezvous spins spawn→join→release cycles through a tiny
+// runtime so the same descriptors recycle many times, with the joiner
+// genuinely parking (the body yields first, so completion is never instant).
+func TestJoinReusesRendezvous(t *testing.T) {
+	for _, b := range allBackends {
+		t.Run(b, func(t *testing.T) {
+			rt := newRT(t, b, 2, false)
+			for i := 0; i < 200; i++ {
+				u := rt.Spawn(i%2, func(c *glt.Ctx) { c.Yield() })
+				u.Join()
+				if !u.Done() {
+					t.Fatal("Join returned before completion")
+				}
+				u.Release()
+			}
+			if s := rt.Stats(); s.UnitsReused == 0 {
+				t.Error("descriptors were not recycled across join cycles")
+			}
+		})
+	}
+}
+
+// TestJoinManyWaiters parks several goroutines on one unit's gate; the
+// completion broadcast must release all of them, and the recycled descriptor
+// must serve the next incarnation's joiners just as well.
+func TestJoinManyWaiters(t *testing.T) {
+	rt := newRT(t, "abt", 1, false)
+	for round := 0; round < 20; round++ {
+		release := make(chan struct{})
+		u := rt.Spawn(0, func(c *glt.Ctx) { <-release })
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				u.Join()
+			}()
+		}
+		close(release)
+		wg.Wait()
+		if !u.Done() {
+			t.Fatal("joiners released before completion")
+		}
+		u.Release()
+	}
+}
+
+// TestJoinAllocFree pins the satellite's point: steady-state Join allocates
+// nothing, even when the joiner parks.
+func TestJoinAllocFree(t *testing.T) {
+	rt := newRT(t, "abt", 1, false)
+	buf := make([]*glt.Unit, 0, 1)
+	cycle := func() {
+		units := rt.SpawnTeam(1, func(c *glt.Ctx) { c.Yield() }, buf)
+		units[0].Join()
+		rt.ReleaseAll(units)
+		buf = units[:0]
+	}
+	for i := 0; i < 50; i++ {
+		cycle()
+	}
+	if got := testing.AllocsPerRun(100, cycle); got > 0.5 {
+		t.Errorf("spawn+join+release allocates %.2f/op, want 0", got)
+	}
+}

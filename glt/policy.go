@@ -79,6 +79,27 @@ func ForEachHomeRun(units []*Unit, fn func(to int, run []*Unit)) {
 	}
 }
 
+// NewPolicyUnit returns a bare unit descriptor for driving a Policy directly
+// (NewPolicy), outside any running engine: it has a tag and a Home but no
+// runtime, body or backing shell, and must never be executed by a real
+// stream. The conformance suite in glt/policytest pushes and pops these
+// through a policy to certify its batch contract; anything that would run
+// the unit (a Runtime's Thread) will not accept it.
+func NewPolicyUnit(tag, home int) *Unit {
+	u := &Unit{tag: tag, home: home}
+	u.migrate.Store(-1)
+	u.join.init()
+	return u
+}
+
+// SetHome re-targets a unit before its next Push, emulating what the engine
+// does on every dispatch (Unit.Home is engine-owned state). It exists for
+// Policy drivers and conformance harnesses; application code never calls it
+// — and a harness writing it concurrently with a PushBatch that still holds
+// the unit is exactly the ownership-transfer violation the race detector
+// should catch.
+func (u *Unit) SetHome(home int) { u.home = home }
+
 var (
 	policyMu sync.Mutex
 	policies = map[string]func() Policy{}

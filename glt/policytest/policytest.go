@@ -1,0 +1,211 @@
+// Package policytest is a reusable conformance suite for glt.Policy
+// implementations. The glt engine leans on two backend promises that are
+// easy to get subtly wrong in a new policy:
+//
+//   - Batch equivalence: PushBatch(from, units) must be observably
+//     equivalent to glt.PushEach(p, from, units) — the same units reach the
+//     same pools in the same relative order, whatever locking the batch
+//     amortizes (Policy.PushBatch's contract).
+//   - Ownership transfer: a unit is handed over the instant it is enqueued.
+//     A worker may pop, run, requeue and recycle it while PushBatch is still
+//     working through the rest of the slice, so a policy must never read a
+//     unit — Home included — after pushing it.
+//
+// Third-party backends certify themselves by calling Run (for a registered
+// backend name) or Suite (for an unregistered constructor) from a test:
+//
+//	func TestMyPolicyConformance(t *testing.T) {
+//	    policytest.Suite(t, func() glt.Policy { return newMyPolicy() })
+//	}
+//
+// The ownership check relies on the race detector: run the suite under
+// `go test -race` to get its full value, as this repository's CI does.
+package policytest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/glt"
+)
+
+// Run exercises the conformance suite against a registered backend
+// (glt.NewPolicy), in both private-pool and shared-queue modes.
+func Run(t *testing.T, name string) {
+	t.Helper()
+	Suite(t, func() glt.Policy {
+		p, err := glt.NewPolicy(name)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		return p
+	})
+}
+
+// Suite exercises the conformance suite against a policy constructor. Each
+// subtest builds fresh instances via mk and drives them directly, with no
+// engine behind them, exactly as glt.NewPolicy invites tooling to do.
+func Suite(t *testing.T, mk func() glt.Policy) {
+	t.Helper()
+	for _, shared := range []bool{false, true} {
+		shared := shared
+		mode := "private"
+		if shared {
+			mode = "shared"
+		}
+		t.Run("BatchEquivalence/"+mode, func(t *testing.T) {
+			batchEquivalence(t, mk, shared)
+		})
+	}
+	t.Run("SingletonBatch", func(t *testing.T) { singletonBatch(t, mk) })
+	t.Run("EmptyBatch", func(t *testing.T) { emptyBatch(t, mk) })
+	t.Run("OwnershipTransfer", func(t *testing.T) { ownershipTransfer(t, mk) })
+}
+
+// batchShapes are the Home layouts the equivalence check covers: the
+// grouped-run shape the engine produces for team spawns, a single-pool
+// burst, an adversarial interleaving (no two neighbours share a pool), and
+// pushes originating both outside any stream (from = -1) and from a stream
+// (from = 1, which work-first policies reroute).
+func batchShapes(nthreads, n int) []struct {
+	name  string
+	from  int
+	homes []int
+} {
+	grouped := make([]int, 0, n)
+	for h := 0; h < nthreads; h++ {
+		for tag := h; tag < n; tag += nthreads {
+			grouped = append(grouped, h)
+		}
+	}
+	interleaved := make([]int, n)
+	single := make([]int, n)
+	for i := range interleaved {
+		interleaved[i] = i % nthreads
+	}
+	return []struct {
+		name  string
+		from  int
+		homes []int
+	}{
+		{"grouped-external", -1, grouped},
+		{"single-pool-external", -1, single},
+		{"interleaved-external", -1, interleaved},
+		{"interleaved-internal", 1, interleaved},
+	}
+}
+
+func mkUnits(homes []int) []*glt.Unit {
+	units := make([]*glt.Unit, len(homes))
+	for i, h := range homes {
+		units[i] = glt.NewPolicyUnit(i, h)
+	}
+	return units
+}
+
+// drain pops every rank dry in rank order and records the tag sequence per
+// rank. Both instances of a backend share the same deterministic pop state
+// (per-rank RNGs are seeded by rank), so equivalent pool contents produce
+// identical drains.
+func drain(p glt.Policy, nthreads int) [][]int {
+	out := make([][]int, nthreads)
+	for rank := 0; rank < nthreads; rank++ {
+		for {
+			u := p.Pop(rank)
+			if u == nil {
+				break
+			}
+			out[rank] = append(out[rank], u.Tag())
+		}
+	}
+	return out
+}
+
+func batchEquivalence(t *testing.T, mk func() glt.Policy, shared bool) {
+	const nthreads, n = 4, 16
+	for _, shape := range batchShapes(nthreads, n) {
+		batched, each := mk(), mk()
+		batched.Setup(nthreads, shared)
+		each.Setup(nthreads, shared)
+
+		batched.PushBatch(shape.from, mkUnits(shape.homes))
+		glt.PushEach(each, shape.from, mkUnits(shape.homes))
+
+		got, want := drain(batched, nthreads), drain(each, nthreads)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: PushBatch drain %v != PushEach drain %v", shape.name, got, want)
+		}
+	}
+}
+
+// singletonBatch: a one-element batch must behave exactly like one Push.
+func singletonBatch(t *testing.T, mk func() glt.Policy) {
+	const nthreads = 3
+	batched, pushed := mk(), mk()
+	batched.Setup(nthreads, false)
+	pushed.Setup(nthreads, false)
+	batched.PushBatch(-1, []*glt.Unit{glt.NewPolicyUnit(7, 2)})
+	pushed.Push(-1, 2, glt.NewPolicyUnit(7, 2))
+	got, want := drain(batched, nthreads), drain(pushed, nthreads)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("singleton batch drain %v != single push drain %v", got, want)
+	}
+}
+
+// emptyBatch: policies must tolerate an empty slice (the engine filters
+// these out today, but the contract should not depend on it).
+func emptyBatch(t *testing.T, mk func() glt.Policy) {
+	p := mk()
+	p.Setup(2, false)
+	p.PushBatch(-1, nil)
+	p.PushBatch(-1, []*glt.Unit{})
+	if u := p.Pop(0); u != nil {
+		t.Errorf("empty batch produced unit %v", u.Tag())
+	}
+}
+
+// ownershipTransfer emulates the engine's hottest race: workers pop, mutate
+// and conceptually recycle units while the producer's PushBatch is still in
+// flight. Every unit must surface exactly once, and — under the race
+// detector — the policy must not touch a unit after enqueueing it: the
+// consumers rewrite each popped unit's Home immediately (as the engine's
+// redispatch does), so any post-enqueue read in PushBatch is a data race.
+func ownershipTransfer(t *testing.T, mk func() glt.Policy) {
+	const nthreads, n, rounds = 4, 256, 4
+	p := mk()
+	p.Setup(nthreads, false)
+	for round := 0; round < rounds; round++ {
+		seen := make([]atomic.Int32, n)
+		units := mkUnits(batchShapes(nthreads, n)[2].homes) // interleaved
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		var popped atomic.Int32
+		for rank := 0; rank < nthreads; rank++ {
+			rank := rank
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					u := p.Pop(rank)
+					if u == nil {
+						continue
+					}
+					u.SetHome(rank) // post-enqueue write: races with a non-conforming PushBatch
+					seen[u.Tag()].Add(1)
+					if popped.Add(1) == n {
+						stop.Store(true)
+					}
+				}
+			}()
+		}
+		p.PushBatch(-1, units)
+		wg.Wait()
+		for tag := range seen {
+			if got := seen[tag].Load(); got != 1 {
+				t.Fatalf("round %d: unit %d surfaced %d times, want exactly once", round, tag, got)
+			}
+		}
+	}
+}

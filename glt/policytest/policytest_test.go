@@ -1,0 +1,15 @@
+package policytest_test
+
+// The three in-tree backends certify themselves against the conformance
+// suite — the same entry point a third-party backend would use.
+
+import (
+	"testing"
+
+	_ "repro/glt/backends"
+	"repro/glt/policytest"
+)
+
+func TestABTConformance(t *testing.T) { policytest.Run(t, "abt") }
+func TestQTHConformance(t *testing.T) { policytest.Run(t, "qth") }
+func TestMTHConformance(t *testing.T) { policytest.Run(t, "mth") }

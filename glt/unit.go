@@ -31,6 +31,10 @@ type Unit struct {
 	detached bool
 
 	tag int // caller-assigned identity (the OpenMP team rank in GLTO)
+	// arg is an optional per-unit payload for batch spawns that share one
+	// body (SpawnDetachedBatch): the GLTO task path stores the task node
+	// here, so a batch of tasks needs no per-task closure.
+	arg any
 
 	// sched carries the execution token from a worker to the ULT; yield
 	// carries it back when the ULT yields or finishes.
@@ -42,8 +46,9 @@ type Unit struct {
 	// translates it into finished (after statistics) so Join observers see
 	// counters and completion in a consistent order.
 	fnDone atomic.Bool
-	// doneCh is the Join rendezvous, created on demand by the first joiner.
-	doneCh atomic.Pointer[chan struct{}]
+	// join is the Join rendezvous: a generation-counted broadcast gate that
+	// is rearmed, not reallocated, across descriptor recycles.
+	join joinGate
 	// refs counts the parties that may still touch the descriptor: the
 	// executing worker and (unless detached) the owner of the *Unit handle.
 	// Whoever drops the last reference returns the descriptor to the free
@@ -65,6 +70,7 @@ type Unit struct {
 func allocUnit(rt *Runtime) *Unit {
 	u := &Unit{rt: rt}
 	u.migrate.Store(-1)
+	u.join.init()
 	u.ctx.u = u
 	u.ctx.rt = rt
 	return u
@@ -95,6 +101,10 @@ func (u *Unit) IsMain() bool { return u.main }
 // Tag reports the caller-assigned tag: the batch index for units created by
 // SpawnTeam/SpawnBatch (GLTO stores the OpenMP team rank here), 0 otherwise.
 func (u *Unit) Tag() int { return u.tag }
+
+// Arg reports the per-unit payload attached by SpawnDetachedBatch (the task
+// node in GLTO's batched task dispatch), or nil.
+func (u *Unit) Arg() any { return u.arg }
 
 // Home reports the rank the unit was last dispatched to — the `to` of the
 // Push (or the per-unit destination of the PushBatch) that made it runnable.
@@ -132,47 +142,31 @@ func (u *Unit) unref() {
 
 // Join blocks the calling goroutine until the unit completes. It must not be
 // called from inside a ULT, because blocking a ULT blocks its entire
-// execution stream; ULTs join each other cooperatively with Ctx.Join.
+// execution stream; ULTs join each other cooperatively with Ctx.Join. Join
+// is allocation-free: the rendezvous is the unit's embedded joinGate, reused
+// across descriptor recycles.
 func (u *Unit) Join() {
 	if u.finished.Load() {
 		return
 	}
-	ch := u.joinChan()
-	// Recheck: the worker reads doneCh after storing finished, so either it
-	// sees the channel we just installed and will close it, or finished is
-	// already observable here.
-	if u.finished.Load() {
-		return
-	}
-	<-ch
-}
-
-func (u *Unit) joinChan() chan struct{} {
-	if ch := u.doneCh.Load(); ch != nil {
-		return *ch
-	}
-	nc := make(chan struct{})
-	if u.doneCh.CompareAndSwap(nil, &nc) {
-		return nc
-	}
-	return *u.doneCh.Load()
+	u.join.wait(&u.finished)
 }
 
 // complete marks the unit finished and wakes any joiners. Only the executing
 // worker calls it, after updating its statistics.
 func (u *Unit) complete() {
 	u.finished.Store(true)
-	if ch := u.doneCh.Load(); ch != nil {
-		close(*ch)
-	}
+	u.join.open()
 }
 
 // recycle clears per-execution state so the descriptor can host its next
-// incarnation. The gates' park channels and the ctx back-pointers survive:
-// they are position-independent, and reallocating them is exactly the
-// per-spawn cost the free list exists to avoid.
+// incarnation. The gates' park channels, the join gate's condition variable
+// and the ctx back-pointers survive: they are position-independent, and
+// reallocating them is exactly the per-spawn cost the free list exists to
+// avoid.
 func (u *Unit) recycle() {
 	u.fn = nil
+	u.arg = nil
 	u.tasklet = false
 	u.main = false
 	u.detached = false
@@ -181,7 +175,7 @@ func (u *Unit) recycle() {
 	u.yield.reset()
 	u.finished.Store(false)
 	u.fnDone.Store(false)
-	u.doneCh.Store(nil)
+	u.join.rearm()
 	u.started = false
 	u.migrate.Store(-1)
 	u.home = 0

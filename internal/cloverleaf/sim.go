@@ -180,13 +180,13 @@ func (serialRT) ResetStats()                   {}
 func (s serialRT) Parallel(body func(*omp.TC)) { s.ParallelN(1, body) }
 
 func (serialRT) ParallelN(n int, body func(*omp.TC)) {
-	team := omp.NewTeam(1, 0, omp.Config{NumThreads: 1})
-	tc := omp.NewTC(team, 0, serialOps{}, nil, nil)
-	body(tc)
-	tc.Barrier()
+	team := omp.NewTeam(1, 0, omp.Config{NumThreads: 1}, body)
+	team.Run(0, serialOps{}, nil)
 }
 
-// serialOps is the trivially correct single-thread engine.
+// serialOps is the trivially correct single-thread engine. Tasks execute
+// inline at their spawn site, so the producer-side buffer is never used and
+// FlushTasks has nothing to do.
 type serialOps struct{}
 
 func (serialOps) BarrierWait(tc *omp.TC) {
@@ -194,13 +194,13 @@ func (serialOps) BarrierWait(tc *omp.TC) {
 	team.Bar.Wait(1, &team.Tasks, nil, func() {})
 }
 func (serialOps) SpawnTask(tc *omp.TC, node *omp.TaskNode) { omp.ExecTask(tc, node) }
+func (serialOps) FlushTasks(tc *omp.TC)                    {}
 func (serialOps) Taskwait(tc *omp.TC)                      {}
 func (serialOps) TryRunTask(tc *omp.TC) bool               { return false }
 func (serialOps) Taskyield(tc *omp.TC)                     {}
 func (serialOps) Idle(tc *omp.TC)                          {}
-func (s serialOps) Nested(tc *omp.TC, n int, body func(*omp.TC)) {
-	team := omp.NewTeam(1, tc.Level()+1, tc.Team().Cfg)
-	itc := omp.NewTC(team, 0, s, nil, nil)
-	body(itc)
-	itc.Barrier()
+func (s serialOps) Nested(tc *omp.TC, team *omp.Team) {
+	// serialRT serializes every inner region (Nested=false in its Config),
+	// so an active nested team can only be size 1: run it inline.
+	team.Run(0, s, nil)
 }

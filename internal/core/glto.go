@@ -15,7 +15,10 @@
 //     region, deliberately.
 //   - Task parallelism: every OMP task becomes a GLT_ult. Tasks created
 //     inside a single/master construct are dispatched round-robin over all
-//     streams; otherwise each stream keeps its own tasks (§IV-D).
+//     streams; otherwise each stream keeps its own tasks (§IV-D). Deferred
+//     tasks are submitted in producer-side batches through the engine's
+//     PushBatch by default; Config.PerUnitDispatch restores the paper's
+//     one-push-per-task cost.
 //   - Nested parallelism: the encountering ULT spawns the inner team as
 //     ULTs on its own stream — no new OS threads, hence no oversubscription
 //     (§IV-E, Table II, Figs. 8/9).
@@ -24,6 +27,11 @@
 //   - Backend quirks: under MassiveThreads the master cannot yield (§IV-G);
 //     this arrives via the glt engine's pinned-main rule rather than
 //     anything in this package.
+//
+// Structurally the package is a runtime SPI implementation: the omp.Frontend
+// embedded in Runtime owns the Team/TC lifecycle (pooled region descriptors)
+// and this package implements omp.RegionEngine (region placement) plus
+// omp.EngineOps (constructs) over GLT.
 package core
 
 import (
@@ -42,24 +50,51 @@ func init() {
 	})
 }
 
-// Runtime is the GLTO OpenMP runtime.
+// Runtime is the GLTO OpenMP runtime: the glt-backed RegionEngine with an
+// embedded omp.Frontend providing the user-facing API over it.
 type Runtime struct {
+	*omp.Frontend
+
 	cfg omp.Config
 	g   *glt.Runtime
 	eng engine        // the one EngineOps instance; stateless beyond rt
 	rr  atomic.Uint64 // round-robin cursor for single/master task dispatch
 
-	// teamBufs recycles the per-region unit slices, so respawning a region
-	// reuses both the descriptors (the glt free list) and the slice that
-	// carries them to SpawnTeam.
-	teamBufs sync.Pool
+	// taskBuf is the producer-side task buffer capacity (0 = batching off).
+	taskBuf int
+	// taskBody is the shared body of every batched task ULT; the per-task
+	// state travels as the unit's Arg, so batched dispatch needs no per-task
+	// closure.
+	taskBody glt.Func
+
+	// slots recycles the per-region dispatch state: the unit slice handed to
+	// SpawnTeam/SpawnBatch and the one closure that binds a glt.Ctx to the
+	// region's team. Pooling the closure with the slice is what keeps the
+	// region path free of per-region allocations.
+	slots sync.Pool
+	// flushBufs recycles the target/arg scratch slices of FlushTasks.
+	flushBufs sync.Pool
 
 	regions    atomic.Int64
 	nested     atomic.Int64
 	serialized atomic.Int64
 	ults       atomic.Int64
 	tasks      atomic.Int64
+	flushes    atomic.Int64
 	stolen     atomic.Int64
+}
+
+// regionSlot is the pooled dispatch state of one in-flight region.
+type regionSlot struct {
+	team  *omp.Team
+	units []*glt.Unit
+	fn    glt.Func // created once: runs slot.team.Run for the unit's tag
+}
+
+// flushBuf is the pooled scratch of one FlushTasks episode.
+type flushBuf struct {
+	targets []int
+	args    []any
 }
 
 // New builds a GLTO runtime. The GLT execution streams are created now
@@ -75,20 +110,34 @@ func New(cfg omp.Config) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := &Runtime{cfg: cfg, g: g}
+	rt := &Runtime{cfg: cfg, g: g, taskBuf: cfg.EffectiveTaskBuffer()}
 	rt.eng.rt = rt
-	rt.teamBufs.New = func() any {
-		s := make([]*glt.Unit, 0, cfg.NumThreads)
-		return &s
+	rt.taskBody = func(tcx *glt.Ctx) {
+		node := tcx.Arg().(*omp.TaskNode)
+		team := node.Team()
+		num := tcx.Rank() % team.Size
+		if node.CreatedBy != num {
+			rt.stolen.Add(1)
+		}
+		omp.ExecTaskOn(team, num, &rt.eng, tcx, node)
 	}
+	rt.slots.New = func() any {
+		s := &regionSlot{units: make([]*glt.Unit, 0, cfg.NumThreads)}
+		s.fn = func(c *glt.Ctx) { s.team.Run(c.Tag(), &rt.eng, c) }
+		return s
+	}
+	rt.flushBufs.New = func() any {
+		return &flushBuf{
+			targets: make([]int, 0, rt.taskBuf),
+			args:    make([]any, 0, rt.taskBuf),
+		}
+	}
+	rt.Frontend = omp.NewFrontend(rt, cfg)
 	return rt, nil
 }
 
 // Name reports "glto".
 func (rt *Runtime) Name() string { return "glto" }
-
-// Config returns the resolved configuration.
-func (rt *Runtime) Config() omp.Config { return rt.cfg }
 
 // Backend reports the underlying GLT library ("abt", "qth" or "mth").
 func (rt *Runtime) Backend() string { return rt.g.Backend() }
@@ -97,45 +146,28 @@ func (rt *Runtime) Backend() string { return rt.g.Backend() }
 // Fig. 5 and the ablation benches reach through this).
 func (rt *Runtime) GLT() *glt.Runtime { return rt.g }
 
-// SetNumThreads changes the default team size for subsequent regions. Teams
-// larger than the stream count fold round-robin onto the existing streams;
-// the stream count itself is fixed at construction, as in the paper.
-func (rt *Runtime) SetNumThreads(n int) {
-	if n > 0 {
-		rt.cfg.NumThreads = n
-	}
-}
-
-// Parallel runs a top-level region with the default team size.
-func (rt *Runtime) Parallel(body func(*omp.TC)) { rt.ParallelN(rt.cfg.NumThreads, body) }
-
-// ParallelN runs a top-level region of n threads: n ULTs, one per stream
-// (rank i on stream i mod streams), joined by the caller (§IV-C). The whole
-// team is built from recycled descriptors and handed to the backend as one
-// PushBatch — one scheduling synchronization episode per region instead of n
-// — unless Config.PerUnitDispatch restores the paper's per-unit cost. Unit 0
-// is the primary work unit: under MassiveThreads it is pinned and cannot
-// yield (§IV-G).
-func (rt *Runtime) ParallelN(n int, body func(*omp.TC)) {
-	if n < 1 {
-		n = 1
-	}
+// RunRegion implements the runtime SPI for a top-level region: one ULT per
+// team member, rank i on stream i mod streams, joined by the caller (§IV-C).
+// The whole team is dispatched from recycled descriptors as one PushBatch —
+// one scheduling synchronization episode per region instead of n — unless
+// Config.PerUnitDispatch restores the paper's per-unit cost. Unit 0 is the
+// primary work unit: under MassiveThreads it is pinned and cannot yield
+// (§IV-G). The team itself arrives pre-built and pooled from the Frontend,
+// so the steady-state region path allocates nothing at all.
+func (rt *Runtime) RunRegion(t *omp.Team) {
+	n := t.Size
 	rt.regions.Add(1)
-	team := omp.NewTeam(n, 0, rt.cfg)
-	fn := func(c *glt.Ctx) {
-		tc := omp.NewTC(team, c.Tag(), &rt.eng, c, nil)
-		body(tc)
-		tc.Barrier()
-	}
 	rt.ults.Add(int64(n))
-	buf := rt.teamBufs.Get().(*[]*glt.Unit)
-	units := rt.g.SpawnTeam(n, fn, *buf)
+	slot := rt.slots.Get().(*regionSlot)
+	slot.team = t
+	units := rt.g.SpawnTeam(n, slot.fn, slot.units)
 	for _, u := range units {
 		u.Join()
 	}
 	rt.g.ReleaseAll(units)
-	*buf = units[:0]
-	rt.teamBufs.Put(buf)
+	slot.units = units[:0]
+	slot.team = nil
+	rt.slots.Put(slot)
 }
 
 // Shutdown stops the execution streams.
@@ -150,6 +182,7 @@ func (rt *Runtime) Stats() omp.Stats {
 		SerializedRegions: rt.serialized.Load(),
 		ULTsCreated:       rt.ults.Load(),
 		TasksQueued:       rt.tasks.Load(),
+		TaskFlushes:       rt.flushes.Load(),
 		TasksStolen:       gs.Migrations + rt.stolen.Load(),
 	}
 }
@@ -161,6 +194,7 @@ func (rt *Runtime) ResetStats() {
 	rt.serialized.Store(0)
 	rt.ults.Store(0)
 	rt.tasks.Store(0)
+	rt.flushes.Store(0)
 	rt.stolen.Store(0)
 	rt.g.ResetStats()
 }
@@ -176,13 +210,11 @@ func ctxOf(tc *omp.TC) *glt.Ctx {
 }
 
 // BarrierWait parks the calling ULT in a yield loop until the team arrives
-// and its tasks drain. There is no tryTask callback: GLTO's tasks are ULTs
-// living in the GLT pools, so yielding *is* how waiting threads execute
+// and its tasks drain. Waiters do not poll an engine queue: GLTO's tasks are
+// ULTs living in the GLT pools, so yielding *is* how waiting threads execute
 // them — the stream's scheduler picks the task ULTs up between yields.
 func (e *engine) BarrierWait(tc *omp.TC) {
-	team := tc.Team()
-	c := ctxOf(tc)
-	team.Bar.Wait(team.Size, &team.Tasks, nil, func() { e.idle(c) })
+	tc.Team().Bar.WaitTC(tc, false)
 }
 
 func (e *engine) idle(c *glt.Ctx) {
@@ -198,9 +230,26 @@ func (e *engine) idle(c *glt.Ctx) {
 	c.Yield()
 }
 
-// SpawnTask converts the OMP task into a GLT_ult (§IV-D). Inside a
-// single/master region the producer distributes tasks round-robin over all
-// streams; otherwise the task stays on the creating stream.
+// taskTarget resolves the dispatch destination of a deferred task (§IV-D):
+// tasks created inside a single/master construct are distributed round-robin
+// over all streams, others stay on the creating stream. The decision reads
+// the placement snapshot PrepareTask took, so it is identical whether the
+// task is dispatched at creation or later from the producer-side buffer.
+func (e *engine) taskTarget(c *glt.Ctx, node *omp.TaskNode) int {
+	if c == nil {
+		return glt.AnyThread
+	}
+	if node.InSingleMaster {
+		return int(e.rt.rr.Add(1)-1) % e.rt.g.NumThreads()
+	}
+	return c.Rank()
+}
+
+// SpawnTask converts the OMP task into a GLT work unit (§IV-D). Deferred
+// tasks accumulate in the creating thread's buffer and are dispatched in one
+// batch (FlushTasks) at scheduling points or when the buffer fills; under
+// Config.PerUnitDispatch every task is its own dispatch episode, as in the
+// paper.
 func (e *engine) SpawnTask(tc *omp.TC, node *omp.TaskNode) {
 	// GLTO inherits BOLT/LLVM's correct final semantics: descendants of a
 	// final task are themselves final, so the whole subtree executes
@@ -213,28 +262,29 @@ func (e *engine) SpawnTask(tc *omp.TC, node *omp.TaskNode) {
 		omp.ExecTask(tc, node)
 		return
 	}
+	e.rt.tasks.Add(1)
+	if e.rt.taskBuf > 0 {
+		if tc.BufferTask(node, e.rt.taskBuf) {
+			e.FlushTasks(tc)
+		}
+		return
+	}
+	e.dispatchTask(tc, node)
+}
+
+// dispatchTask is the per-unit task dispatch path (buffering disabled).
+func (e *engine) dispatchTask(tc *omp.TC, node *omp.TaskNode) {
 	team := tc.Team()
 	c := ctxOf(tc)
-	e.rt.tasks.Add(1)
 	e.rt.ults.Add(1)
 	body := func(tcx *glt.Ctx) {
 		num := tcx.Rank() % team.Size
-		node.StartedBy.CompareAndSwap(-1, int32(num))
 		if node.CreatedBy != num {
 			e.rt.stolen.Add(1)
 		}
-		ttc := omp.TaskTC(omp.NewTC(team, num, e, tcx, nil), node)
-		node.Fn(ttc)
-		omp.FinishTask(team, node)
+		omp.ExecTaskOn(team, num, e, tcx, node)
 	}
-	target := glt.AnyThread
-	if c != nil {
-		if tc.InSingleMaster() {
-			target = int(e.rt.rr.Add(1)-1) % e.rt.g.NumThreads()
-		} else {
-			target = c.Rank()
-		}
-	}
+	target := e.taskTarget(c, node)
 	// Tasks are fire-and-forget at the GLT level: completion is tracked by
 	// the team's task counters (FinishTask), never by joining the unit. The
 	// detached spawn paths exploit that — the descriptor recycles on the
@@ -254,6 +304,42 @@ func (e *engine) SpawnTask(tc *omp.TC, node *omp.TaskNode) {
 		return
 	}
 	e.rt.g.SpawnDetached(target, body)
+}
+
+// FlushTasks dispatches the producer-side buffer as one detached batch: the
+// task nodes ride as unit payloads under the shared task body, and the
+// policy sees a single PushBatch — one synchronization episode for the whole
+// burst, against one locked push per task in the paper's design.
+func (e *engine) FlushTasks(tc *omp.TC) {
+	nodes := tc.TakeBuffered()
+	if len(nodes) == 0 {
+		return
+	}
+	c := ctxOf(tc)
+	e.rt.flushes.Add(1)
+	e.rt.ults.Add(int64(len(nodes)))
+	fb := e.rt.flushBufs.Get().(*flushBuf)
+	targets, args := fb.targets[:0], fb.args[:0]
+	for _, node := range nodes {
+		targets = append(targets, e.taskTarget(c, node))
+		args = append(args, node)
+	}
+	switch {
+	case e.rt.cfg.Tasklets:
+		// As in dispatchTask: no originating rank, so targets win.
+		e.rt.g.SpawnDetachedBatch(e.rt.taskBody, targets, args, true)
+	case c != nil:
+		c.SpawnDetachedBatch(e.rt.taskBody, targets, args, false)
+	default:
+		e.rt.g.SpawnDetachedBatch(e.rt.taskBody, targets, args, false)
+	}
+	// Dispatch is complete: drop the task-node pointers from both scratch
+	// arrays so neither the pooled flushBuf nor the TC's pooled buffer pins
+	// finished tasks (and whatever their closures capture).
+	clear(args)
+	clear(nodes)
+	fb.targets, fb.args = targets[:0], args[:0]
+	e.rt.flushBufs.Put(fb)
 }
 
 // TryRunTask reports false: GLTO's tasks are ULTs scheduled by the GLT
@@ -288,35 +374,30 @@ func (e *engine) Taskyield(tc *omp.TC) {
 // 36 — batched onto the creator's pool in one synchronization episode.
 // Under stealing backends or shared queues the inner ULTs may spread; under
 // abt/qth they run on the creator's stream, avoiding all oversubscription.
-func (e *engine) Nested(tc *omp.TC, n int, body func(*omp.TC)) {
+// The inner team arrives pre-built from the front end's pool.
+func (e *engine) Nested(tc *omp.TC, team *omp.Team) {
+	n := team.Size
 	e.rt.nested.Add(1)
-	cfg := tc.Team().Cfg
-	team := omp.NewTeam(n, tc.Level()+1, cfg)
-	inner := &e.rt.eng
 	c := ctxOf(tc)
-	// run is the inner-team member body, shared by every spawn flavour (and
-	// the encountering ULT itself as rank 0).
-	run := func(cc *glt.Ctx, rank int) {
-		itc := omp.NewTC(team, rank, inner, cc, nil)
-		body(itc)
-		itc.Barrier()
-	}
 	e.rt.ults.Add(int64(n - 1))
-	buf := e.rt.teamBufs.Get().(*[]*glt.Unit)
+	slot := e.rt.slots.Get().(*regionSlot)
+	slot.team = team
 	var units []*glt.Unit
 	if n > 1 {
 		if c != nil {
 			// Inner ranks are 1..n-1; rank 0 is the encountering ULT below.
-			units = c.SpawnBatch(n-1, 1, func(cc *glt.Ctx) { run(cc, cc.Tag()) }, *buf)
+			units = c.SpawnBatch(n-1, 1, slot.fn, slot.units)
 		} else {
-			units = (*buf)[:0]
+			units = slot.units[:0]
 			for i := 1; i < n; i++ {
 				rank := i
-				units = append(units, e.rt.g.Spawn(glt.AnyThread, func(cc *glt.Ctx) { run(cc, rank) }))
+				units = append(units, e.rt.g.Spawn(glt.AnyThread, func(cc *glt.Ctx) {
+					team.Run(rank, e, cc)
+				}))
 			}
 		}
 	}
-	run(c, 0)
+	team.Run(0, e, c)
 	if c != nil {
 		c.JoinAll(units)
 	} else {
@@ -326,9 +407,10 @@ func (e *engine) Nested(tc *omp.TC, n int, body func(*omp.TC)) {
 	}
 	if units != nil {
 		e.rt.g.ReleaseAll(units)
-		*buf = units[:0]
+		slot.units = units[:0]
 	}
-	e.rt.teamBufs.Put(buf)
+	slot.team = nil
+	e.rt.slots.Put(slot)
 }
 
 // Idle is the engine's wait primitive: a cooperative yield.

@@ -12,9 +12,16 @@
 //     regions, creates the 3,536 OS threads of Table II and the order-of-
 //     magnitude slowdown of Figs. 8 and 9.
 //   - Explicit tasks go to a single queue shared by the whole team, GNU's
-//     documented design (§III-A).
+//     documented design (§III-A). Deferred tasks are appended in
+//     producer-side batches by default (one queue lock per batch);
+//     Config.PerUnitDispatch or a negative TaskBuffer restores one locked
+//     push per task.
 //   - Taskyield is a no-op, so started tasks never migrate — the reason the
 //     GNU runtime fails the taskyield/untied validation tests in Table I.
+//
+// The package implements the runtime SPI (omp.RegionEngine + omp.EngineOps);
+// the embedded omp.Frontend owns the Team/TC lifecycle, so the region
+// respawn path allocates nothing here either.
 package gomp
 
 import (
@@ -35,14 +42,31 @@ func init() {
 
 // Runtime is the GNU-like OpenMP runtime.
 type Runtime struct {
+	*omp.Frontend
+
+	// cfg is the construction-time snapshot; only ICVs that cannot change
+	// after New are read from it (the mutable team-size ICV lives in the
+	// Frontend — never read cfg.NumThreads here).
 	cfg  omp.Config
 	pool *ptpool.Pool
+	eng  engine
+
+	// region is the persistent dispatch descriptor of the top-level pool:
+	// its Run closure is built once and reads the current team from cur, so
+	// region dispatch stores two fields instead of allocating a Region and a
+	// closure per parallel region. Top-level regions are serialized by the
+	// OpenMP host model (one initial thread), so one slot suffices.
+	region ptpool.Region
+	cur    atomic.Pointer[omp.Team]
+
+	taskBuf int
 
 	regions     atomic.Int64
 	nested      atomic.Int64
 	serialized  atomic.Int64
 	createdTop  atomic.Int64
 	tasksQueued atomic.Int64
+	flushes     atomic.Int64
 	stolen      atomic.Int64
 }
 
@@ -50,8 +74,11 @@ type Runtime struct {
 // created eagerly, as libgomp does on first use, sized to NumThreads.
 func New(cfg omp.Config) (*Runtime, error) {
 	cfg = cfg.WithDefaults()
-	rt := &Runtime{cfg: cfg}
+	rt := &Runtime{cfg: cfg, taskBuf: cfg.EffectiveTaskBuffer()}
+	rt.eng.rt = rt
 	rt.pool = ptpool.New(cfg.NumThreads, waitMode(cfg))
+	rt.region.Run = func(rank int) { rt.cur.Load().Run(rank, &rt.eng, nil) }
+	rt.Frontend = omp.NewFrontend(rt, cfg)
 	return rt, nil
 }
 
@@ -65,34 +92,13 @@ func waitMode(cfg omp.Config) pthread.WaitMode {
 // Name reports "gomp".
 func (rt *Runtime) Name() string { return "gomp" }
 
-// Config returns the resolved configuration.
-func (rt *Runtime) Config() omp.Config { return rt.cfg }
-
-// SetNumThreads changes the default team size for subsequent regions.
-func (rt *Runtime) SetNumThreads(n int) {
-	if n > 0 {
-		rt.cfg.NumThreads = n
-	}
-}
-
-// Parallel runs a top-level region with the default team size.
-func (rt *Runtime) Parallel(body func(*omp.TC)) { rt.ParallelN(rt.cfg.NumThreads, body) }
-
-// ParallelN runs a top-level region with n threads: the persistent pool
-// executes the body, with the calling goroutine as thread 0.
-func (rt *Runtime) ParallelN(n int, body func(*omp.TC)) {
-	if n < 1 {
-		n = 1
-	}
+// RunRegion implements the runtime SPI: the persistent pool executes the
+// pre-built team, with the calling goroutine as thread 0.
+func (rt *Runtime) RunRegion(t *omp.Team) {
 	rt.regions.Add(1)
-	team := omp.NewTeam(n, 0, rt.cfg)
-	eng := &engine{rt: rt}
-	run := func(rank int) {
-		tc := omp.NewTC(team, rank, eng, nil, nil)
-		body(tc)
-		tc.Barrier() // implicit barrier ending the region
-	}
-	rt.pool.Dispatch(&ptpool.Region{Size: n, Run: run})
+	rt.cur.Store(t)
+	rt.region.Size = t.Size
+	rt.pool.Dispatch(&rt.region)
 }
 
 // Shutdown stops the pool.
@@ -107,6 +113,7 @@ func (rt *Runtime) Stats() omp.Stats {
 		ThreadsCreated:    rt.pool.Created.Load() + rt.createdTop.Load(),
 		PeakThreads:       pthread.Peak(),
 		TasksQueued:       rt.tasksQueued.Load(),
+		TaskFlushes:       rt.flushes.Load(),
 		TasksStolen:       rt.stolen.Load(),
 	}
 }
@@ -119,30 +126,34 @@ func (rt *Runtime) ResetStats() {
 	rt.serialized.Store(0)
 	rt.createdTop.Store(-rt.pool.Created.Load())
 	rt.tasksQueued.Store(0)
+	rt.flushes.Store(0)
 	rt.stolen.Store(0)
 }
 
-// engine implements omp.EngineOps for the GNU-like runtime.
+// engine implements omp.EngineOps for the GNU-like runtime. One instance per
+// runtime serves every region, nested ones included; all per-region state
+// lives in the team.
 type engine struct {
 	rt *Runtime
 }
 
 // teamTasks is the single shared task queue of a team (§III-A: "the GNU
-// version implements a single shared task queue for all the threads").
+// version implements a single shared task queue for all the threads"). It
+// survives team-descriptor recycling (the queue is drained at every region's
+// end barrier), so steady-state tasking reuses its backing array.
 type teamTasks struct {
 	mu sync.Mutex
 	q  []*omp.TaskNode
 }
 
+func newTeamTasks() any { return &teamTasks{} }
+
 func (e *engine) tasksOf(team *omp.Team) *teamTasks {
-	return team.EngineData(func() any { return &teamTasks{} }).(*teamTasks)
+	return team.EngineData(newTeamTasks).(*teamTasks)
 }
 
 func (e *engine) BarrierWait(tc *omp.TC) {
-	team := tc.Team()
-	team.Bar.Wait(team.Size, &team.Tasks,
-		func() bool { return e.tryRunTask(tc) },
-		func() { e.Idle(tc) })
+	tc.Team().Bar.WaitTC(tc, true)
 }
 
 func (e *engine) SpawnTask(tc *omp.TC, node *omp.TaskNode) {
@@ -154,11 +165,35 @@ func (e *engine) SpawnTask(tc *omp.TC, node *omp.TaskNode) {
 		omp.ExecTask(tc, node)
 		return
 	}
+	e.rt.tasksQueued.Add(1)
+	if e.rt.taskBuf > 0 {
+		if tc.BufferTask(node, e.rt.taskBuf) {
+			e.FlushTasks(tc)
+		}
+		return
+	}
 	ts := e.tasksOf(tc.Team())
 	ts.mu.Lock()
 	ts.q = append(ts.q, node)
 	ts.mu.Unlock()
-	e.rt.tasksQueued.Add(1)
+}
+
+// FlushTasks appends the producer-side buffer to the shared team queue under
+// a single lock acquisition — one synchronization episode per batch instead
+// of one contended lock per task on GNU's single queue.
+func (e *engine) FlushTasks(tc *omp.TC) {
+	nodes := tc.TakeBuffered()
+	if len(nodes) == 0 {
+		return
+	}
+	e.rt.flushes.Add(1)
+	ts := e.tasksOf(tc.Team())
+	ts.mu.Lock()
+	ts.q = append(ts.q, nodes...)
+	ts.mu.Unlock()
+	// The queue owns the nodes now; clear the TC's pooled buffer slots so
+	// they do not retain finished tasks.
+	clear(nodes)
 }
 
 func (e *engine) tryRunTask(tc *omp.TC) bool {
@@ -198,25 +233,21 @@ func (e *engine) Taskyield(tc *omp.TC) {}
 
 // Nested creates a brand-new pthread team for the inner region and destroys
 // it afterwards. The encountering thread is rank 0 of the inner team; ranks
-// 1..n-1 are fresh OS threads, created and thrown away per region.
-func (e *engine) Nested(tc *omp.TC, n int, body func(*omp.TC)) {
+// 1..n-1 are fresh OS threads, created and thrown away per region — the
+// deliberate Table II cost. The team descriptor itself arrives pooled from
+// the front end.
+func (e *engine) Nested(tc *omp.TC, team *omp.Team) {
 	e.rt.nested.Add(1)
-	cfg := tc.Team().Cfg
-	team := omp.NewTeam(n, tc.Level()+1, cfg)
-	inner := &engine{rt: e.rt}
+	n := team.Size
 	threads := make([]*pthread.Thread, n-1)
 	for i := range threads {
 		rank := i + 1
 		e.rt.createdTop.Add(1)
 		threads[i] = pthread.Create(func() {
-			itc := omp.NewTC(team, rank, inner, nil, nil)
-			body(itc)
-			itc.Barrier()
+			team.Run(rank, e, nil)
 		})
 	}
-	itc := omp.NewTC(team, 0, inner, nil, nil)
-	body(itc)
-	itc.Barrier()
+	team.Run(0, e, nil)
 	for _, th := range threads {
 		th.Join()
 	}

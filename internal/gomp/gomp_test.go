@@ -135,7 +135,11 @@ func TestStolenAccounting(t *testing.T) {
 			}
 			// Keep producing pressure until a non-creator execution is
 			// recorded; consumers are draining at the implied barrier.
+			// Taskyield is a task scheduling point, so it publishes the
+			// producer-side buffer — without it, buffered tasks would stay
+			// invisible to the consumers this loop waits for.
 			for rt.Stats().TasksStolen == 0 {
+				tc.Taskyield()
 				runtime.Gosched()
 			}
 		})

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/glt"
 	_ "repro/glt/backends"
@@ -194,7 +195,7 @@ func init() {
 			}
 			const outer = 100
 			tbl := NewTable(fmt.Sprintf("Nested thread accounting, OMP_NUM_THREADS=%d, outer=%d", n, outer),
-				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused"})
+				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused", "Allocs/Region"})
 			for _, v := range PaperVariants {
 				if v.Label == "GLTO(QTH)" || v.Label == "GLTO(MTH)" {
 					continue // Table II lists GCC, Intel and GLTO once
@@ -207,7 +208,9 @@ func init() {
 				}
 				runNested(rt, n, outer)
 				s := rt.Stats()
+				allocs := allocsPerRegion(rt, n)
 				label := map[string]string{"GCC": "GCC", "ICC": "Intel", "GLTO(ABT)": "GLTO"}[v.Label]
+				tbl.Set(label, "Allocs/Region", fmt.Sprintf("%.1f", allocs))
 				if v.Runtime == "glto" {
 					tbl.Set(label, "CreatedThreads", fmt.Sprint(n))
 					tbl.Set(label, "ReusedThreads", "0")
@@ -232,6 +235,30 @@ func init() {
 				tbl.Set(label, "CreatedULTs", "—")
 				tbl.Set(label, "BatchPushes", "—")
 				tbl.Set(label, "UnitsReused", "—")
+			}
+			tbl.Render(cfg.Out)
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "allocs",
+		Title: "Region-respawn memory: steady-state allocations per empty parallel region",
+		Run: func(cfg Config) error {
+			cfg = cfg.withDefaults()
+			labels := variantLabels(PaperVariants)
+			tbl := NewTable("Allocs per region respawn (pooled front end; set GLT_PER_UNIT_DISPATCH=1 for the paper-faithful mode)",
+				"threads", labels)
+			for _, n := range cfg.Threads {
+				for _, v := range PaperVariants {
+					rt, err := v.New(n, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+					if err != nil {
+						return err
+					}
+					a := allocsPerRegion(rt, n)
+					rt.Shutdown()
+					tbl.Set(fmt.Sprint(n), v.Label, fmt.Sprintf("%.1f", a))
+				}
 			}
 			tbl.Render(cfg.Out)
 			return nil
@@ -344,6 +371,26 @@ func init() {
 			return nil
 		},
 	})
+}
+
+// allocsPerRegion measures steady-state heap allocations per empty
+// top-level region respawn — the memory column of the Table II report the
+// paper never had. The runtime is warmed first so pooled descriptors, shells
+// and free lists are populated; the figure is total process mallocs over the
+// timed regions, so engine-side (worker) allocations count too.
+func allocsPerRegion(rt omp.Runtime, n int) float64 {
+	body := func(*omp.TC) {}
+	for i := 0; i < 20; i++ {
+		rt.ParallelN(n, body)
+	}
+	const regions = 50
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < regions; i++ {
+		rt.ParallelN(n, body)
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / regions
 }
 
 // runNested executes the Listing-1 microbenchmark once: an outer parallel

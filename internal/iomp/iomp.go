@@ -12,11 +12,21 @@
 //     behind GLTO in Figs. 8/9, but ahead of GNU.
 //   - One task deque per thread with work stealing for load balance
 //     (§III-A), whose contention at high thread counts is one of the two
-//     causes of the Fig. 10-13 task-parallel collapse.
+//     causes of the Fig. 10-13 task-parallel collapse. Deferred tasks are
+//     appended to the owner's deque in producer-side batches by default
+//     (one deque lock per batch); Config.PerUnitDispatch or a negative
+//     TaskBuffer restores one locked push per task.
 //   - The task cut-off mechanism: once a thread has TaskCutoff tasks queued
 //     (256 by default), new tasks execute immediately as sequential code
 //     (§VI-E, Table III, Fig. 14). Undeferred execution is cheaper per task
-//     but serializes the producer.
+//     but serializes the producer. The observable queue length counts
+//     buffered-but-unflushed tasks, so the cut-off fires at exactly the same
+//     task counts with batching on or off — and the buffer is flushed before
+//     the producer drops into undeferred execution, so thieves see the full
+//     backlog just as they would in the native runtime.
+//
+// The package implements the runtime SPI (omp.RegionEngine + omp.EngineOps);
+// the embedded omp.Frontend owns the Team/TC lifecycle.
 package iomp
 
 import (
@@ -37,8 +47,21 @@ func init() {
 
 // Runtime is the Intel-like OpenMP runtime.
 type Runtime struct {
+	*omp.Frontend
+
+	// cfg is the construction-time snapshot; only ICVs that cannot change
+	// after New are read from it (the mutable team-size ICV lives in the
+	// Frontend — never read cfg.NumThreads here).
 	cfg  omp.Config
 	pool *ptpool.Pool
+	eng  engine
+
+	// region/cur are the persistent top-level dispatch state, as in the
+	// GNU-like runtime: one descriptor, rebound per region.
+	region ptpool.Region
+	cur    atomic.Pointer[omp.Team]
+
+	taskBuf int
 
 	// free is the stack of parked nested-team workers available for reuse
 	// (the "hot team" thread cache).
@@ -52,6 +75,7 @@ type Runtime struct {
 	reused        atomic.Int64
 	tasksQueued   atomic.Int64
 	tasksDirect   atomic.Int64
+	flushes       atomic.Int64
 	stolen        atomic.Int64
 	stealAttempts atomic.Int64
 	shutdownFlag  atomic.Bool
@@ -60,8 +84,11 @@ type Runtime struct {
 // New builds a runtime with the given configuration.
 func New(cfg omp.Config) (*Runtime, error) {
 	cfg = cfg.WithDefaults()
-	rt := &Runtime{cfg: cfg}
+	rt := &Runtime{cfg: cfg, taskBuf: cfg.EffectiveTaskBuffer()}
+	rt.eng.rt = rt
 	rt.pool = ptpool.New(cfg.NumThreads, waitMode(cfg))
+	rt.region.Run = func(rank int) { rt.cur.Load().Run(rank, &rt.eng, nil) }
+	rt.Frontend = omp.NewFrontend(rt, cfg)
 	return rt, nil
 }
 
@@ -75,33 +102,13 @@ func waitMode(cfg omp.Config) pthread.WaitMode {
 // Name reports "iomp".
 func (rt *Runtime) Name() string { return "iomp" }
 
-// Config returns the resolved configuration.
-func (rt *Runtime) Config() omp.Config { return rt.cfg }
-
-// SetNumThreads changes the default team size for subsequent regions.
-func (rt *Runtime) SetNumThreads(n int) {
-	if n > 0 {
-		rt.cfg.NumThreads = n
-	}
-}
-
-// Parallel runs a top-level region with the default team size.
-func (rt *Runtime) Parallel(body func(*omp.TC)) { rt.ParallelN(rt.cfg.NumThreads, body) }
-
-// ParallelN runs a top-level region with n threads on the persistent pool.
-func (rt *Runtime) ParallelN(n int, body func(*omp.TC)) {
-	if n < 1 {
-		n = 1
-	}
+// RunRegion implements the runtime SPI: the persistent pool executes the
+// pre-built team, with the calling goroutine as thread 0.
+func (rt *Runtime) RunRegion(t *omp.Team) {
 	rt.regions.Add(1)
-	team := omp.NewTeam(n, 0, rt.cfg)
-	eng := &engine{rt: rt}
-	run := func(rank int) {
-		tc := omp.NewTC(team, rank, eng, nil, nil)
-		body(tc)
-		tc.Barrier()
-	}
-	rt.pool.Dispatch(&ptpool.Region{Size: n, Run: run})
+	rt.cur.Store(t)
+	rt.region.Size = t.Size
+	rt.pool.Dispatch(&rt.region)
 }
 
 // Shutdown stops the top-level pool and the cached nested workers.
@@ -129,6 +136,7 @@ func (rt *Runtime) Stats() omp.Stats {
 		PeakThreads:       pthread.Peak(),
 		TasksQueued:       rt.tasksQueued.Load(),
 		TasksDirect:       rt.tasksDirect.Load(),
+		TaskFlushes:       rt.flushes.Load(),
 		TasksStolen:       rt.stolen.Load(),
 		StealAttempts:     rt.stealAttempts.Load(),
 	}
@@ -143,6 +151,7 @@ func (rt *Runtime) ResetStats() {
 	rt.reused.Store(0)
 	rt.tasksQueued.Store(0)
 	rt.tasksDirect.Store(0)
+	rt.flushes.Store(0)
 	rt.stolen.Store(0)
 	rt.stealAttempts.Store(0)
 }
@@ -189,39 +198,59 @@ func (rt *Runtime) putWorker(w *nestedWorker) {
 	rt.freeMu.Unlock()
 }
 
-// engine implements omp.EngineOps for the Intel-like runtime.
+// engine implements omp.EngineOps for the Intel-like runtime. One instance
+// serves every region; per-region tasking state lives in the team.
 type engine struct {
 	rt *Runtime
 }
 
-// taskDeques is the per-team tasking state: one deque per thread plus a
-// per-team RNG-free victim cursor.
+// taskDeques is the per-team tasking state: one deque per thread. It
+// survives team-descriptor recycling (the deques are drained at every
+// region's end barrier); since recycled teams can change size, the deque
+// array is grown on demand behind an atomic pointer — members of one team
+// always agree on the required size, so a grown array is fully published
+// before any member pushes to it.
 type taskDeques struct {
-	deques []taskDeque
+	mu     sync.Mutex
+	deques atomic.Pointer[[]taskDeque]
 }
 
 type taskDeque struct {
 	mu sync.Mutex
 	q  []*omp.TaskNode
-	_  [64]byte
+	// n mirrors len(q) so the cut-off check reads queue length without the
+	// lock (and can add the producer's buffered count on top).
+	n atomic.Int64
+	_ [40]byte
 }
 
-func (e *engine) dequesOf(team *omp.Team) *taskDeques {
-	return team.EngineData(func() any {
-		return &taskDeques{deques: make([]taskDeque, team.Size)}
-	}).(*taskDeques)
+func newTaskDeques() any { return &taskDeques{} }
+
+func (e *engine) dequesOf(team *omp.Team) []taskDeque {
+	td := team.EngineData(newTaskDeques).(*taskDeques)
+	if p := td.deques.Load(); p != nil && len(*p) >= team.Size {
+		return *p
+	}
+	td.mu.Lock()
+	defer td.mu.Unlock()
+	if p := td.deques.Load(); p != nil && len(*p) >= team.Size {
+		return *p
+	}
+	// All deques are empty here: growth only happens at first use by a
+	// recycled team, whose previous region drained every queue.
+	ds := make([]taskDeque, team.Size)
+	td.deques.Store(&ds)
+	return ds
 }
 
 func (e *engine) BarrierWait(tc *omp.TC) {
-	team := tc.Team()
-	team.Bar.Wait(team.Size, &team.Tasks,
-		func() bool { return e.tryRunTask(tc) },
-		func() { e.Idle(tc) })
+	tc.Team().Bar.WaitTC(tc, true)
 }
 
-// SpawnTask queues to the encountering thread's deque — unless the deque has
-// reached the cut-off bound or the task is final, in which case the task
-// executes immediately as sequential code (§VI-E).
+// SpawnTask queues to the encountering thread's deque (via the producer-side
+// buffer when batching is on) — unless the observable queue length, buffered
+// tasks included, has reached the cut-off bound or the task is final, in
+// which case the task executes immediately as sequential code (§VI-E).
 func (e *engine) SpawnTask(tc *omp.TC, node *omp.TaskNode) {
 	if node.Final || node.Undeferred {
 		// Undeferred execution; like the native runtime, finality is not
@@ -229,40 +258,69 @@ func (e *engine) SpawnTask(tc *omp.TC, node *omp.TaskNode) {
 		omp.ExecTask(tc, node)
 		return
 	}
-	td := e.dequesOf(tc.Team())
-	d := &td.deques[tc.ThreadNum()]
+	d := &e.dequesOf(tc.Team())[tc.ThreadNum()]
 	cutoff := e.rt.cfg.EffectiveCutoff()
-	d.mu.Lock()
-	if len(d.q) >= cutoff {
-		d.mu.Unlock()
+	if int(d.n.Load())+tc.BufferedTasks() >= cutoff {
+		// Make the backlog stealable before the producer serializes, then
+		// run the overflow task undeferred at its spawn site, as the native
+		// runtime does.
+		e.FlushTasks(tc)
 		e.rt.tasksDirect.Add(1)
 		omp.ExecTask(tc, node)
 		return
 	}
-	d.q = append(d.q, node)
-	d.mu.Unlock()
 	e.rt.tasksQueued.Add(1)
+	if e.rt.taskBuf > 0 {
+		if tc.BufferTask(node, e.rt.taskBuf) {
+			e.FlushTasks(tc)
+		}
+		return
+	}
+	d.mu.Lock()
+	d.q = append(d.q, node)
+	d.n.Store(int64(len(d.q)))
+	d.mu.Unlock()
+}
+
+// FlushTasks appends the producer-side buffer to the owner's deque under a
+// single lock acquisition.
+func (e *engine) FlushTasks(tc *omp.TC) {
+	nodes := tc.TakeBuffered()
+	if len(nodes) == 0 {
+		return
+	}
+	e.rt.flushes.Add(1)
+	d := &e.dequesOf(tc.Team())[tc.ThreadNum()]
+	d.mu.Lock()
+	d.q = append(d.q, nodes...)
+	d.n.Store(int64(len(d.q)))
+	d.mu.Unlock()
+	// The deque owns the nodes now; clear the TC's pooled buffer slots so
+	// they do not retain finished tasks.
+	clear(nodes)
 }
 
 // tryRunTask pops the newest task from the caller's own deque (LIFO for
 // locality) or steals the oldest from another thread's deque (FIFO, Intel's
 // stealing order).
 func (e *engine) tryRunTask(tc *omp.TC) bool {
-	td := e.dequesOf(tc.Team())
+	deques := e.dequesOf(tc.Team())
 	self := tc.ThreadNum()
-	d := &td.deques[self]
+	d := &deques[self]
 	d.mu.Lock()
 	if n := len(d.q); n > 0 {
 		node := d.q[n-1]
 		d.q[n-1] = nil
 		d.q = d.q[:n-1]
+		d.n.Store(int64(n - 1))
 		d.mu.Unlock()
 		omp.ExecTask(tc, node)
 		return true
 	}
 	d.mu.Unlock()
-	for i := 1; i < len(td.deques); i++ {
-		v := &td.deques[(self+i)%len(td.deques)]
+	size := tc.Team().Size
+	for i := 1; i < size; i++ {
+		v := &deques[(self+i)%size]
 		e.rt.stealAttempts.Add(1)
 		v.mu.Lock()
 		if len(v.q) > 0 {
@@ -270,6 +328,7 @@ func (e *engine) tryRunTask(tc *omp.TC) bool {
 			copy(v.q, v.q[1:])
 			v.q[len(v.q)-1] = nil
 			v.q = v.q[:len(v.q)-1]
+			v.n.Store(int64(len(v.q)))
 			v.mu.Unlock()
 			e.rt.stolen.Add(1)
 			omp.ExecTask(tc, node)
@@ -297,12 +356,11 @@ func (e *engine) Taskwait(tc *omp.TC) {
 func (e *engine) Taskyield(tc *omp.TC) {}
 
 // Nested builds the inner team from the free-worker cache, creating threads
-// only when the cache is empty, and returns them afterwards.
-func (e *engine) Nested(tc *omp.TC, n int, body func(*omp.TC)) {
+// only when the cache is empty, and returns them afterwards. The team
+// descriptor arrives pooled from the front end.
+func (e *engine) Nested(tc *omp.TC, team *omp.Team) {
 	e.rt.nested.Add(1)
-	cfg := tc.Team().Cfg
-	team := omp.NewTeam(n, tc.Level()+1, cfg)
-	inner := &engine{rt: e.rt}
+	n := team.Size
 	workers := make([]*nestedWorker, n-1)
 	dones := make([]chan struct{}, n-1)
 	for i := range workers {
@@ -312,14 +370,10 @@ func (e *engine) Nested(tc *omp.TC, n int, body func(*omp.TC)) {
 		done := make(chan struct{})
 		dones[i] = done
 		w.jobs <- job{run: func() {
-			itc := omp.NewTC(team, rank, inner, nil, nil)
-			body(itc)
-			itc.Barrier()
+			team.Run(rank, e, nil)
 		}, done: done}
 	}
-	itc := omp.NewTC(team, 0, inner, nil, nil)
-	body(itc)
-	itc.Barrier()
+	team.Run(0, e, nil)
 	for i, w := range workers {
 		<-dones[i]
 		e.rt.putWorker(w)

@@ -121,3 +121,47 @@ func TestTable1RuntimeOutcomes(t *testing.T) {
 		})
 	}
 }
+
+// TestTable1DispatchModes runs the full Table I suite on GLTO under every
+// task/region dispatch mode the runtime offers — the default batched path
+// (producer-side task buffer + PushBatch), buffering disabled alone, and the
+// paper-faithful PerUnitDispatch escape hatch — and on the pthread runtimes
+// with batching toggled. Construct semantics must be mode-invariant: the
+// batching redesign may change *when* a deferred task becomes visible, never
+// what the validation suite observes.
+func TestTable1DispatchModes(t *testing.T) {
+	modes := []struct {
+		name   string
+		mutate func(*omp.Config)
+	}{
+		{"batched", func(c *omp.Config) {}},
+		{"unbuffered", func(c *omp.Config) { c.TaskBuffer = -1 }},
+		{"per-unit", func(c *omp.Config) { c.PerUnitDispatch = true }},
+	}
+	runtimes := []struct {
+		rtName, backend string
+		threshold       int
+	}{
+		{"glto", "abt", 118},
+		{"gomp", "", 115},
+		{"iomp", "", 115},
+	}
+	for _, rtc := range runtimes {
+		for _, mode := range modes {
+			t.Run(rtc.rtName+"/"+mode.name, func(t *testing.T) {
+				cfg := omp.Config{NumThreads: 4, Backend: rtc.backend, Nested: true}
+				mode.mutate(&cfg)
+				rt, err := openmp.New(rtc.rtName, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rt.Shutdown()
+				rep := RunSuite(rt, 4)
+				if rep.Passed() < rtc.threshold {
+					t.Errorf("%s/%s: passed %d, expected at least %d; failed: %v",
+						rtc.rtName, mode.name, rep.Passed(), rtc.threshold, rep.FailedNames())
+				}
+			})
+		}
+	}
+}

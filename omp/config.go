@@ -90,6 +90,20 @@ type Config struct {
 	// cut-off". Only the iomp runtime honours it.
 	TaskCutoff int
 
+	// TaskBuffer is the capacity of the per-thread producer-side task
+	// buffer: deferred tasks accumulate on their creating thread and are
+	// submitted to the engine in one batch at OpenMP task scheduling points
+	// (barriers, taskwait, taskyield, taskgroup end) or when the buffer
+	// fills — one engine synchronization episode per batch instead of one
+	// locked push per task. Zero means DefaultTaskBuffer; a negative value
+	// disables batching, restoring the seed's task-at-a-time dispatch.
+	// PerUnitDispatch disables it too, so the paper-faithful mode stays
+	// per-unit end to end. Undeferred tasks (final, if(0), cut-off overflow)
+	// never enter the buffer, and the Intel cut-off counts buffered tasks as
+	// queue length, so Fig. 14's deferral decisions are unchanged
+	// (OMP_TASK_BUFFER).
+	TaskBuffer int
+
 	// Backend selects the GLT backend for the glto runtime:
 	// "abt", "qth" or "mth" (GLTO_BACKEND / GLT_IMPL).
 	Backend string
@@ -114,6 +128,12 @@ type Config struct {
 // DefaultTaskCutoff is the Intel runtime's default task queue bound.
 const DefaultTaskCutoff = 256
 
+// DefaultTaskBuffer is the default producer-side task buffer capacity. Small
+// enough that consumers parked at a barrier see work within one burst
+// (Fig. 14's producer creates thousands of tasks), large enough to amortize
+// the engine's per-batch synchronization.
+const DefaultTaskBuffer = 64
+
 // WithDefaults resolves zero fields to their defaults.
 func (c Config) WithDefaults() Config {
 	if c.NumThreads <= 0 {
@@ -126,6 +146,19 @@ func (c Config) WithDefaults() Config {
 		c.Backend = "abt"
 	}
 	return c
+}
+
+// EffectiveTaskBuffer returns the producer-side task buffer capacity, or 0
+// when batched task submission is disabled (negative TaskBuffer, or
+// PerUnitDispatch restoring the paper-faithful per-unit hot path).
+func (c Config) EffectiveTaskBuffer() int {
+	if c.PerUnitDispatch || c.TaskBuffer < 0 {
+		return 0
+	}
+	if c.TaskBuffer == 0 {
+		return DefaultTaskBuffer
+	}
+	return c.TaskBuffer
 }
 
 // EffectiveCutoff returns the task cut-off bound, with negative meaning "no
@@ -187,17 +220,25 @@ func (c Config) FromEnv() Config {
 	if !c.Tasklets && envBool("GLTO_TASKLETS") {
 		c.Tasklets = true
 	}
-	if !c.PerUnitDispatch && envBool("GLTO_PER_UNIT_DISPATCH") {
+	if !c.PerUnitDispatch && (envBool("GLTO_PER_UNIT_DISPATCH") || envBool("GLT_PER_UNIT_DISPATCH")) {
 		c.PerUnitDispatch = true
+	}
+	if c.TaskBuffer == 0 {
+		if v, err := strconv.Atoi(os.Getenv("OMP_TASK_BUFFER")); err == nil && v != 0 {
+			c.TaskBuffer = v
+		}
 	}
 	return c
 }
 
-// PerUnitDispatchFromEnv reports whether GLTO_PER_UNIT_DISPATCH requests the
-// paper-faithful per-unit dispatch mode. It exists for callers like the
-// figure harness that pin every other ICV deliberately and must not consult
-// the wider OMP_* environment through Config.FromEnv.
-func PerUnitDispatchFromEnv() bool { return envBool("GLTO_PER_UNIT_DISPATCH") }
+// PerUnitDispatchFromEnv reports whether GLTO_PER_UNIT_DISPATCH (or the
+// GLT-level GLT_PER_UNIT_DISPATCH) requests the paper-faithful per-unit
+// dispatch mode. It exists for callers like the figure harness that pin
+// every other ICV deliberately and must not consult the wider OMP_*
+// environment through Config.FromEnv.
+func PerUnitDispatchFromEnv() bool {
+	return envBool("GLTO_PER_UNIT_DISPATCH") || envBool("GLT_PER_UNIT_DISPATCH")
+}
 
 func envBool(name string) bool {
 	switch strings.ToLower(os.Getenv(name)) {

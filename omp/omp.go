@@ -32,12 +32,33 @@
 //	#pragma omp taskyield                tc.Taskyield()
 //	nested #pragma omp parallel          tc.Parallel(n, func(tc *omp.TC) { ... })
 //
+// # Architecture: user API versus runtime SPI
+//
+// Two boundaries meet in this package, and since the SPI redesign they are
+// distinct:
+//
+//   - The user-facing API — the Runtime interface, Parallel/ParallelN, and
+//     every TC construct — is what applications program against. It is
+//     unchanged by the redesign.
+//   - The runtime SPI is what a runtime implements: RegionEngine (region
+//     placement over pre-built teams) plus EngineOps (barriers, tasking,
+//     nesting for the shared construct code).
+//
+// The Frontend type sits between them. It owns the Team/TC lifecycle —
+// descriptors are pooled and recycled across regions, the way the glt engine
+// pools unit descriptors — so every runtime's steady-state region path is
+// allocation-free by construction rather than by per-runtime effort.
+// Runtimes receive teams that are already built (body bound, member slots
+// rearmed) and only decide where the members execute.
+//
 // # Runtimes
 //
-// Runtime implementations register themselves with RegisterRuntime; the
-// repro/openmp package imports the three of this repository (GNU-like
-// "gomp", Intel-like "iomp", and the paper's contribution "glto") and
-// provides convenience constructors.
+// Runtime implementations register themselves with RegisterRuntime (full
+// user-facing implementations, typically a Frontend embedded next to the
+// engine) or RegisterEngine (bare SPI engines, wrapped in a Frontend
+// automatically); the repro/openmp package imports the three of this
+// repository (GNU-like "gomp", Intel-like "iomp", and the paper's
+// contribution "glto") and provides convenience constructors.
 package omp
 
 import (
@@ -46,10 +67,13 @@ import (
 	"sync"
 )
 
-// Runtime is an instantiated OpenMP runtime: a persistent set of worker
-// threads (or execution streams) plus the policies for work sharing, nested
-// parallelism and tasking. Implementations must be safe for use from a
-// single "initial thread" goroutine, matching OpenMP's host model.
+// Runtime is an instantiated OpenMP runtime as applications see it: a
+// persistent set of worker threads (or execution streams) plus the policies
+// for work sharing, nested parallelism and tasking. Implementations must be
+// safe for use from a single "initial thread" goroutine, matching OpenMP's
+// host model. This interface is the stable user-facing API; runtimes
+// implement the much narrower RegionEngine SPI and obtain the rest from a
+// Frontend.
 type Runtime interface {
 	// Name identifies the runtime ("gomp", "iomp", "glto", ...).
 	Name() string
@@ -74,6 +98,108 @@ type Runtime interface {
 	ResetStats()
 }
 
+// RegionEngine is the runtime SPI: the whole contract a runtime must
+// implement to execute parallel regions. The front end owns the Team/TC
+// lifecycle — RunRegion receives a fully built, pooled team and only decides
+// where its members run, each member calling t.Run(rank, ops, ectx).
+// Engines additionally implement EngineOps to back the constructs their TCs
+// execute.
+type RegionEngine interface {
+	// Name identifies the engine ("gomp", "iomp", "glto", ...).
+	Name() string
+	// RunRegion executes a pre-built top-level team: t.Size members, each
+	// invoking t.Run exactly once, returning after the region's implicit
+	// barrier. The team descriptor is recycled by the caller afterwards.
+	RunRegion(t *Team)
+	// Shutdown releases the engine's threads.
+	Shutdown()
+	// Stats returns a snapshot of the engine's accounting counters.
+	Stats() Stats
+	// ResetStats zeroes the accounting counters.
+	ResetStats()
+}
+
+// Frontend implements the user-facing Runtime API over a RegionEngine. It
+// owns the region-descriptor pool: ParallelN fetches a Team (recycled when
+// possible), hands it to the engine, and returns it to the pool when the
+// region completes — the front-end half of the allocation-free region path.
+// Runtime packages embed a Frontend next to their engine so one type serves
+// both boundaries.
+type Frontend struct {
+	eng RegionEngine
+	cfg Config
+	// teams recycles region descriptors. sync.Pool gives per-P caches, so
+	// concurrent nested regions do not contend on a shared free-list lock.
+	teams sync.Pool
+}
+
+// NewFrontend builds a front end over eng with the given configuration
+// (defaults resolved here, so engines and Config() agree).
+func NewFrontend(eng RegionEngine, cfg Config) *Frontend {
+	return &Frontend{eng: eng, cfg: cfg.WithDefaults()}
+}
+
+// Name reports the engine's name.
+func (f *Frontend) Name() string { return f.eng.Name() }
+
+// Config returns the resolved configuration.
+func (f *Frontend) Config() Config { return f.cfg }
+
+// Engine exposes the runtime SPI implementation behind this front end, for
+// tooling that needs engine-specific facilities.
+func (f *Frontend) Engine() RegionEngine { return f.eng }
+
+// SetNumThreads changes the default team size for subsequent parallel
+// regions. The team-size ICV lives in the front end; engines see it as
+// Team.Size.
+func (f *Frontend) SetNumThreads(n int) {
+	if n > 0 {
+		f.cfg.NumThreads = n
+	}
+}
+
+// Parallel runs a top-level region with the default team size.
+func (f *Frontend) Parallel(body func(*TC)) { f.ParallelN(f.cfg.NumThreads, body) }
+
+// ParallelN runs a top-level region of n threads on the engine, using a
+// pooled team descriptor.
+func (f *Frontend) ParallelN(n int, body func(*TC)) {
+	if n < 1 {
+		n = 1
+	}
+	t := f.getTeam(n, 0, f.cfg, body)
+	f.eng.RunRegion(t)
+	f.putTeam(t)
+}
+
+// Shutdown stops the engine.
+func (f *Frontend) Shutdown() { f.eng.Shutdown() }
+
+// Stats reports the engine's accounting counters.
+func (f *Frontend) Stats() Stats { return f.eng.Stats() }
+
+// ResetStats zeroes the engine's accounting counters.
+func (f *Frontend) ResetStats() { f.eng.ResetStats() }
+
+// getTeam fetches a recycled descriptor (or builds one) and prepares it for
+// a region. Nested regions reach it through Team.newNested.
+func (f *Frontend) getTeam(size, level int, cfg Config, body func(*TC)) *Team {
+	t, _ := f.teams.Get().(*Team)
+	if t == nil {
+		t = &Team{}
+	}
+	t.owner = f
+	t.prepare(size, level, cfg, body)
+	return t
+}
+
+// putTeam returns a quiescent descriptor to the pool. The region body is
+// dropped so pooled descriptors do not retain user closures.
+func (f *Frontend) putTeam(t *Team) {
+	t.body = nil
+	f.teams.Put(t)
+}
+
 // Stats aggregates runtime accounting. The nested-parallelism thread
 // accounting of the paper's Table II and the task-queueing percentages of
 // Table III are read from here.
@@ -95,7 +221,9 @@ type Stats struct {
 	PeakThreads int64
 	// ULTsCreated counts user-level threads created (GLTO).
 	ULTsCreated int64
-	// TasksQueued counts explicit tasks that were deferred into a queue.
+	// TasksQueued counts explicit tasks that were deferred into a queue
+	// (including tasks currently sitting in a producer-side buffer, which
+	// are queued-in-flight: the deferral decision has been made).
 	TasksQueued int64
 	// TasksDirect counts explicit tasks executed immediately at the spawn
 	// site (the Intel cut-off mechanism, if(0) clauses, or serialization).
@@ -106,6 +234,10 @@ type Stats struct {
 	// StealAttempts counts queue inspections on other threads' queues,
 	// successful or not (a proxy for task-system contention).
 	StealAttempts int64
+	// TaskFlushes counts producer-side buffer flushes: batched task
+	// submission episodes (each covering one or more tasks). Zero when
+	// batching is disabled (Config.TaskBuffer < 0 or PerUnitDispatch).
+	TaskFlushes int64
 }
 
 // QueuedTaskPercent reports the share of explicit tasks that went through a
@@ -133,6 +265,21 @@ func RegisterRuntime(name string, mk func(Config) (Runtime, error)) {
 		panic("omp: duplicate runtime registration: " + name)
 	}
 	runtimes[name] = mk
+}
+
+// RegisterEngine makes a bare RegionEngine constructor available to
+// NewRuntime under the given name, wrapped in a Frontend. Engines registered
+// this way get the pooled region path for free; runtime packages that expose
+// engine-specific accessors (GLT backends, …) instead embed a Frontend in
+// their own type and use RegisterRuntime.
+func RegisterEngine(name string, mk func(Config) (RegionEngine, error)) {
+	RegisterRuntime(name, func(cfg Config) (Runtime, error) {
+		eng, err := mk(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return NewFrontend(eng, cfg), nil
+	})
 }
 
 // NewRuntime instantiates a registered runtime by name.

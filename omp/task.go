@@ -21,10 +21,17 @@ type TaskNode struct {
 	// Undeferred forces immediate execution at the spawn site without the
 	// inheritance semantics of Final (the if(false) clause).
 	Undeferred bool
+	// InSingleMaster records whether the task was created lexically inside a
+	// single or master construct. PrepareTask snapshots it from the creating
+	// TC so that placement policies keyed on it (GLTO's round-robin
+	// distribution, paper §IV-D) stay correct when the task is dispatched
+	// later from a producer-side buffer, possibly after the construct ended.
+	InSingleMaster bool
 
 	parent   *TaskNode
 	children atomic.Int64
 	group    *TaskGroup
+	team     *Team
 
 	// CreatedBy, StartedBy and ResumedBy record team-thread numbers for
 	// conformance checks; ResumedBy is -1 until the task resumes after a
@@ -43,8 +50,29 @@ func newTaskNode(fn func(*TC), parent *TaskNode, createdBy int) *TaskNode {
 	return n
 }
 
+// rearm resets a pooled implicit-task node for its next region (Team.Run).
+func (n *TaskNode) rearm(createdBy int) {
+	n.Fn = nil
+	n.Tied = true
+	n.Final = false
+	n.Undeferred = false
+	n.InSingleMaster = false
+	n.parent = nil
+	n.children.Store(0)
+	n.group = nil
+	n.team = nil
+	n.CreatedBy = createdBy
+	n.StartedBy.Store(-1)
+	n.ResumedBy.Store(-1)
+}
+
 // Children reports the number of unfinished direct children.
 func (n *TaskNode) Children() int64 { return n.children.Load() }
+
+// Team returns the team the task is bound to (the region whose implicit
+// barrier waits for it). It is set by PrepareTask; engines dispatching tasks
+// from a buffer use it to rebuild the execution context (see ExecTaskOn).
+func (n *TaskNode) Team() *Team { return n.team }
 
 // TaskOpt customizes Task.
 type TaskOpt func(*TaskNode)
@@ -65,7 +93,8 @@ func If(cond bool) TaskOpt { return func(n *TaskNode) { n.Undeferred = !cond } }
 // ExecTask runs node on the calling thread, giving its body a task-scoped TC
 // and settling the completion bookkeeping (parent child count, team task
 // count) when the body returns. Engines call it from their dequeue paths and
-// for undeferred execution.
+// for undeferred execution. Task completion is a scheduling point: tasks the
+// body buffered are flushed before the node is marked finished.
 func ExecTask(tc *TC, node *TaskNode) {
 	node.StartedBy.CompareAndSwap(-1, int32(tc.num))
 	ttc := &TC{
@@ -77,13 +106,27 @@ func ExecTask(tc *TC, node *TaskNode) {
 		group: node.group, // descendants join the creator's taskgroup
 	}
 	node.Fn(ttc)
+	ttc.flushPending()
 	FinishTask(tc.team, node)
+}
+
+// ExecTaskOn is ExecTask for engines that run task bodies in their own work
+// units and have no creating TC at hand (GLTO's ULT-per-task): it builds the
+// task-scoped context for team-rank num over ops/ectx directly, runs the
+// body, flushes tasks the body buffered, and settles the completion
+// bookkeeping.
+func ExecTaskOn(team *Team, num int, ops EngineOps, ectx any, node *TaskNode) {
+	node.StartedBy.CompareAndSwap(-1, int32(num))
+	ttc := &TC{team: team, num: num, ops: ops, ectx: ectx, cur: node, group: node.group}
+	node.Fn(ttc)
+	ttc.flushPending()
+	FinishTask(team, node)
 }
 
 // FinishTask performs the completion bookkeeping for node: it detaches the
 // task from its parent's child count and from the team's outstanding-task
 // count. Engines that execute task bodies themselves (e.g. as ULTs) call it
-// after the body returns; ExecTask calls it automatically.
+// after the body returns; ExecTask and ExecTaskOn call it automatically.
 func FinishTask(team *Team, node *TaskNode) {
 	if node.parent != nil {
 		node.parent.children.Add(-1)
@@ -100,6 +143,8 @@ func FinishTask(team *Team, node *TaskNode) {
 // application code uses tc.Task.
 func PrepareTask(tc *TC, fn func(*TC), opts ...TaskOpt) *TaskNode {
 	node := newTaskNode(fn, tc.cur, tc.num)
+	node.team = tc.team
+	node.InSingleMaster = tc.inSM
 	for _, o := range opts {
 		o(node)
 	}
@@ -117,8 +162,9 @@ func PrepareTask(tc *TC, fn func(*TC), opts ...TaskOpt) *TaskNode {
 
 // TaskTC builds the task-scoped thread context used to run node on the
 // thread owning tc, without executing it. Engines that run task bodies in
-// their own work units (GLTO's ULT-per-task) use it together with
-// FinishTask; ExecTask is the packaged combination.
+// their own work units use it together with FinishTask; ExecTask is the
+// packaged combination. Callers are responsible for flushing tasks the body
+// buffers (ExecTaskOn packages that too).
 func TaskTC(tc *TC, node *TaskNode) *TC {
 	return &TC{team: tc.team, num: tc.num, ops: tc.ops, ectx: tc.ectx, cur: node, group: node.group}
 }

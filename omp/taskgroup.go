@@ -27,6 +27,9 @@ func (tc *TC) Taskgroup(body func()) {
 	tc.group = g
 	body()
 	tc.group = parent
+	// The end of a taskgroup is a task scheduling point: tasks the body
+	// buffered must be dispatched before the wait, or the count never drains.
+	tc.flushPending()
 	for g.count.Load() > 0 {
 		if !tc.ops.TryRunTask(tc) {
 			tc.ops.Idle(tc)

@@ -4,6 +4,9 @@ package omp
 // every OpenMP construct the thread executes. A TC is created by the runtime
 // for each implicit task of a region (and for each explicit task body) and
 // must only be used by the goroutine or work unit it was handed to.
+//
+// Implicit-task TCs are pooled inside their Team and rearmed per region by
+// Team.Run; explicit-task TCs are built by ExecTask/ExecTaskOn.
 type TC struct {
 	team *Team
 	num  int
@@ -15,7 +18,8 @@ type TC struct {
 	// construct. GLTO's task dispatch policy switches on it: tasks created
 	// inside single/master are distributed round-robin over the execution
 	// streams, while tasks created by all threads stay thread-local
-	// (paper §IV-D).
+	// (paper §IV-D). PrepareTask snapshots it into each TaskNode so the
+	// decision survives task buffering.
 	inSM bool
 
 	loopSeq   int64
@@ -29,6 +33,14 @@ type TC struct {
 	// group is the innermost active taskgroup, inherited by tasks created
 	// in its extent (see taskgroup.go).
 	group *TaskGroup
+
+	// taskBuf is the producer-side task buffer: deferred tasks accumulate
+	// here and are handed to the engine in one FlushTasks call at OpenMP task
+	// scheduling points (barriers, taskwait, taskyield, taskgroup end) or
+	// when the buffer reaches the engine's limit — one engine
+	// synchronization episode per batch instead of one per task. The backing
+	// array is retained across rearms.
+	taskBuf []*TaskNode
 }
 
 // EngineOps is the service provider interface a runtime engine implements to
@@ -41,18 +53,26 @@ type EngineOps interface {
 	// drains (task scheduling point semantics).
 	BarrierWait(tc *TC)
 	// SpawnTask makes node runnable according to the engine's tasking
-	// policy (queue, deque, ULT, or immediate undeferred execution).
+	// policy (queue, deque, ULT, immediate undeferred execution, or the
+	// producer-side buffer via tc.BufferTask).
 	SpawnTask(tc *TC, node *TaskNode)
+	// FlushTasks dispatches every task in tc's producer-side buffer
+	// (tc.TakeBuffered) to the engine's queues in one batch. The shared
+	// construct code calls it at every task scheduling point; it must be a
+	// cheap no-op when the buffer is empty. Engines that never buffer
+	// (tc.BufferTask unused) may implement it as an empty method.
+	FlushTasks(tc *TC)
 	// Taskwait blocks until the current task's children have completed,
 	// executing queued tasks while waiting.
 	Taskwait(tc *TC)
 	// Taskyield is a task scheduling point at which the engine may suspend
 	// the current task in favour of other work.
 	Taskyield(tc *TC)
-	// Nested runs a non-serialized inner parallel region of n threads with
-	// tc as the master. It returns after the inner region's implicit
-	// barrier.
-	Nested(tc *TC, n int, body func(*TC))
+	// Nested runs the pre-built inner team t (t.Size threads, body already
+	// bound) with tc as the master: every member executes t.Run(rank, ...).
+	// It returns after the inner region's implicit barrier. The front end
+	// builds and recycles t; engines only place its members on threads.
+	Nested(tc *TC, t *Team)
 	// TryRunTask executes one queued task of the team if the engine's
 	// tasking structures hold one, reporting whether it did. Engines whose
 	// tasks are scheduled elsewhere (GLTO's ULTs run under the stream
@@ -65,15 +85,33 @@ type EngineOps interface {
 	Idle(tc *TC)
 }
 
-// NewTC constructs a thread context. It is exported for runtime engines;
-// application code receives TCs from Runtime.Parallel and tc.Parallel. The
-// node argument is the context's current (implicit or explicit) task; pass
-// nil for a fresh implicit task.
+// NewTC constructs a thread context. It is exported for runtime engines and
+// tests; application code receives TCs from Runtime.Parallel and
+// tc.Parallel, and the pooled region path builds its TCs in place via
+// Team.Run. The node argument is the context's current (implicit or
+// explicit) task; pass nil for a fresh implicit task.
 func NewTC(team *Team, num int, ops EngineOps, ectx any, node *TaskNode) *TC {
 	if node == nil {
 		node = newTaskNode(nil, nil, num)
 	}
 	return &TC{team: team, num: num, ops: ops, ectx: ectx, cur: node}
+}
+
+// rearm resets a pooled TC slot for its next region, retaining the task
+// buffer's backing array.
+func (tc *TC) rearm(team *Team, num int, ops EngineOps, ectx any, node *TaskNode) {
+	tc.team = team
+	tc.num = num
+	tc.ops = ops
+	tc.ectx = ectx
+	tc.cur = node
+	tc.inSM = false
+	tc.loopSeq = 0
+	tc.singleSeq = 0
+	tc.sectSeq = 0
+	tc.curOrdered = nil
+	tc.group = nil
+	tc.taskBuf = tc.taskBuf[:0]
 }
 
 // ThreadNum reports the calling thread's number within its team
@@ -103,9 +141,48 @@ func (tc *TC) CurTask() *TaskNode { return tc.cur }
 // master construct (see the note on the inSM field).
 func (tc *TC) InSingleMaster() bool { return tc.inSM }
 
+// BufferTask appends node to this context's producer-side task buffer and
+// reports whether the buffer has reached limit, i.e. whether the engine
+// should flush now. It is part of the runtime SPI: engines call it from
+// SpawnTask when batched submission is enabled; the shared construct code
+// guarantees a FlushTasks at every task scheduling point, so a buffered task
+// is dispatched no later than the next barrier/taskwait/taskyield.
+func (tc *TC) BufferTask(node *TaskNode, limit int) bool {
+	tc.taskBuf = append(tc.taskBuf, node)
+	return len(tc.taskBuf) >= limit
+}
+
+// BufferedTasks reports how many created-but-not-yet-dispatched tasks sit in
+// the producer-side buffer. Engines with queue-length policies (the Intel
+// cut-off of Fig. 14) must count it as part of the observable queue length,
+// so buffering does not change which tasks are deferred versus undeferred.
+func (tc *TC) BufferedTasks() int { return len(tc.taskBuf) }
+
+// TakeBuffered empties the producer-side buffer and returns its contents.
+// The returned slice aliases the buffer's backing array: it is valid only
+// until the next BufferTask on this context, so engines must finish
+// dispatching (or copy) before returning from FlushTasks — and should
+// clear() the slice once their queues own the nodes, so the pooled buffer
+// does not retain finished tasks.
+func (tc *TC) TakeBuffered() []*TaskNode {
+	nodes := tc.taskBuf
+	tc.taskBuf = tc.taskBuf[:0]
+	return nodes
+}
+
+// flushPending hands any buffered tasks to the engine. Called at every task
+// scheduling point before the wait they imply.
+func (tc *TC) flushPending() {
+	if len(tc.taskBuf) > 0 {
+		tc.ops.FlushTasks(tc)
+	}
+}
+
 // Barrier executes a team barrier (#pragma omp barrier). Barriers are task
-// scheduling points: waiting threads execute queued tasks.
+// scheduling points: buffered tasks are flushed and waiting threads execute
+// queued tasks.
 func (tc *TC) Barrier() {
+	tc.flushPending()
 	emitTrace(func(tr Tracer) { tr.BarrierEnter(tc.team) })
 	tc.ops.BarrierWait(tc)
 	emitTrace(func(tr Tracer) { tr.BarrierExit(tc.team) })
@@ -163,26 +240,36 @@ func (tc *TC) Critical(name string, body func()) {
 // task-scoped TC whose ThreadNum is the executing thread. Deferral,
 // placement and stealing are runtime policy: the GNU-like runtime queues to
 // a shared team queue, the Intel-like runtime to per-thread deques with a
-// cut-off, and GLTO creates a ULT (paper §IV-D).
+// cut-off, and GLTO creates a ULT (paper §IV-D). Engines may batch deferred
+// tasks through the producer-side buffer; undeferred tasks (final, if(0),
+// cut-off overflow) always execute inline at this call, before it returns.
 func (tc *TC) Task(fn func(*TC), opts ...TaskOpt) {
 	node := PrepareTask(tc, fn, opts...)
 	tc.ops.SpawnTask(tc, node)
 }
 
 // Taskwait blocks until all children of the current task complete
-// (#pragma omp taskwait).
-func (tc *TC) Taskwait() { tc.ops.Taskwait(tc) }
+// (#pragma omp taskwait). It is a task scheduling point: buffered tasks
+// flush first, so a task's own children are never stranded in its buffer.
+func (tc *TC) Taskwait() {
+	tc.flushPending()
+	tc.ops.Taskwait(tc)
+}
 
 // Taskyield allows the runtime to suspend the current task in favour of
-// other work (#pragma omp taskyield).
-func (tc *TC) Taskyield() { tc.ops.Taskyield(tc) }
+// other work (#pragma omp taskyield). As a task scheduling point it flushes
+// the producer-side buffer first.
+func (tc *TC) Taskyield() {
+	tc.flushPending()
+	tc.ops.Taskyield(tc)
+}
 
 // Sections executes each function as one section of a sections construct,
 // distributing them dynamically over the team, with an implied barrier
 // (#pragma omp sections).
 func (tc *TC) Sections(fns ...func()) {
 	tc.sectSeq++
-	ls := tc.team.loopFor(^tc.sectSeq, func() *loopState {
+	ls := tc.team.sectionFor(tc.sectSeq, func() *loopState {
 		return &loopState{hi: int64(len(fns)), chunk: 1}
 	})
 	for {
@@ -201,7 +288,8 @@ func (tc *TC) Sections(fns ...func()) {
 // follows the nesting ICVs: with Nested disabled or the max-active-levels
 // limit reached, body runs on this thread alone in a team of one — which is
 // how the pthread runtimes dodge the oversubscription the paper measures
-// when nesting is *enabled* (OMP_NESTED=true, §VI-A).
+// when nesting is *enabled* (OMP_NESTED=true, §VI-A). The inner team comes
+// from the front end's descriptor pool; the engine only places its members.
 func (tc *TC) Parallel(n int, body func(*TC)) {
 	cfg := tc.team.Cfg
 	if n <= 0 {
@@ -215,15 +303,32 @@ func (tc *TC) Parallel(n int, body func(*TC)) {
 		tc.serialRegion(body)
 		return
 	}
-	tc.ops.Nested(tc, n, body)
+	team := tc.team.newNested(n, body)
+	tc.ops.Nested(tc, team)
+	tc.team.releaseNested(team)
 }
 
 // serialRegion runs a serialized parallel region: a team of one on the
 // encountering thread, reusing the engine's tasking machinery so explicit
 // tasks inside still work.
 func (tc *TC) serialRegion(body func(*TC)) {
-	team := NewTeam(1, tc.team.Level+1, tc.team.Cfg)
-	inner := NewTC(team, 0, tc.ops, tc.ectx, nil)
-	body(inner)
-	inner.Barrier() // implicit region-end barrier: drains the inner team's tasks
+	team := tc.team.newNested(1, body)
+	team.Run(0, tc.ops, tc.ectx)
+	tc.team.releaseNested(team)
+}
+
+// newNested fetches a pooled descriptor for an inner region of this team
+// (falling back to allocation for hand-built teams with no owning Frontend).
+func (t *Team) newNested(size int, body func(*TC)) *Team {
+	if t.owner != nil {
+		return t.owner.getTeam(size, t.Level+1, t.Cfg, body)
+	}
+	return NewTeam(size, t.Level+1, t.Cfg, body)
+}
+
+// releaseNested returns an inner-region descriptor to the pool it came from.
+func (t *Team) releaseNested(inner *Team) {
+	if t.owner != nil {
+		t.owner.putTeam(inner)
+	}
 }

@@ -6,11 +6,16 @@ import (
 )
 
 // Team is the shared state of one parallel region: the data behind every
-// work-sharing and synchronization construct its members execute. A fresh
-// Team is allocated per region — runtimes reuse *threads* across regions
-// (that reuse is exactly what the paper's Fig. 7 and Table II measure) but
-// never Team objects, so per-encounter bookkeeping cannot leak across the
-// hundreds of thousands of regions in the CloverLeaf experiment.
+// work-sharing and synchronization construct its members execute. Runtimes
+// reuse *threads* across regions (that reuse is exactly what the paper's
+// Fig. 7 and Table II measure); since the SPI redesign the front end also
+// reuses Team descriptors — a region fetches one from the owning Frontend's
+// pool and returns it when the region completes, the way the glt engine
+// recycles unit descriptors. Per-encounter bookkeeping (loops, singles,
+// criticals) is rearmed on every reuse, so nothing leaks across the hundreds
+// of thousands of regions in the CloverLeaf experiment; the backing storage
+// (the TC and TaskNode slots, the construct tables) survives, which is what
+// makes region respawn allocation-free by construction on every runtime.
 type Team struct {
 	// Size is the number of implicit tasks (OpenMP threads) in the team.
 	Size int
@@ -20,39 +25,112 @@ type Team struct {
 	Cfg Config
 	// Bar is the region's barrier, shared by explicit tc.Barrier calls, the
 	// implied barriers of work-sharing constructs, and the implicit barrier
-	// ending the region.
+	// ending the region. It is epoch-based and self-rearming, so it needs no
+	// reset across descriptor reuses.
 	Bar BarrierState
 	// Tasks counts explicit tasks bound to this region that have not yet
 	// finished. The implicit barrier at region end waits for it to drain,
 	// per the OpenMP task-completion rules.
 	Tasks atomic.Int64
 
-	loops   sync.Map // encounter seq -> *loopState
-	singles sync.Map // encounter seq -> *atomic.Bool (claimed)
+	loops    loopTable  // work-shared loop instances, by per-member loop seq
+	sections loopTable  // sections instances, by per-member sections seq
+	singles  claimTable // single-construct claims, by per-member single seq
 
 	critMu sync.Mutex
 	crit   map[string]*sync.Mutex
 
-	engOnce sync.Once
-	engData any
+	// Engine-attached state (task queues, deques). It deliberately survives
+	// descriptor reuse: a Team only ever serves one engine (its Frontend's),
+	// and recycling the engine's per-team structures is exactly how the task
+	// path stays allocation-free across regions. ready is the fast-path flag;
+	// data is published before ready is set.
+	engMu    sync.Mutex
+	engReady atomic.Bool
+	engData  any
+
+	// body is the region body every member executes; set by the Frontend (or
+	// tc.Parallel for nested regions) before the team is handed to the
+	// runtime's RunRegion/Nested.
+	body func(*TC)
+	// tcs and nodes are the pooled per-rank thread contexts and implicit
+	// task nodes, (re)initialized by Run.
+	tcs   []TC
+	nodes []TaskNode
+	// owner is the Frontend whose pool this descriptor belongs to; nil for
+	// hand-built teams (NewTeam), which are simply garbage collected.
+	owner *Frontend
 }
 
 // NewTeam creates the shared state for a parallel region of the given size
-// at the given nesting level.
-func NewTeam(size, level int, cfg Config) *Team {
-	if size < 1 {
-		size = 1
-	}
-	t := &Team{Size: size, Level: level, Cfg: cfg}
-	emitTrace(func(tr Tracer) { tr.RegionBegin(t) })
+// at the given nesting level, with body as the region body. It is the
+// non-pooled construction path, kept for engines and tests that build teams
+// by hand; runtimes normally receive pooled teams from the Frontend.
+func NewTeam(size, level int, cfg Config, body func(*TC)) *Team {
+	t := &Team{}
+	t.prepare(size, level, cfg, body)
 	return t
 }
 
+// prepare (re)initializes a descriptor for its next region. Construct
+// bookkeeping is rearmed; engine data and slot storage survive.
+func (t *Team) prepare(size, level int, cfg Config, body func(*TC)) {
+	if size < 1 {
+		size = 1
+	}
+	t.Size, t.Level, t.Cfg, t.body = size, level, cfg, body
+	t.Tasks.Store(0)
+	t.loops.reset()
+	t.sections.reset()
+	t.singles.reset()
+	t.critMu.Lock()
+	clear(t.crit)
+	t.critMu.Unlock()
+	if cap(t.tcs) < size {
+		t.tcs = make([]TC, size)
+		t.nodes = make([]TaskNode, size)
+	} else {
+		t.tcs = t.tcs[:size]
+		t.nodes = t.nodes[:size]
+	}
+	emitTrace(func(tr Tracer) { tr.RegionBegin(t) })
+}
+
+// Run executes the region body as team member rank: it rearms the rank's
+// pooled TC and implicit TaskNode over the given engine ops and engine
+// context, runs the body, and completes the region's implicit barrier
+// (including the task drain the barrier implies). Runtimes call it once per
+// member from RunRegion and EngineOps.Nested; it is the only construction
+// path implicit tasks need, so member startup allocates nothing.
+func (t *Team) Run(rank int, ops EngineOps, ectx any) {
+	node := &t.nodes[rank]
+	node.rearm(rank)
+	tc := &t.tcs[rank]
+	tc.rearm(t, rank, ops, ectx, node)
+	t.body(tc)
+	tc.Barrier() // the implicit barrier ending the region
+}
+
+// Body returns the region body the team was built with. Engines that cannot
+// route execution through Run (none in this repository) may invoke it
+// directly against hand-built TCs.
+func (t *Team) Body() func(*TC) { return t.body }
+
 // EngineData returns per-team engine state, initializing it with init on
 // first use. Engines use it to attach region-local structures (task queues,
-// deques) to teams they did not create, e.g. serialized inner regions.
+// deques) to teams. The state survives descriptor reuse — a team only ever
+// serves one engine — so engines must size-check anything that depends on
+// Team.Size (see internal/iomp's deques).
 func (t *Team) EngineData(init func() any) any {
-	t.engOnce.Do(func() { t.engData = init() })
+	if t.engReady.Load() {
+		return t.engData
+	}
+	t.engMu.Lock()
+	defer t.engMu.Unlock()
+	if !t.engReady.Load() {
+		t.engData = init()
+		t.engReady.Store(true)
+	}
 	return t.engData
 }
 
@@ -79,18 +157,73 @@ func (t *Team) criticalFor(name string) *sync.Mutex {
 // order (an OpenMP requirement), so the sequence number identifies the
 // construct instance.
 func (t *Team) loopFor(seq int64, mk func() *loopState) *loopState {
-	if v, ok := t.loops.Load(seq); ok {
-		return v.(*loopState)
-	}
-	v, _ := t.loops.LoadOrStore(seq, mk())
-	return v.(*loopState)
+	return t.loops.get(seq, mk)
+}
+
+// sectionFor is loopFor for sections constructs, which have their own
+// encounter sequence.
+func (t *Team) sectionFor(seq int64, mk func() *loopState) *loopState {
+	return t.sections.get(seq, mk)
 }
 
 // claimSingle reports whether the caller is the thread that executes the
 // single construct with the given encounter sequence number.
 func (t *Team) claimSingle(seq int64) bool {
-	v, _ := t.singles.LoadOrStore(seq, new(atomic.Bool))
-	return v.(*atomic.Bool).CompareAndSwap(false, true)
+	return t.singles.claim(seq)
+}
+
+// loopTable maps per-region encounter sequence numbers (1-based, dense) to
+// shared loop state. It replaces the seed's sync.Map: a plain slice under a
+// mutex recycles its backing storage across descriptor reuses, so rearming a
+// pooled team allocates nothing — the property the front-end pooling exists
+// to provide. Lookups happen once per member per construct instance; the
+// dispatch cursors inside loopState carry the per-chunk traffic.
+type loopTable struct {
+	mu sync.Mutex
+	s  []*loopState
+}
+
+func (lt *loopTable) get(seq int64, mk func() *loopState) *loopState {
+	lt.mu.Lock()
+	for int64(len(lt.s)) < seq {
+		lt.s = append(lt.s, nil)
+	}
+	ls := lt.s[seq-1]
+	if ls == nil {
+		ls = mk()
+		lt.s[seq-1] = ls
+	}
+	lt.mu.Unlock()
+	return ls
+}
+
+func (lt *loopTable) reset() {
+	clear(lt.s)
+	lt.s = lt.s[:0]
+}
+
+// claimTable is the single-construct election table. The per-seq flags are
+// recycled (cleared, not dropped) across descriptor reuses, so a steady-state
+// region with single constructs allocates nothing for its elections.
+type claimTable struct {
+	mu sync.Mutex
+	s  []*atomic.Bool
+}
+
+func (ct *claimTable) claim(seq int64) bool {
+	ct.mu.Lock()
+	for int64(len(ct.s)) < seq {
+		ct.s = append(ct.s, new(atomic.Bool))
+	}
+	b := ct.s[seq-1]
+	ct.mu.Unlock()
+	return b.CompareAndSwap(false, true)
+}
+
+func (ct *claimTable) reset() {
+	for _, b := range ct.s {
+		b.Store(false)
+	}
 }
 
 // BarrierState is a reusable epoch barrier that lets waiting threads execute
@@ -125,6 +258,31 @@ func (b *BarrierState) Wait(size int, tasks *atomic.Int64, tryTask func() bool, 
 	for b.epoch.Load() == epoch {
 		if tryTask == nil || !tryTask() {
 			idle()
+		}
+	}
+}
+
+// WaitTC is Wait specialized for an engine's BarrierWait: it drives the
+// engine's TryRunTask/Idle hooks through tc directly, so engines need no
+// per-call closures on the barrier hot path. runTasks selects whether
+// waiting threads poll the engine's queues (pthread engines) or only idle
+// (GLTO, whose task ULTs run under the stream scheduler between yields).
+func (b *BarrierState) WaitTC(tc *TC, runTasks bool) {
+	team := tc.team
+	epoch := b.epoch.Load()
+	if b.arrived.Add(1) == int64(team.Size) {
+		for team.Tasks.Load() > 0 {
+			if !runTasks || !tc.ops.TryRunTask(tc) {
+				tc.ops.Idle(tc)
+			}
+		}
+		b.arrived.Store(0)
+		b.epoch.Add(1)
+		return
+	}
+	for b.epoch.Load() == epoch {
+		if !runTasks || !tc.ops.TryRunTask(tc) {
+			tc.ops.Idle(tc)
 		}
 	}
 }

@@ -15,6 +15,16 @@
 //   - "glto": the paper's OpenMP-over-lightweight-threads runtime
 //     (internal/core), with Config.Backend selecting the GLT library
 //     analogue ("abt", "qth", "mth")
+//
+// All three are runtime SPI implementations (omp.RegionEngine +
+// omp.EngineOps) behind a shared omp.Frontend that owns the pooled Team/TC
+// lifecycle and the producer-side task buffer; see the omp package docs.
+// The user-facing API here is unchanged by that split — code written
+// against omp.Runtime and omp.TC needs no migration. New knobs:
+// omp.Config.TaskBuffer (OMP_TASK_BUFFER) sizes or disables batched task
+// submission, and omp.Stats.TaskFlushes counts its flush episodes;
+// GLT_PER_UNIT_DISPATCH / GLTO_PER_UNIT_DISPATCH still restore the paper's
+// fully per-unit dispatch.
 package openmp
 
 import (
