@@ -24,6 +24,7 @@ func TestRegionRespawnAllocCeiling(t *testing.T) {
 		{Label: "GCC", Runtime: "gomp"},
 		{Label: "Intel", Runtime: "iomp"},
 		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+		{Label: "GLTO(WS)", Runtime: "glto", Backend: "ws"},
 	}
 	body := func(*omp.TC) {}
 	for _, v := range variants {

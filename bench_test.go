@@ -444,6 +444,7 @@ func BenchmarkRegionRespawn(b *testing.B) {
 		{Label: "GCC", Runtime: "gomp"},
 		{Label: "Intel", Runtime: "iomp"},
 		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+		{Label: "GLTO(WS)", Runtime: "glto", Backend: "ws"},
 	}
 	for _, mode := range []struct {
 		name    string

@@ -43,6 +43,7 @@ func main() {
 		{"glto(abt)", "glto", "abt"},
 		{"glto(qth)", "glto", "qth"},
 		{"glto(mth)", "glto", "mth"},
+		{"glto(ws)", "glto", "ws"},
 	} {
 		rt := openmp.MustNew(spec.rt, omp.Config{NumThreads: *threads, Backend: spec.backend})
 		start := time.Now()

@@ -1,7 +1,8 @@
-// Package backends registers the three standard GLT scheduling backends —
-// Argobots ("abt"), Qthreads ("qth") and MassiveThreads ("mth") — with the
-// glt runtime, mirroring the three native libraries the GLT API is
-// implemented on in the paper.
+// Package backends registers the standard GLT scheduling backends with the
+// glt runtime: the three modeling the native libraries the GLT API is
+// implemented on in the paper — Argobots ("abt"), Qthreads ("qth") and
+// MassiveThreads ("mth") — plus the lock-free Chase-Lev work-stealing
+// backend ("ws") that extends the comparison beyond the paper's trio.
 //
 // Import it for its side effects:
 //
@@ -12,4 +13,5 @@ import (
 	_ "repro/glt/abt"
 	_ "repro/glt/mth"
 	_ "repro/glt/qth"
+	_ "repro/glt/ws"
 )

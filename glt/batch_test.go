@@ -74,8 +74,8 @@ func TestSpawnTeamPlacementTagsMain(t *testing.T) {
 
 // TestSpawnBatchOrdering checks that PushBatch preserves each backend's
 // native queue semantics, in both batched and per-unit fallback modes: abt
-// and qth pools are FIFO (spawn order), mth's owner pops its deque LIFO
-// (work-first: newest spawn first).
+// and qth pools are FIFO (spawn order); mth's and ws's owners pop their
+// deques LIFO (work-first: newest spawn first).
 func TestSpawnBatchOrdering(t *testing.T) {
 	const n = 8
 	for _, b := range allBackends {
@@ -103,7 +103,7 @@ func TestSpawnBatchOrdering(t *testing.T) {
 				}
 				want := make([]int, n)
 				for i := range want {
-					if b == "mth" {
+					if b == "mth" || b == "ws" {
 						want[i] = n - 1 - i // LIFO: the deque owner runs newest first
 					} else {
 						want[i] = i // FIFO pools
@@ -193,10 +193,17 @@ func TestSpawnDetachedRunsAndRecycles(t *testing.T) {
 				}
 				runtime.Gosched()
 			}
-			// The workers recycle detached descriptors themselves; a second
-			// wave must draw on the free list.
-			for i := 0; i < n; i++ {
-				rt.SpawnDetached(glt.AnyThread, func(*glt.Ctx) { ran.Add(1) })
+			// The workers recycle detached descriptors into their streams'
+			// free-list caches; a second wave spawned *from* the streams
+			// (the GLTO task path) must draw on those caches.
+			for rank := 0; rank < rt.NumThreads(); rank++ {
+				rank := rank
+				parent := rt.Spawn(rank, func(c *glt.Ctx) {
+					for i := 0; i < n/2; i++ {
+						c.SpawnDetached(rank, func(*glt.Ctx) { ran.Add(1) }, false)
+					}
+				})
+				parent.Join()
 			}
 			for ran.Load() != 2*n && !time.Now().After(deadline) {
 				runtime.Gosched()

@@ -80,7 +80,7 @@ func (c *Ctx) MigrateTo(rank int) {
 // (paper §IV-E: "each GLT_thread generates and executes the GLT_ults for the
 // nested code").
 func (c *Ctx) Spawn(fn Func) *Unit {
-	u := c.rt.newUnit(fn, false)
+	u := c.rt.newUnit(c.w.rank, fn, false)
 	c.rt.dispatchFrom(c.w.rank, c.w.rank, u)
 	return u
 }
@@ -88,7 +88,7 @@ func (c *Ctx) Spawn(fn Func) *Unit {
 // SpawnTo creates a ULT on the pool of the stream with the given rank
 // (or round-robin for AnyThread).
 func (c *Ctx) SpawnTo(rank int, fn Func) *Unit {
-	u := c.rt.newUnit(fn, false)
+	u := c.rt.newUnit(c.w.rank, fn, false)
 	c.rt.dispatchFrom(c.w.rank, rank, u)
 	return u
 }
@@ -96,7 +96,7 @@ func (c *Ctx) SpawnTo(rank int, fn Func) *Unit {
 // SpawnTasklet creates a tasklet on the given stream's pool
 // (or round-robin for AnyThread).
 func (c *Ctx) SpawnTasklet(rank int, fn func()) *Unit {
-	u := c.rt.newUnit(func(*Ctx) { fn() }, true)
+	u := c.rt.newUnit(c.w.rank, func(*Ctx) { fn() }, true)
 	c.rt.dispatchFrom(c.w.rank, rank, u)
 	return u
 }
@@ -130,7 +130,7 @@ func (c *Ctx) Arg() any { return c.u.arg }
 func (c *Ctx) SpawnBatch(n, baseTag int, fn Func, out []*Unit) []*Unit {
 	rt := c.rt
 	units := unitSlice(out, n)
-	rt.units.getBatch(rt, units)
+	rt.units.getBatch(rt, units, c.w.rank)
 	for i, u := range units {
 		u.fn = fn
 		u.tag = baseTag + i

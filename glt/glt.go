@@ -49,15 +49,24 @@
 //     the primary ULT is pinned and cannot yield (the paper's §IV-G
 //     modification).
 //
+// A fourth backend goes beyond the paper's trio:
+//
+//   - "ws" (package glt/ws): a lock-free Chase-Lev work-stealing backend —
+//     owner-side pushes and pops are plain atomics, thieves CAS the deque
+//     top, and idle streams steal half a victim's run in one episode. It
+//     also implements the optional Stealer capability, which the engine's
+//     idle path uses to rescue remote bursts instead of parking.
+//
 // Backends register themselves via Register, typically from an init function;
 // import package glt/backends for the full set.
 //
 // # Environment
 //
 // NewFromEnv honours the GLT environment variables used in the paper:
-// GLT_IMPL selects the backend, GLT_NUM_THREADS the number of execution
-// streams, and GLT_SHARED_QUEUES collapses all pools into a single shared
-// queue to neutralize load imbalance (paper §IV-F).
+// GLT_IMPL selects the backend (GLT_BACKEND is accepted as a synonym),
+// GLT_NUM_THREADS the number of execution streams, and GLT_SHARED_QUEUES
+// collapses all pools into a single shared queue to neutralize load
+// imbalance (paper §IV-F).
 package glt
 
 import (
@@ -81,7 +90,7 @@ const AnyThread = -1
 
 // Config describes a GLT runtime instance.
 type Config struct {
-	// Backend names the scheduling policy: "abt", "qth" or "mth".
+	// Backend names the scheduling policy: "abt", "qth", "mth" or "ws".
 	// Empty means DefaultBackend.
 	Backend string
 	// NumThreads is the number of execution streams (GLT_threads).
@@ -106,6 +115,9 @@ type Config struct {
 func (c Config) FromEnv() Config {
 	if c.Backend == "" {
 		c.Backend = os.Getenv("GLT_IMPL")
+	}
+	if c.Backend == "" {
+		c.Backend = os.Getenv("GLT_BACKEND")
 	}
 	if c.NumThreads == 0 {
 		if v, err := strconv.Atoi(os.Getenv("GLT_NUM_THREADS")); err == nil && v > 0 {
@@ -148,6 +160,10 @@ type Runtime struct {
 	cfg     Config
 	policy  Policy
 	threads []*Thread
+	// stealer is the policy's optional Stealer capability, resolved once at
+	// construction; nil for backends without it (see Thread.loop's idle
+	// path).
+	stealer Stealer
 
 	rr       counter // round-robin dispatch cursor for AnyThread
 	wg       sync.WaitGroup
@@ -171,12 +187,13 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("glt: unknown backend %q (registered: %v)", cfg.Backend, RegisteredBackends())
 	}
 	rt := &Runtime{cfg: cfg, policy: mk()}
+	rt.stealer, _ = rt.policy.(Stealer)
 	// Keep a few idle ULT-hosting goroutines per stream; beyond that,
 	// shells exit instead of accumulating.
 	rt.shells.cap = 8 * cfg.NumThreads
-	// Descriptor free list, sized for a healthy task backlog per stream.
-	rt.units.cap = 64 * cfg.NumThreads
-	rt.units.disable = cfg.PerUnitDispatch
+	// Descriptor free list: per-stream caches over a global pool sized for a
+	// healthy task backlog per stream.
+	rt.units.init(cfg.NumThreads, 64*cfg.NumThreads, cfg.PerUnitDispatch)
 	rt.policy.Setup(cfg.NumThreads, cfg.SharedQueues)
 	rt.threads = make([]*Thread, cfg.NumThreads)
 	for i := range rt.threads {
@@ -223,7 +240,7 @@ func (rt *Runtime) SharedQueues() bool { return rt.cfg.SharedQueues }
 // Unit.Join or cooperatively from other ULTs with Ctx.Join, and its
 // descriptor can be recycled with Release once the caller is done with it.
 func (rt *Runtime) Spawn(target int, fn Func) *Unit {
-	u := rt.newUnit(fn, false)
+	u := rt.newUnit(-1, fn, false)
 	rt.dispatchFrom(-1, target, u)
 	return u
 }
@@ -233,7 +250,7 @@ func (rt *Runtime) Spawn(target int, fn Func) *Unit {
 // paper §IV-G) treat this unit specially: it cannot yield and cannot be
 // stolen.
 func (rt *Runtime) SpawnMain(target int, fn Func) *Unit {
-	u := rt.newUnit(fn, false)
+	u := rt.newUnit(-1, fn, false)
 	u.main = true
 	rt.dispatchFrom(-1, target, u)
 	return u
@@ -242,7 +259,7 @@ func (rt *Runtime) SpawnMain(target int, fn Func) *Unit {
 // SpawnTasklet creates a stackless tasklet running fn. Tasklets run to
 // completion on the Thread that dequeues them; fn must not yield.
 func (rt *Runtime) SpawnTasklet(target int, fn func()) *Unit {
-	u := rt.newUnit(func(*Ctx) { fn() }, true)
+	u := rt.newUnit(-1, func(*Ctx) { fn() }, true)
 	rt.dispatchFrom(-1, target, u)
 	return u
 }
@@ -251,7 +268,7 @@ func (rt *Runtime) SpawnTasklet(target int, fn func()) *Unit {
 // context (stream rank, spawning): the Ctx is valid except that Yield
 // panics, since tasklets run to completion.
 func (rt *Runtime) SpawnTaskletCtx(target int, fn Func) *Unit {
-	u := rt.newUnit(fn, true)
+	u := rt.newUnit(-1, fn, true)
 	rt.dispatchFrom(-1, target, u)
 	return u
 }
@@ -272,7 +289,7 @@ func (rt *Runtime) SpawnDetachedTasklet(target int, fn Func) {
 }
 
 func (rt *Runtime) spawnDetached(from, target int, fn Func, tasklet bool) {
-	u := rt.newUnit(fn, tasklet)
+	u := rt.newUnit(from, fn, tasklet)
 	u.detached = true
 	u.refs.Store(1) // only the executing worker may touch the descriptor
 	rt.dispatchFrom(from, target, u)
@@ -305,7 +322,7 @@ func (rt *Runtime) spawnDetachedBatch(from int, fn Func, targets []int, args []a
 		bp = &s
 	}
 	units := unitSlice(*bp, n)
-	rt.units.getBatch(rt, units)
+	rt.units.getBatch(rt, units, from)
 	for i, u := range units {
 		u.fn = fn
 		u.tasklet = tasklet
@@ -342,7 +359,7 @@ func (rt *Runtime) SpawnTeam(n int, fn Func, out []*Unit) []*Unit {
 		n = 1
 	}
 	units := unitSlice(out, n)
-	rt.units.getBatch(rt, units)
+	rt.units.getBatch(rt, units, -1)
 	// Build the batch grouped by destination stream (tags stay ascending
 	// within each group), so every pool's share of the team is one
 	// contiguous run and the policy takes exactly one lock per pool.
@@ -368,7 +385,7 @@ func (rt *Runtime) SpawnTeam(n int, fn Func, out []*Unit) []*Unit {
 // one policy synchronization episode. out is as in SpawnTeam.
 func (rt *Runtime) SpawnBatch(fn Func, targets []int, out []*Unit) []*Unit {
 	units := unitSlice(out, len(targets))
-	rt.units.getBatch(rt, units)
+	rt.units.getBatch(rt, units, -1)
 	for i, u := range units {
 		u.fn = fn
 		u.tag = i

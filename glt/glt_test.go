@@ -9,7 +9,7 @@ import (
 	_ "repro/glt/backends"
 )
 
-var allBackends = []string{"abt", "qth", "mth"}
+var allBackends = []string{"abt", "qth", "mth", "ws"}
 
 func newRT(t testing.TB, backend string, n int, shared bool) *glt.Runtime {
 	t.Helper()
@@ -23,7 +23,7 @@ func newRT(t testing.TB, backend string, n int, shared bool) *glt.Runtime {
 
 func TestRegisteredBackends(t *testing.T) {
 	got := glt.RegisteredBackends()
-	want := map[string]bool{"abt": true, "qth": true, "mth": true}
+	want := map[string]bool{"abt": true, "qth": true, "mth": true, "ws": true}
 	for _, b := range got {
 		delete(want, b)
 	}
@@ -351,6 +351,40 @@ func TestConfigFromEnv(t *testing.T) {
 	c2 := glt.Config{Backend: "abt", NumThreads: 7}.FromEnv()
 	if c2.Backend != "abt" || c2.NumThreads != 7 {
 		t.Errorf("FromEnv override = %+v", c2)
+	}
+	// GLT_BACKEND is a synonym for GLT_IMPL, which wins when both are set.
+	t.Setenv("GLT_IMPL", "")
+	t.Setenv("GLT_BACKEND", "ws")
+	if c3 := (glt.Config{}).FromEnv(); c3.Backend != "ws" {
+		t.Errorf("GLT_BACKEND not honoured: %+v", c3)
+	}
+	t.Setenv("GLT_IMPL", "mth")
+	if c4 := (glt.Config{}).FromEnv(); c4.Backend != "mth" {
+		t.Errorf("GLT_IMPL should win over GLT_BACKEND: %+v", c4)
+	}
+}
+
+// TestStealingMovesWorkWS mirrors the mth stealing check on the lock-free
+// backend: children spawned on a busy stream must be executed elsewhere.
+func TestStealingMovesWorkWS(t *testing.T) {
+	rt := newRT(t, "ws", 4, false)
+	var ranks [4]atomic.Int64
+	busy := rt.Spawn(0, func(c *glt.Ctx) {
+		kids := make([]*glt.Unit, 64)
+		for i := range kids {
+			kids[i] = c.Spawn(func(c2 *glt.Ctx) {
+				ranks[c2.Rank()].Add(1)
+				for k := 0; k < 1000; k++ {
+					_ = k
+				}
+			})
+		}
+		c.JoinAll(kids)
+	})
+	busy.Join()
+	others := ranks[1].Load() + ranks[2].Load() + ranks[3].Load()
+	if others == 0 {
+		t.Error("no work was stolen by other streams under ws")
 	}
 }
 

@@ -52,6 +52,30 @@ type Policy interface {
 	PinMain() bool
 }
 
+// Stealer is an optional capability a Policy may implement: bulk work
+// transfer between pools. StealHalf moves up to half of one victim pool's
+// pending units into the pool owned by stream self and returns one of the
+// stolen units for immediate execution, or nil when no victim had stealable
+// work.
+//
+// The engine detects the capability once, at startup, with a type assertion
+// and uses it on the idle path: a stream whose Pop came up empty raids a
+// loaded peer for half its run as the alternative to parking (Stats
+// IdleSteals counts these rescues). Backends without the capability are
+// untouched — their idle streams park exactly as before. StealHalf is always
+// invoked from stream self's scheduler loop, so for a given self the calls
+// are serial and may perform owner-side operations on self's own pool;
+// victim-side accesses must be safe against the victim's concurrent owner,
+// which is the point of the capability.
+//
+// Beyond the idle path, the capability is the designated hook for
+// consumer-visible overflow of producer-side buffers (a ROADMAP item): a
+// consumer that can see a producer's backlog steals half of it in one
+// episode instead of waiting for the producer's next scheduling point.
+type Stealer interface {
+	StealHalf(self int) *Unit
+}
+
 // PushEach is the reference implementation of Policy.PushBatch: one Push per
 // unit, in slice order, each to its own Home rank. Policies that cannot
 // amortize synchronization across a batch may use it verbatim; it also

@@ -11,6 +11,13 @@
 //     working through the rest of the slice, so a policy must never read a
 //     unit — Home included — after pushing it.
 //
+// Policies that additionally implement the optional glt.Stealer capability
+// get a third contract checked: a unit moved by StealHalf transfers
+// ownership exactly like a popped one — it surfaces exactly once across all
+// Pop/StealHalf calls, and the policy never touches it after handing it
+// over — and the transfer stays sound while the victim's deque indices wrap
+// and its ring grows. Backends without the capability skip that section.
+//
 // Third-party backends certify themselves by calling Run (for a registered
 // backend name) or Suite (for an unregistered constructor) from a test:
 //
@@ -62,6 +69,13 @@ func Suite(t *testing.T, mk func() glt.Policy) {
 	t.Run("SingletonBatch", func(t *testing.T) { singletonBatch(t, mk) })
 	t.Run("EmptyBatch", func(t *testing.T) { emptyBatch(t, mk) })
 	t.Run("OwnershipTransfer", func(t *testing.T) { ownershipTransfer(t, mk) })
+	t.Run("Stealer", func(t *testing.T) {
+		if _, ok := mk().(glt.Stealer); !ok {
+			t.Skip("policy does not implement glt.Stealer")
+		}
+		t.Run("StealHalfOwnership", func(t *testing.T) { stealHalfOwnership(t, mk) })
+		t.Run("Wraparound", func(t *testing.T) { stealWraparound(t, mk) })
+	})
 }
 
 // batchShapes are the Home layouts the equivalence check covers: the
@@ -163,6 +177,132 @@ func emptyBatch(t *testing.T, mk func() glt.Policy) {
 	p.PushBatch(-1, []*glt.Unit{})
 	if u := p.Pop(0); u != nil {
 		t.Errorf("empty batch produced unit %v", u.Tag())
+	}
+}
+
+// stealHalfOwnership checks the Stealer capability's ownership contract
+// under the engine's real concurrency shape: one stream owns the loaded
+// pool and pops it while every other stream raids it through StealHalf
+// (draining its own pool of the stolen extras via Pop, as the engine's idle
+// path does). Every unit must surface exactly once across all Pop and
+// StealHalf calls, and — under the race detector — the consumers' immediate
+// Home rewrite catches any post-transfer read inside the policy.
+func stealHalfOwnership(t *testing.T, mk func() glt.Policy) {
+	const nthreads, n, rounds = 4, 256, 4
+	p := mk()
+	st := p.(glt.Stealer)
+	p.Setup(nthreads, false)
+	for round := 0; round < rounds; round++ {
+		seen := make([]atomic.Int32, n)
+		homes := make([]int, n) // single loaded pool: every unit targets rank 0
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		var surfaced atomic.Int32
+		account := func(rank int, u *glt.Unit) {
+			u.SetHome(rank) // post-transfer write: races with a non-conforming policy
+			seen[u.Tag()].Add(1)
+			if surfaced.Add(1) == n {
+				stop.Store(true)
+			}
+		}
+		for rank := 0; rank < nthreads; rank++ {
+			rank := rank
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					if rank != 0 {
+						if u := st.StealHalf(rank); u != nil {
+							account(rank, u)
+							continue
+						}
+					}
+					if u := p.Pop(rank); u != nil {
+						account(rank, u)
+					}
+				}
+			}()
+		}
+		p.PushBatch(-1, mkUnits(homes))
+		wg.Wait()
+		for tag := range seen {
+			if got := seen[tag].Load(); got != 1 {
+				t.Fatalf("round %d: unit %d surfaced %d times, want exactly once", round, tag, got)
+			}
+		}
+	}
+}
+
+// stealWraparound churns one victim pool through many small bursts and one
+// oversized burst while thieves raid it concurrently, so the victim's deque
+// indices wrap its ring several times and the ring grows at least once.
+// Exactly-once delivery across the wrap/growth boundary is the property: a
+// steal that claims a recycled slot, or a grow that loses an in-flight
+// unit, double-delivers or drops.
+func stealWraparound(t *testing.T, mk func() glt.Policy) {
+	const nthreads = 4
+	bursts := []int{48, 48, 48, 200, 48, 48, 48, 48} // 48×: wrap; 200: grow
+	total := int32(0)
+	for _, b := range bursts {
+		total += int32(b)
+	}
+	p := mk()
+	st := p.(glt.Stealer)
+	p.Setup(nthreads, false)
+	seen := make([]atomic.Int32, total)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var surfaced atomic.Int32
+	account := func(rank int, u *glt.Unit) {
+		u.SetHome(rank)
+		seen[u.Tag()].Add(1)
+		if surfaced.Add(1) == total {
+			stop.Store(true)
+		}
+	}
+	for rank := 1; rank < nthreads; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if u := st.StealHalf(rank); u != nil {
+					account(rank, u)
+					continue
+				}
+				if u := p.Pop(rank); u != nil {
+					account(rank, u)
+				}
+			}
+		}()
+	}
+	// This goroutine is rank 0's owner: it alone pushes from rank 0 and pops
+	// rank 0, interleaving bursts with partial drains so bottom keeps
+	// advancing past the ring size.
+	tag := 0
+	for _, burst := range bursts {
+		units := make([]*glt.Unit, burst)
+		for i := range units {
+			units[i] = glt.NewPolicyUnit(tag, 0)
+			tag++
+		}
+		p.PushBatch(0, units)
+		for i := 0; i < burst/2; i++ {
+			if u := p.Pop(0); u != nil {
+				account(0, u)
+			}
+		}
+	}
+	for !stop.Load() {
+		if u := p.Pop(0); u != nil {
+			account(0, u)
+		}
+	}
+	wg.Wait()
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("unit %d surfaced %d times, want exactly once", i, got)
+		}
 	}
 }
 

@@ -24,6 +24,11 @@ type Stats struct {
 	Migrations int64
 	// Parks counts times a stream went to sleep for lack of work.
 	Parks int64
+	// IdleSteals counts idle-path steal rescues: episodes in which a stream
+	// that would otherwise have parked took work from a peer through the
+	// policy's Stealer capability (see glt.Stealer). Always zero for
+	// backends without the capability.
+	IdleSteals int64
 	// BatchPushes counts batch dispatch episodes: each SpawnTeam/SpawnBatch
 	// that reached Policy.PushBatch contributes one, however many units it
 	// carried. Zero under Config.PerUnitDispatch.
@@ -41,6 +46,7 @@ func (s *Stats) add(o Stats) {
 	s.PinnedYields += o.PinnedYields
 	s.Migrations += o.Migrations
 	s.Parks += o.Parks
+	s.IdleSteals += o.IdleSteals
 }
 
 // threadStats are the per-stream counters. Only the owning stream increments
@@ -55,6 +61,7 @@ type threadStats struct {
 	pinnedYields  atomic.Int64
 	migrations    atomic.Int64
 	parks         atomic.Int64
+	idleSteals    atomic.Int64
 	_             [64]byte
 }
 
@@ -67,6 +74,7 @@ func (t *threadStats) snapshot() Stats {
 		PinnedYields:  t.pinnedYields.Load(),
 		Migrations:    t.migrations.Load(),
 		Parks:         t.parks.Load(),
+		IdleSteals:    t.idleSteals.Load(),
 	}
 }
 
@@ -78,6 +86,7 @@ func (t *threadStats) reset() {
 	t.pinnedYields.Store(0)
 	t.migrations.Store(0)
 	t.parks.Store(0)
+	t.idleSteals.Store(0)
 }
 
 // counter is a shared monotonically increasing counter.

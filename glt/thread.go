@@ -50,6 +50,17 @@ func (t *Thread) loop() {
 				runtime.Gosched()
 				continue
 			}
+			// Last resort before sleeping: policies with the Stealer
+			// capability let an idle stream raid half of a loaded peer's run
+			// instead of parking (see glt.Stealer).
+			if st := t.rt.stealer; st != nil {
+				if u := st.StealHalf(t.rank); u != nil {
+					t.stats.idleSteals.Add(1)
+					idleSpins = 0
+					t.exec(u)
+					continue
+				}
+			}
 			t.stats.parks.Add(1)
 			t.park.parkTimeout(200 * time.Microsecond)
 			idleSpins = 0
@@ -69,7 +80,7 @@ func (t *Thread) exec(u *Unit) {
 		u.fn(&u.ctx)
 		t.stats.taskletsRun.Add(1)
 		u.complete()
-		u.unref()
+		u.unrefOn(t.rank)
 		return
 	}
 	if !u.started {
@@ -83,7 +94,7 @@ func (t *Thread) exec(u *Unit) {
 	if u.fnDone.Load() {
 		t.stats.ultsCompleted.Add(1)
 		u.complete()
-		u.unref()
+		u.unrefOn(t.rank)
 		return
 	}
 	// The unit yielded: requeue it, honouring a migration request if any.

@@ -77,11 +77,12 @@ func allocUnit(rt *Runtime) *Unit {
 }
 
 // newUnit returns a descriptor for fn, recycled from the runtime's free list
-// when one is available. tasklet selects the stackless kind; this is the
-// single construction path for both kinds, so a unit's kind and body are
-// always set together.
-func (rt *Runtime) newUnit(fn Func, tasklet bool) *Unit {
-	u := rt.units.get(rt)
+// when one is available. from is the rank of the stream the spawn originates
+// on (-1 outside any stream), selecting the free list's per-stream cache;
+// tasklet selects the stackless kind. This is the single construction path
+// for both kinds, so a unit's kind and body are always set together.
+func (rt *Runtime) newUnit(from int, fn Func, tasklet bool) *Unit {
+	u := rt.units.get(rt, from)
 	u.fn = fn
 	u.tasklet = tasklet
 	u.refs.Store(2)
@@ -134,9 +135,15 @@ func (u *Unit) Release() {
 // application handle). The party dropping the last one recycles the
 // descriptor, which guarantees the worker's completion path has fully
 // quiesced before the descriptor can be respawned.
-func (u *Unit) unref() {
+func (u *Unit) unref() { u.unrefOn(-1) }
+
+// unrefOn is unref with the rank of the stream the caller is executing on,
+// so a worker that drops the last reference recycles the descriptor into its
+// own free-list cache (application callers pass -1 via unref and use the
+// global pool).
+func (u *Unit) unrefOn(rank int) {
 	if u.refs.Add(-1) == 0 {
-		u.rt.units.put(u)
+		u.rt.units.put(u, rank)
 	}
 }
 

@@ -8,16 +8,28 @@ import (
 // unitPool is the runtime's free list of unit descriptors. The GLTO region
 // path creates one ULT per OpenMP thread per parallel region (§IV-C) and one
 // per task (§IV-D); recycling descriptors turns that steady-state churn into
-// zero allocations. The list is bounded: beyond cap, descriptors are dropped
-// to the garbage collector rather than accumulated.
+// zero allocations.
 //
-// Batch variants move whole teams in and out under a single lock
-// acquisition, matching the single-synchronization-episode contract of
-// Policy.PushBatch.
+// The pool is sharded: each execution stream owns an unlocked cache that
+// serves its spawn and recycle traffic (Ctx spawns, detached-completion
+// recycling), with batch refills and spills against a bounded global
+// mutex-guarded pool. A stream touches the global lock only once per
+// cacheCap/2 cache misses or overflows, so the spawn path carries no shared
+// lock in steady state — the synchronization that remains is the policy's
+// own pool, which is the quantity the paper measures. Parties outside any
+// stream (the application goroutine dispatching regions, ReleaseAll) use the
+// global pool directly; their episodes are already batched.
+//
+// Beyond the global cap, descriptors are dropped to the garbage collector
+// rather than accumulated.
 type unitPool struct {
 	mu   sync.Mutex
 	free []*Unit
 	cap  int
+	// caches are the per-stream shards, indexed by rank. Each is touched
+	// only by code running on its owning stream (the worker loop, or ULT
+	// bodies the worker is token-blocked on), so no locking is needed.
+	caches []unitCache
 	// disable restores per-spawn allocation (Config.PerUnitDispatch): get
 	// always allocates and put drops, so every unit pays the paper-faithful
 	// per-unit creation cost.
@@ -25,9 +37,45 @@ type unitPool struct {
 	reused  atomic.Int64
 }
 
-// get returns one descriptor, recycled if possible.
-func (p *unitPool) get(rt *Runtime) *Unit {
+// cacheCap bounds one stream's cache; refills and spills move cacheCap/2
+// descriptors per global-lock acquisition. Sized to the default producer-side
+// task buffer, so one buffered task burst is served from the cache.
+const cacheCap = 64
+
+// unitCache is one stream's shard. Padded so neighbouring streams' cursors
+// do not share a cache line.
+type unitCache struct {
+	units [cacheCap]*Unit
+	n     int
+	_     [64]byte
+}
+
+func (p *unitPool) init(nthreads, capacity int, disable bool) {
+	p.cap = capacity
+	p.disable = disable
+	p.caches = make([]unitCache, nthreads)
+}
+
+// get returns one descriptor, recycled if possible. from is the rank of the
+// stream the caller is executing on, or -1 for callers outside any stream;
+// on-stream callers are served from their cache, refilled in batch from the
+// global pool when empty.
+func (p *unitPool) get(rt *Runtime, from int) *Unit {
 	if p.disable {
+		return allocUnit(rt)
+	}
+	if from >= 0 {
+		c := &p.caches[from]
+		if c.n == 0 {
+			p.refill(c)
+		}
+		if c.n > 0 {
+			c.n--
+			u := c.units[c.n]
+			c.units[c.n] = nil
+			p.reused.Add(1)
+			return u
+		}
 		return allocUnit(rt)
 	}
 	p.mu.Lock()
@@ -43,39 +91,63 @@ func (p *unitPool) get(rt *Runtime) *Unit {
 	return allocUnit(rt)
 }
 
-// getBatch fills out with descriptors, draining the free list under a single
-// lock acquisition and allocating only the shortfall.
-func (p *unitPool) getBatch(rt *Runtime, out []*Unit) {
+// getBatch fills out with descriptors under at most one global lock
+// acquisition: the caller's stream cache first (when on-stream), then the
+// global pool, allocating only the shortfall.
+func (p *unitPool) getBatch(rt *Runtime, out []*Unit, from int) {
 	if p.disable {
 		for i := range out {
 			out[i] = allocUnit(rt)
 		}
 		return
 	}
-	p.mu.Lock()
-	n := len(p.free)
-	took := min(n, len(out))
-	copy(out[:took], p.free[n-took:])
-	for i := n - took; i < n; i++ {
-		p.free[i] = nil
+	i := 0
+	if from >= 0 {
+		c := &p.caches[from]
+		for c.n > 0 && i < len(out) {
+			c.n--
+			out[i] = c.units[c.n]
+			c.units[c.n] = nil
+			i++
+		}
 	}
-	p.free = p.free[:n-took]
-	p.mu.Unlock()
-	if took > 0 {
-		p.reused.Add(int64(took))
+	if i < len(out) {
+		p.mu.Lock()
+		n := len(p.free)
+		took := min(n, len(out)-i)
+		copy(out[i:i+took], p.free[n-took:])
+		for k := n - took; k < n; k++ {
+			p.free[k] = nil
+		}
+		p.free = p.free[:n-took]
+		p.mu.Unlock()
+		i += took
 	}
-	for i := took; i < len(out); i++ {
+	if i > 0 {
+		p.reused.Add(int64(i))
+	}
+	for ; i < len(out); i++ {
 		out[i] = allocUnit(rt)
 	}
 }
 
 // put recycles one descriptor. Callers must hold the last reference (see
-// Unit.unref).
-func (p *unitPool) put(u *Unit) {
+// Unit.unref). from is as in get: on-stream recycles go to the stream's
+// cache, spilling half to the global pool when full.
+func (p *unitPool) put(u *Unit, from int) {
 	if p.disable {
 		return
 	}
 	u.recycle()
+	if from >= 0 {
+		c := &p.caches[from]
+		if c.n == cacheCap {
+			p.spill(c)
+		}
+		c.units[c.n] = u
+		c.n++
+		return
+	}
 	p.mu.Lock()
 	if len(p.free) < p.cap {
 		p.free = append(p.free, u)
@@ -83,7 +155,8 @@ func (p *unitPool) put(u *Unit) {
 	p.mu.Unlock()
 }
 
-// putAll recycles a batch of descriptors under one lock acquisition.
+// putAll recycles a batch of descriptors into the global pool under one lock
+// acquisition (the ReleaseAll path, which runs outside any stream).
 func (p *unitPool) putAll(units []*Unit) {
 	if p.disable || len(units) == 0 {
 		return
@@ -100,4 +173,38 @@ func (p *unitPool) putAll(units []*Unit) {
 		p.free = append(p.free, units[:room]...)
 	}
 	p.mu.Unlock()
+}
+
+// refill moves up to cacheCap/2 descriptors from the global pool into c.
+func (p *unitPool) refill(c *unitCache) {
+	p.mu.Lock()
+	n := len(p.free)
+	took := min(n, cacheCap/2)
+	for k := 0; k < took; k++ {
+		c.units[c.n] = p.free[n-1-k]
+		p.free[n-1-k] = nil
+		c.n++
+	}
+	p.free = p.free[:n-took]
+	p.mu.Unlock()
+}
+
+// spill moves the newest half of a full cache to the global pool (dropping
+// whatever exceeds the global cap to the garbage collector), leaving room
+// for the caller's put.
+func (p *unitPool) spill(c *unitCache) {
+	const half = cacheCap / 2
+	p.mu.Lock()
+	room := p.cap - len(p.free)
+	if room > half {
+		room = half
+	}
+	if room > 0 {
+		p.free = append(p.free, c.units[cacheCap-room:]...)
+	}
+	p.mu.Unlock()
+	for i := cacheCap - half; i < cacheCap; i++ {
+		c.units[i] = nil
+	}
+	c.n = cacheCap - half
 }

@@ -1,0 +1,508 @@
+// Package ws implements a lock-free work-stealing scheduling backend for the
+// GLT runtime.
+//
+// The paper's three libraries serialize every pool operation through a lock:
+// abt and qth take a mutex (or FEB word round-trip) per push and pop, and
+// even mth — the work-stealing library of the trio — guards its deques with
+// mutexes, so backend diversity in this repository stopped at lock
+// *placement*. This backend opens the other axis: a Chase-Lev deque per
+// execution stream, where the owner pushes and pops at the bottom with plain
+// atomics and thieves compete for the top with a single CAS. The hot path —
+// a stream spawning onto and consuming from its own pool — performs no
+// synchronization beyond sequentially-consistent loads and stores, which is
+// what keeps per-region scheduling latency bounded as streams are added
+// (no lock-holder to wait out, no convoy).
+//
+// Three design points beyond the textbook deque:
+//
+//   - Foreign submissions. Chase-Lev admits exactly one bottom-side owner,
+//     but the glt engine pushes from anywhere: the application's main
+//     goroutine dispatches regions (from = -1) and GLTO's round-robin task
+//     placement targets remote ranks. Those land in the destination's
+//     *inbox*, a small mutex-guarded FIFO the owner drains into its deque
+//     when its local work runs out — and that thieves may raid when the
+//     victim's deque is empty, so work cannot be stranded behind an owner
+//     whose current ULT never yields. Pushes from a stream to its own
+//     rank — the work-first common case — go straight to the deque bottom,
+//     lock-free.
+//   - Bulk loading. PushBatch writes a whole equal-Home run into the
+//     destination deque (or inbox) and publishes it with a single bottom
+//     store, so a region's team becomes runnable in one episode and is never
+//     observed half-enqueued; the engine wakes stealers only after PushBatch
+//     returns.
+//   - Steal-half. An empty stream does not trickle units out of a victim
+//     one at a time: through the engine-level glt.Stealer capability (the
+//     idle path's alternative to parking) it transfers up to half of the
+//     victim's pending run into its own deque (one CAS per unit —
+//     multi-unit CAS over a Chase-Lev top is unsound against a non-CASing
+//     owner pop) and runs the oldest. Bursty producers (UTS-style tree
+//     search, single-producer task loops) therefore shed load in O(log)
+//     steal episodes instead of one-at-a-time trickle. Pop itself never
+//     raids for an empty stream — division of labour with the engine keeps
+//     the rescue at exactly one point; only the loaded-stream progress
+//     probe (one unit every few pops, as in mth) steals from inside Pop.
+//
+// Yielded continuations are requeued through the inbox rather than the deque
+// bottom: a polling ULT (a barrier waiter, a joining parent) goes to the
+// back of the line and the stream drains real work — fresh tasks, stolen
+// runs — before re-running it. Without this, LIFO bottom-popping would
+// starve a parent's children behind the parent's own yield loop.
+//
+// Unlike mth, the main unit is not pinned: a stolen primary simply resumes
+// on the thief's stream, which the engine supports natively. Started units
+// (suspended continuations) are stealable too — this is what lets untied
+// OpenMP tasks migrate between streams under GLTO(WS).
+//
+// With GLT_SHARED_QUEUES all streams share one mutex-guarded FIFO pool and
+// stealing is moot; the deques are not used.
+package ws
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/glt"
+)
+
+func init() {
+	glt.Register("ws", func() glt.Policy { return &policy{} })
+}
+
+// initialRing is the starting capacity of each deque's circular buffer. It
+// is deliberately small so the growth and wraparound paths are exercised by
+// ordinary workloads (and by the conformance tests), not just adversarial
+// ones; a steady-state region or task burst grows the ring once and reuses
+// it forever after.
+const initialRing = 64
+
+// ring is one immutable-capacity circular buffer of a Chase-Lev deque. Slots
+// are atomic because a thief may read an index the owner is concurrently
+// publishing; the top/bottom protocol guarantees a successful CAS only ever
+// claims a slot whose store happened-before. Old rings are never freed
+// eagerly — the garbage collector reclaims them once no thief can still hold
+// a reference, which is the GC-runtime simplification of the classic
+// algorithm's memory-reclamation problem.
+type ring struct {
+	mask uint64
+	slot []atomic.Pointer[glt.Unit]
+}
+
+func newRing(n int) *ring {
+	return &ring{mask: uint64(n - 1), slot: make([]atomic.Pointer[glt.Unit], n)}
+}
+
+func (r *ring) size() int64 { return int64(r.mask + 1) }
+
+func (r *ring) get(i int64) *glt.Unit { return r.slot[uint64(i)&r.mask].Load() }
+
+func (r *ring) put(i int64, u *glt.Unit) { r.slot[uint64(i)&r.mask].Store(u) }
+
+// deque is a Chase-Lev work-stealing deque. The owning stream pushes and
+// pops at bottom; thieves CAS top. Indices grow monotonically and wrap
+// modulo the ring size, so (bottom - top) is always the population.
+type deque struct {
+	top    atomic.Int64
+	_      [56]byte // keep the thief-contended top off the owner's line
+	bottom atomic.Int64
+	buf    atomic.Pointer[ring]
+}
+
+func (d *deque) init() { d.buf.Store(newRing(initialRing)) }
+
+// grow replaces the ring with one of twice the capacity, copying the live
+// window [top, bottom). Only the owner grows, and top can only advance while
+// it does, which is harmless: a thief that claims an index from the old ring
+// read its slot before the CAS, and the owner republishes every still-live
+// index into the new ring before making it visible.
+func (d *deque) grow(r *ring, top, bottom int64) *ring {
+	bigger := newRing(2 * len(r.slot))
+	for i := top; i < bottom; i++ {
+		bigger.put(i, r.get(i))
+	}
+	d.buf.Store(bigger)
+	return bigger
+}
+
+// pushBottom makes u runnable at the hot end. Owner-only.
+func (d *deque) pushBottom(u *glt.Unit) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.buf.Load()
+	if b-t >= r.size() {
+		r = d.grow(r, t, b)
+	}
+	r.put(b, u)
+	d.bottom.Store(b + 1)
+}
+
+// pushBottomAll bulk-loads a run at the hot end under a single publication:
+// slots are written first, then one bottom store makes the whole run visible
+// to the owner's pops and to thieves at once. Owner-only. Slice order is
+// preserved, so the owner pops the run LIFO (work-first) and thieves steal
+// it FIFO from the cold end, exactly as len(run) pushBottom calls would
+// arrange.
+func (d *deque) pushBottomAll(run []*glt.Unit) {
+	if len(run) == 0 {
+		return
+	}
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.buf.Load()
+	for b-t+int64(len(run)) > r.size() {
+		r = d.grow(r, t, b)
+	}
+	for i, u := range run {
+		r.put(b+int64(i), u)
+	}
+	d.bottom.Store(b + int64(len(run)))
+}
+
+// popBottom takes the newest unit. Owner-only; the only synchronization with
+// thieves is the CAS duel over the final element.
+func (d *deque) popBottom() *glt.Unit {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom and leave.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	u := d.buf.Load().get(b)
+	if t == b {
+		// Last element: win it from any concurrent thief or concede it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			u = nil
+		}
+		d.bottom.Store(b + 1)
+	}
+	return u
+}
+
+// stealTop claims the oldest unit for a thief, or returns nil when the deque
+// is empty or the CAS was lost to a competitor. Reading the slot before the
+// CAS is safe: the owner never overwrites an index below its observed top
+// (it grows instead), so a successful CAS certifies the read.
+func (d *deque) stealTop() *glt.Unit {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	u := d.buf.Load().get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return u
+}
+
+// population reports a racy size estimate for victim selection.
+func (d *deque) population() int64 {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return b - t
+}
+
+// inbox is the mutex-guarded FIFO receiving submissions from parties other
+// than the owning stream: external dispatch (the application goroutine),
+// remote-targeted pushes, and the owner's own yielded continuations (which
+// must go to the back of the line, see the package comment). The backing
+// array is retained across drains, so a steady-state region pays no
+// allocation here.
+type inbox struct {
+	mu sync.Mutex
+	q  []*glt.Unit
+}
+
+func (b *inbox) put(u *glt.Unit) {
+	b.mu.Lock()
+	b.q = append(b.q, u)
+	b.mu.Unlock()
+}
+
+// putAll appends a run under one lock acquisition, preserving slice order.
+func (b *inbox) putAll(run []*glt.Unit) {
+	b.mu.Lock()
+	b.q = append(b.q, run...)
+	b.mu.Unlock()
+}
+
+// drainInto bulk-loads the inbox contents into d (the owner's deque) in FIFO
+// order and reports whether anything moved. Owner-only: pushBottomAll is an
+// owner operation, so drainInto must run on the owning stream.
+func (b *inbox) drainInto(d *deque) bool {
+	b.mu.Lock()
+	if len(b.q) == 0 {
+		b.mu.Unlock()
+		return false
+	}
+	d.pushBottomAll(b.q)
+	clear(b.q)
+	b.q = b.q[:0]
+	b.mu.Unlock()
+	return true
+}
+
+// stream is the per-rank scheduling state. Padded so one rank's owner
+// traffic does not false-share with its neighbour's.
+type stream struct {
+	d     deque
+	box   inbox
+	rng   uint64
+	pops  uint64
+	stole atomic.Uint64 // units stolen by this rank (read by StealsObserved)
+	_     [64]byte
+}
+
+// sharedPool is the GLT_SHARED_QUEUES degradation: one FIFO under one mutex,
+// popped from the head so no unit can be starved by a polling continuation.
+type sharedPool struct {
+	mu sync.Mutex
+	q  []*glt.Unit
+}
+
+func (p *sharedPool) push(u *glt.Unit) {
+	p.mu.Lock()
+	p.q = append(p.q, u)
+	p.mu.Unlock()
+}
+
+func (p *sharedPool) pushAll(run []*glt.Unit) {
+	p.mu.Lock()
+	p.q = append(p.q, run...)
+	p.mu.Unlock()
+}
+
+func (p *sharedPool) pop() *glt.Unit {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.q) == 0 {
+		return nil
+	}
+	u := p.q[0]
+	copy(p.q, p.q[1:])
+	p.q[len(p.q)-1] = nil
+	p.q = p.q[:len(p.q)-1]
+	return u
+}
+
+type policy struct {
+	streams []stream
+	shared  *sharedPool
+}
+
+func (*policy) Name() string  { return "ws" }
+func (*policy) Steals() bool  { return true }
+func (*policy) PinMain() bool { return false }
+
+func (p *policy) Setup(nthreads int, shared bool) {
+	if shared {
+		p.shared = new(sharedPool)
+		return
+	}
+	p.streams = make([]stream, nthreads)
+	for i := range p.streams {
+		p.streams[i].d.init()
+		p.streams[i].rng = uint64(i)*0x9E3779B97F4A7C15 + 0x6C62272E07BB0142
+	}
+}
+
+// Push makes u runnable. Routing is what keeps the deque's single-owner
+// invariant: only a fresh spawn from the stream that owns the destination
+// goes to the deque bottom; everything else — external pushes, remote
+// targets, yielded continuations — goes through the destination's inbox.
+func (p *policy) Push(from, to int, u *glt.Unit) {
+	if p.shared != nil {
+		p.shared.push(u)
+		return
+	}
+	if from == to && !u.Started() {
+		p.streams[to].d.pushBottom(u)
+		return
+	}
+	p.streams[to].box.put(u)
+}
+
+// PushBatch bulk-loads each contiguous equal-Home run into its destination —
+// the spawner's own deque bottom under one publication when the run is
+// home-targeted, the destination inbox under one lock acquisition otherwise.
+// Batched units are fresh spawns, and a unit is never read again once its
+// run has been enqueued (ownership transfers on enqueue).
+func (p *policy) PushBatch(from int, units []*glt.Unit) {
+	if p.shared != nil {
+		p.shared.pushAll(units)
+		return
+	}
+	glt.ForEachHomeRun(units, func(to int, run []*glt.Unit) {
+		if to == from {
+			p.streams[to].d.pushBottomAll(run)
+			return
+		}
+		p.streams[to].box.putAll(run)
+	})
+}
+
+// Pop returns the next unit for stream self: newest local work first
+// (work-first), then the inbox backlog. Pop itself never raids an empty
+// stream's neighbours — it returns nil and lets the engine's idle path do
+// the stealing through the Stealer capability (StealHalf), so bulk rescue
+// happens exactly once, at the point the stream would otherwise park.
+//
+// The one exception is the periodic single-unit probe (as in the mth
+// backend): every few pops a *loaded* stream takes one unit from a victim,
+// so a stream cycling on polling continuations cannot starve loaded
+// neighbours. It deliberately takes one unit, not half — the probing stream
+// has work of its own, and bulk transfer between two loaded streams would
+// just ping-pong units.
+func (p *policy) Pop(self int) *glt.Unit {
+	if p.shared != nil {
+		return p.shared.pop()
+	}
+	s := &p.streams[self]
+	s.pops++
+	u := s.d.popBottom()
+	if u == nil {
+		if !s.box.drainInto(&s.d) {
+			return nil // genuinely empty: the engine's idle path steals
+		}
+		u = s.d.popBottom()
+		if u == nil {
+			return nil
+		}
+	}
+	// The probe runs only once we hold a local unit — that unit may be a
+	// polling continuation cycling through the inbox, which is exactly the
+	// state that must not starve loaded neighbours. The stolen oldest runs
+	// first; our own unit goes back to the bottom and is popped next.
+	if s.pops%4 == 0 {
+		if v := p.steal(self, false); v != nil {
+			s.d.pushBottom(u)
+			return v
+		}
+	}
+	return u
+}
+
+// StealHalf implements glt.Stealer: it transfers up to half of one victim's
+// pending run into self's deque and returns the oldest stolen unit for
+// immediate execution, or nil when no victim had stealable work. The engine
+// calls it from self's scheduler loop as the alternative to parking — this
+// is the backend's only empty-stream steal path (Pop returns nil instead of
+// raiding).
+func (p *policy) StealHalf(self int) *glt.Unit {
+	if p.shared != nil {
+		return nil
+	}
+	return p.steal(self, true)
+}
+
+// steal makes one random-start tour of the other streams and raids the
+// first victim with stealable work — its deque first, its inbox when the
+// deque is empty (work can be stranded in the inbox of a stream whose
+// current ULT never yields; the mutex there makes the raid trivially safe).
+// The victim's oldest unit is returned for immediate execution and, when
+// half is set, the ceiling half of the observed run moves into self's deque
+// with it. With half unset this is the single-unit progress probe of Pop,
+// cheap enough to run while the prober still has local work.
+func (p *policy) steal(self int, half bool) *glt.Unit {
+	n := len(p.streams)
+	if n == 1 {
+		return nil
+	}
+	s := &p.streams[self]
+	start := int(p.nextRand(self) % uint64(n-1))
+	for i := 0; i < n-1; i++ {
+		v := &p.streams[(self+1+(start+i)%(n-1))%n]
+		if u := p.raidDeque(s, v, half); u != nil {
+			return u
+		}
+		if u := p.raidInbox(s, v, half); u != nil {
+			return u
+		}
+	}
+	return nil
+}
+
+// raidDeque steals from v's deque top. Each unit moves under its own top
+// CAS (see the package comment for why a multi-unit CAS is unsound), so
+// thieves and the victim's owner stay wait-free relative to each other; the
+// loop stops early if the victim drains (or competing thieves win)
+// underneath us.
+func (p *policy) raidDeque(s, v *stream, half bool) *glt.Unit {
+	want := int64(1)
+	if half {
+		want = (v.d.population() + 1) / 2
+	}
+	first := v.d.stealTop()
+	if first == nil {
+		return nil
+	}
+	taken := int64(1)
+	for taken < want {
+		u := v.d.stealTop()
+		if u == nil {
+			break
+		}
+		// Later steals are newer than earlier ones; bottom-pushing them in
+		// steal order keeps self's LIFO pop consistent with the victim's
+		// age order.
+		s.d.pushBottom(u)
+		taken++
+	}
+	s.stole.Add(uint64(taken))
+	return first
+}
+
+// raidInbox takes the oldest inbox units of a victim whose deque came up
+// empty: the front of the FIFO is returned, and with half set the rest of
+// the ceiling half bottom-pushes into self's deque in age order. Holding
+// v's inbox mutex while pushing to s's own deque is safe — pushBottom takes
+// no lock, and no path holds two inbox mutexes.
+func (p *policy) raidInbox(s, v *stream, half bool) *glt.Unit {
+	b := &v.box
+	b.mu.Lock()
+	n := len(b.q)
+	if n == 0 {
+		b.mu.Unlock()
+		return nil
+	}
+	take := 1
+	if half {
+		take = (n + 1) / 2
+	}
+	first := b.q[0]
+	for i := 1; i < take; i++ {
+		s.d.pushBottom(b.q[i])
+	}
+	rest := copy(b.q, b.q[take:])
+	clear(b.q[rest:])
+	b.q = b.q[:rest]
+	b.mu.Unlock()
+	s.stole.Add(uint64(take))
+	return first
+}
+
+// StealsObserved reports the total number of units this policy has moved
+// between streams — StealHalf raids and single-unit Pop probes combined —
+// for tests and tooling (Table II reports it as StolenUnits).
+func (p *policy) StealsObserved() uint64 {
+	var total uint64
+	for i := range p.streams {
+		total += p.streams[i].stole.Load()
+	}
+	return total
+}
+
+// nextRand advances the per-rank xorshift state. Only the owning stream
+// calls it for its rank.
+func (p *policy) nextRand(self int) uint64 {
+	s := p.streams[self].rng
+	s ^= s << 13
+	s ^= s >> 7
+	s ^= s << 17
+	p.streams[self].rng = s
+	return s
+}

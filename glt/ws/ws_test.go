@@ -1,0 +1,255 @@
+package ws
+
+// White-box tests for the Chase-Lev deque: single-owner/multi-thief
+// exactly-once delivery across ring wraparound and growth, the properties
+// the policy-level conformance suite (glt/policytest, run from
+// glt/policytest's test package against the registered "ws" backend) checks
+// from the outside. Run under -race, as this repository's CI does.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/glt"
+)
+
+func TestDequeLIFOFIFO(t *testing.T) {
+	var d deque
+	d.init()
+	units := make([]*glt.Unit, 6)
+	for i := range units {
+		units[i] = glt.NewPolicyUnit(i, 0)
+		d.pushBottom(units[i])
+	}
+	if u := d.stealTop(); u.Tag() != 0 {
+		t.Errorf("stealTop returned tag %d, want 0 (oldest)", u.Tag())
+	}
+	if u := d.popBottom(); u.Tag() != 5 {
+		t.Errorf("popBottom returned tag %d, want 5 (newest)", u.Tag())
+	}
+	d.pushBottomAll([]*glt.Unit{glt.NewPolicyUnit(6, 0), glt.NewPolicyUnit(7, 0)})
+	if u := d.popBottom(); u.Tag() != 7 {
+		t.Errorf("popBottom after bulk load returned tag %d, want 7", u.Tag())
+	}
+	want := []int{1, 2, 3, 4, 6}
+	for _, w := range want {
+		u := d.stealTop()
+		if u == nil || u.Tag() != w {
+			t.Fatalf("stealTop = %v, want tag %d", u, w)
+		}
+	}
+	if u := d.stealTop(); u != nil {
+		t.Errorf("stealTop on empty deque returned tag %d", u.Tag())
+	}
+	if u := d.popBottom(); u != nil {
+		t.Errorf("popBottom on empty deque returned tag %d", u.Tag())
+	}
+}
+
+// TestDequeWraparoundSingleOwner cycles far more units through the deque
+// than the initial ring holds, keeping the population small so the indices
+// wrap in place rather than growing the ring.
+func TestDequeWraparoundSingleOwner(t *testing.T) {
+	var d deque
+	d.init()
+	const rounds = 10 * initialRing
+	next := 0
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 3; i++ {
+			d.pushBottom(glt.NewPolicyUnit(next, 0))
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			if u := d.popBottom(); u == nil {
+				t.Fatalf("round %d: deque lost a unit", r)
+			}
+		}
+	}
+	if got := d.population(); got != 0 {
+		t.Fatalf("population %d after balanced churn, want 0", got)
+	}
+}
+
+// TestDequeGrowthKeepsUnits forces ring growth mid-stream and checks
+// nothing is lost or duplicated.
+func TestDequeGrowthKeepsUnits(t *testing.T) {
+	var d deque
+	d.init()
+	const n = 5 * initialRing
+	for i := 0; i < n; i++ {
+		d.pushBottom(glt.NewPolicyUnit(i, 0))
+	}
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		u := d.popBottom()
+		if u == nil {
+			t.Fatalf("lost units: only %d of %d popped", i, n)
+		}
+		if seen[u.Tag()] {
+			t.Fatalf("unit %d delivered twice", u.Tag())
+		}
+		seen[u.Tag()] = true
+	}
+}
+
+// TestDequeOwnerVsThieves is the core Chase-Lev race: one owner pushing and
+// popping at the bottom (with wraparound and growth) against concurrent
+// thieves CASing the top. Every unit must surface exactly once.
+func TestDequeOwnerVsThieves(t *testing.T) {
+	var d deque
+	d.init()
+	const thieves = 3
+	const total = 4096
+	seen := make([]atomic.Int32, total)
+	var surfaced atomic.Int32
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	account := func(u *glt.Unit) {
+		seen[u.Tag()].Add(1)
+		if surfaced.Add(1) == total {
+			stop.Store(true)
+		}
+	}
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if u := d.stealTop(); u != nil {
+					account(u)
+				}
+			}
+		}()
+	}
+	next := 0
+	for next < total {
+		burst := 7
+		if next%601 == 0 {
+			burst = 2 * initialRing // force growth under contention
+		}
+		for i := 0; i < burst && next < total; i++ {
+			d.pushBottom(glt.NewPolicyUnit(next, 0))
+			next++
+		}
+		for i := 0; i < burst/2; i++ {
+			if u := d.popBottom(); u != nil {
+				account(u)
+			}
+		}
+	}
+	for !stop.Load() {
+		if u := d.popBottom(); u != nil {
+			account(u)
+		}
+	}
+	wg.Wait()
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("unit %d surfaced %d times, want exactly once", i, got)
+		}
+	}
+}
+
+// TestStealHalfMovesHalf checks the steal-half accounting directly on the
+// policy: a thief raiding a victim with 2k pending units takes k (one
+// returned, k-1 into its own deque).
+func TestStealHalfMovesHalf(t *testing.T) {
+	p := &policy{}
+	p.Setup(2, false)
+	units := make([]*glt.Unit, 16)
+	for i := range units {
+		units[i] = glt.NewPolicyUnit(i, 0)
+	}
+	p.PushBatch(0, units) // owner bulk load onto rank 0's deque
+	u := p.StealHalf(1)
+	if u == nil {
+		t.Fatal("StealHalf found nothing on a loaded victim")
+	}
+	if u.Tag() != 0 {
+		t.Errorf("StealHalf returned tag %d, want 0 (victim's oldest)", u.Tag())
+	}
+	if got := p.streams[1].d.population(); got != 7 {
+		t.Errorf("thief deque holds %d units, want 7 (half of 16 minus the returned one)", got)
+	}
+	if got := p.streams[0].d.population(); got != 8 {
+		t.Errorf("victim deque holds %d units, want 8", got)
+	}
+	if got := p.StealsObserved(); got != 8 {
+		t.Errorf("StealsObserved = %d, want 8", got)
+	}
+}
+
+// TestStealRescuesInboxBehindBusyOwner pins the inbox raid: units targeted
+// at a stream whose current ULT never yields sit in that stream's inbox,
+// and idle streams must be able to steal them rather than wait for the
+// owner (which here only finishes once the stranded units have run).
+func TestStealRescuesInboxBehindBusyOwner(t *testing.T) {
+	rt := glt.MustNew(glt.Config{Backend: "ws", NumThreads: 4})
+	defer rt.Shutdown()
+	const n = 8
+	var ran atomic.Int64
+	var blockRank atomic.Int64
+	blockRank.Store(-1)
+	blocker := rt.Spawn(0, func(c *glt.Ctx) {
+		blockRank.Store(int64(c.Rank()))
+		for ran.Load() < n {
+			runtime.Gosched() // occupy the stream without yielding the token
+		}
+	})
+	for blockRank.Load() < 0 {
+		runtime.Gosched()
+	}
+	target := int(blockRank.Load())
+	units := make([]*glt.Unit, n)
+	for i := range units {
+		units[i] = rt.Spawn(target, func(*glt.Ctx) { ran.Add(1) })
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ran.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d units escaped the busy stream's inbox", ran.Load(), n)
+		}
+		runtime.Gosched()
+	}
+	for _, u := range units {
+		u.Join()
+	}
+	blocker.Join()
+}
+
+// TestEngineIdleStealRescuesBurst runs the real engine: a burst spawned onto
+// one stream while the others are idle must spread across streams, and the
+// spreading must go through the engine's idle-path Stealer hook — ws's Pop
+// never raids for an empty stream, so Stats.IdleSteals is the mechanism,
+// not a vestige.
+func TestEngineIdleStealRescuesBurst(t *testing.T) {
+	rt, err := glt.New(glt.Config{Backend: "ws", NumThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	var ranks [4]atomic.Int64
+	busy := rt.Spawn(0, func(c *glt.Ctx) {
+		kids := make([]*glt.Unit, 256)
+		for i := range kids {
+			kids[i] = c.Spawn(func(c2 *glt.Ctx) {
+				ranks[c2.Rank()].Add(1)
+				for k := 0; k < 5000; k++ {
+					_ = k
+				}
+			})
+		}
+		c.JoinAll(kids)
+	})
+	busy.Join()
+	others := ranks[1].Load() + ranks[2].Load() + ranks[3].Load()
+	if others == 0 {
+		t.Error("no work was stolen from the loaded stream under ws")
+	}
+	if s := rt.Stats(); s.IdleSteals == 0 {
+		t.Error("IdleSteals = 0: the rescue did not go through the engine's Stealer idle path")
+	}
+}

@@ -75,10 +75,9 @@ type Runtime struct {
 	// flushBufs recycles the target/arg scratch slices of FlushTasks.
 	flushBufs sync.Pool
 
-	regions    atomic.Int64
-	nested     atomic.Int64
-	serialized atomic.Int64
-	ults       atomic.Int64
+	regions atomic.Int64
+	nested  atomic.Int64
+	ults    atomic.Int64
 	tasks      atomic.Int64
 	flushes    atomic.Int64
 	stolen     atomic.Int64
@@ -179,7 +178,7 @@ func (rt *Runtime) Stats() omp.Stats {
 	return omp.Stats{
 		Regions:           rt.regions.Load(),
 		NestedRegions:     rt.nested.Load(),
-		SerializedRegions: rt.serialized.Load(),
+		SerializedRegions: rt.SerializedRegions(),
 		ULTsCreated:       rt.ults.Load(),
 		TasksQueued:       rt.tasks.Load(),
 		TaskFlushes:       rt.flushes.Load(),
@@ -191,7 +190,7 @@ func (rt *Runtime) Stats() omp.Stats {
 func (rt *Runtime) ResetStats() {
 	rt.regions.Store(0)
 	rt.nested.Store(0)
-	rt.serialized.Store(0)
+	rt.ResetSerializedRegions()
 	rt.ults.Store(0)
 	rt.tasks.Store(0)
 	rt.flushes.Store(0)

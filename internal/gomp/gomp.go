@@ -63,7 +63,6 @@ type Runtime struct {
 
 	regions     atomic.Int64
 	nested      atomic.Int64
-	serialized  atomic.Int64
 	createdTop  atomic.Int64
 	tasksQueued atomic.Int64
 	flushes     atomic.Int64
@@ -109,7 +108,7 @@ func (rt *Runtime) Stats() omp.Stats {
 	return omp.Stats{
 		Regions:           rt.regions.Load(),
 		NestedRegions:     rt.nested.Load(),
-		SerializedRegions: rt.serialized.Load(),
+		SerializedRegions: rt.SerializedRegions(),
 		ThreadsCreated:    rt.pool.Created.Load() + rt.createdTop.Load(),
 		PeakThreads:       pthread.Peak(),
 		TasksQueued:       rt.tasksQueued.Load(),
@@ -123,7 +122,7 @@ func (rt *Runtime) Stats() omp.Stats {
 func (rt *Runtime) ResetStats() {
 	rt.regions.Store(0)
 	rt.nested.Store(0)
-	rt.serialized.Store(0)
+	rt.ResetSerializedRegions()
 	rt.createdTop.Store(-rt.pool.Created.Load())
 	rt.tasksQueued.Store(0)
 	rt.flushes.Store(0)

@@ -67,12 +67,12 @@ func init() {
 			cfg = cfg.withDefaults()
 			params := uts.T1XXLScaled
 			reps := repsOr(cfg, 5)
-			labels := []string{"PTH", "ABT", "QTH", "MTH"}
+			labels := []string{"PTH", "ABT", "QTH", "MTH", "WS"}
 			tbl := NewTable(fmt.Sprintf("UTS native %s, %d reps", params, reps), "threads", labels)
 			for _, n := range cfg.Threads {
 				s := Measure(reps, func() { params.CountPthreads(n) })
 				tbl.Set(fmt.Sprint(n), "PTH", s.String())
-				for _, backend := range []string{"abt", "qth", "mth"} {
+				for _, backend := range []string{"abt", "qth", "mth", "ws"} {
 					g, err := glt.New(glt.Config{Backend: backend, NumThreads: n})
 					if err != nil {
 						return err
@@ -80,7 +80,7 @@ func init() {
 					params.CountGLT(g) // warm-up
 					s := Measure(reps, func() { params.CountGLT(g) })
 					g.Shutdown()
-					tbl.Set(fmt.Sprint(n), map[string]string{"abt": "ABT", "qth": "QTH", "mth": "MTH"}[backend], s.String())
+					tbl.Set(fmt.Sprint(n), map[string]string{"abt": "ABT", "qth": "QTH", "mth": "MTH", "ws": "WS"}[backend], s.String())
 				}
 			}
 			tbl.Render(cfg.Out)
@@ -195,11 +195,13 @@ func init() {
 			}
 			const outer = 100
 			tbl := NewTable(fmt.Sprintf("Nested thread accounting, OMP_NUM_THREADS=%d, outer=%d", n, outer),
-				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused", "Allocs/Region"})
+				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused", "StolenUnits", "Allocs/Region"})
+			// The paper's Table II lists GCC, Intel and GLTO once (the GLT
+			// backend does not change the thread/ULT accounting); this report
+			// keeps one GLTO row per backend so the scheduling-engine
+			// counters — batches, descriptor reuse, cross-stream steals — are
+			// comparable across all four side by side.
 			for _, v := range PaperVariants {
-				if v.Label == "GLTO(QTH)" || v.Label == "GLTO(MTH)" {
-					continue // Table II lists GCC, Intel and GLTO once
-				}
 				// Fresh runtime, single cold run: the counters then hold the
 				// paper's quantities (top-level team plus nested teams).
 				rt, err := v.New(n, nil)
@@ -209,7 +211,10 @@ func init() {
 				runNested(rt, n, outer)
 				s := rt.Stats()
 				allocs := allocsPerRegion(rt, n)
-				label := map[string]string{"GCC": "GCC", "ICC": "Intel", "GLTO(ABT)": "GLTO"}[v.Label]
+				label := v.Label
+				if label == "ICC" {
+					label = "Intel"
+				}
 				tbl.Set(label, "Allocs/Region", fmt.Sprintf("%.1f", allocs))
 				if v.Runtime == "glto" {
 					tbl.Set(label, "CreatedThreads", fmt.Sprint(n))
@@ -218,12 +223,19 @@ func init() {
 					// runtime's counter also includes the n top-level ones.
 					tbl.Set(label, "CreatedULTs", fmt.Sprint(s.ULTsCreated-int64(n)))
 					// Scheduling-engine counters: how many of those ULTs were
-					// dispatched in batches and served by recycled
-					// descriptors (zero under GLTO_PER_UNIT_DISPATCH).
+					// dispatched in batches, served by recycled descriptors
+					// (zero under GLTO_PER_UNIT_DISPATCH), and moved between
+					// streams by the backend's own stealing (policies that
+					// account it, currently ws).
 					if g, ok := rt.(interface{ GLT() *glt.Runtime }); ok {
 						gs := g.GLT().Stats()
 						tbl.Set(label, "BatchPushes", fmt.Sprint(gs.BatchPushes))
 						tbl.Set(label, "UnitsReused", fmt.Sprint(gs.UnitsReused))
+						if sp, ok := g.GLT().Policy().(interface{ StealsObserved() uint64 }); ok {
+							tbl.Set(label, "StolenUnits", fmt.Sprint(sp.StealsObserved()))
+						} else {
+							tbl.Set(label, "StolenUnits", "—")
+						}
 					}
 					rt.Shutdown()
 					continue
@@ -235,6 +247,7 @@ func init() {
 				tbl.Set(label, "CreatedULTs", "—")
 				tbl.Set(label, "BatchPushes", "—")
 				tbl.Set(label, "UnitsReused", "—")
+				tbl.Set(label, "StolenUnits", "—")
 			}
 			tbl.Render(cfg.Out)
 			return nil

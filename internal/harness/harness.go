@@ -29,13 +29,16 @@ type Variant struct {
 	Backend string
 }
 
-// PaperVariants are the five series of Figs. 4, 6, 8 and 9.
+// PaperVariants are the paper's five series of Figs. 4, 6, 8 and 9 plus
+// GLTO over the lock-free work-stealing backend, so every experiment
+// reports all four GLT backends side by side.
 var PaperVariants = []Variant{
 	{"GCC", "gomp", ""},
 	{"ICC", "iomp", ""},
 	{"GLTO(ABT)", "glto", "abt"},
 	{"GLTO(QTH)", "glto", "qth"},
 	{"GLTO(MTH)", "glto", "mth"},
+	{"GLTO(WS)", "glto", "ws"},
 }
 
 // TaskVariants are the series of the CG task experiments (Figs. 10-13),
@@ -45,6 +48,7 @@ var TaskVariants = []Variant{
 	{"GLTO(ABT)", "glto", "abt"},
 	{"GLTO(QTH)", "glto", "qth"},
 	{"GLTO(MTH)", "glto", "mth"},
+	{"GLTO(WS)", "glto", "ws"},
 }
 
 // New instantiates the variant's runtime with the given team size and extra

@@ -70,7 +70,6 @@ type Runtime struct {
 
 	regions       atomic.Int64
 	nested        atomic.Int64
-	serialized    atomic.Int64
 	created       atomic.Int64
 	reused        atomic.Int64
 	tasksQueued   atomic.Int64
@@ -130,7 +129,7 @@ func (rt *Runtime) Stats() omp.Stats {
 	return omp.Stats{
 		Regions:           rt.regions.Load(),
 		NestedRegions:     rt.nested.Load(),
-		SerializedRegions: rt.serialized.Load(),
+		SerializedRegions: rt.SerializedRegions(),
 		ThreadsCreated:    rt.pool.Created.Load() + rt.created.Load(),
 		ThreadsReused:     rt.reused.Load(),
 		PeakThreads:       pthread.Peak(),
@@ -146,7 +145,7 @@ func (rt *Runtime) Stats() omp.Stats {
 func (rt *Runtime) ResetStats() {
 	rt.regions.Store(0)
 	rt.nested.Store(0)
-	rt.serialized.Store(0)
+	rt.ResetSerializedRegions()
 	rt.created.Store(-rt.pool.Created.Load())
 	rt.reused.Store(0)
 	rt.tasksQueued.Store(0)

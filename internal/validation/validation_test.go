@@ -1,6 +1,7 @@
 package validation
 
 import (
+	"os"
 	"testing"
 
 	"repro/omp"
@@ -68,6 +69,14 @@ var runtimeExpectations = []struct {
 		mustPass:  []string{"omp_task_untied", "omp_task_final"},
 		threshold: 119,
 	},
+	{
+		name: "glto-ws", rtName: "glto", backend: "ws",
+		// The lock-free work-stealing backend migrates suspended task ULTs
+		// like mth (thieves take started continuations off a loaded stream),
+		// so untied tasks pass; taskyield remains statistical, as for mth.
+		mustPass:  []string{"omp_task_untied", "omp_task_final"},
+		threshold: 119,
+	},
 }
 
 func TestTable1RuntimeOutcomes(t *testing.T) {
@@ -122,6 +131,28 @@ func TestTable1RuntimeOutcomes(t *testing.T) {
 	}
 }
 
+// TestEnvBackendSuite runs the full validation suite on GLTO over the
+// backend named by GLT_BACKEND, so CI (or a developer) can certify a single
+// backend end to end: GLT_BACKEND=ws go test ./internal/validation. Skipped
+// when the variable is unset — the expectation table above already covers
+// the in-tree backends.
+func TestEnvBackendSuite(t *testing.T) {
+	backend := os.Getenv("GLT_BACKEND")
+	if backend == "" {
+		t.Skip("GLT_BACKEND not set")
+	}
+	rt, err := openmp.New("glto", omp.Config{NumThreads: 4, Backend: backend, Nested: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	rep := RunSuite(rt, 4)
+	t.Logf("glto-%s: %d/%d passed; failed: %v", backend, rep.Passed(), len(rep.Outcomes), rep.FailedNames())
+	if rep.Passed() < 118 {
+		t.Errorf("glto-%s passed %d, expected at least 118", backend, rep.Passed())
+	}
+}
+
 // TestTable1DispatchModes runs the full Table I suite on GLTO under every
 // task/region dispatch mode the runtime offers — the default batched path
 // (producer-side task buffer + PushBatch), buffering disabled alone, and the
@@ -143,12 +174,17 @@ func TestTable1DispatchModes(t *testing.T) {
 		threshold       int
 	}{
 		{"glto", "abt", 118},
+		{"glto", "ws", 118},
 		{"gomp", "", 115},
 		{"iomp", "", 115},
 	}
 	for _, rtc := range runtimes {
 		for _, mode := range modes {
-			t.Run(rtc.rtName+"/"+mode.name, func(t *testing.T) {
+			label := rtc.rtName
+			if rtc.backend != "" {
+				label += "-" + rtc.backend
+			}
+			t.Run(label+"/"+mode.name, func(t *testing.T) {
 				cfg := omp.Config{NumThreads: 4, Backend: rtc.backend, Nested: true}
 				mode.mutate(&cfg)
 				rt, err := openmp.New(rtc.rtName, cfg)

@@ -104,8 +104,9 @@ type Config struct {
 	// (OMP_TASK_BUFFER).
 	TaskBuffer int
 
-	// Backend selects the GLT backend for the glto runtime:
-	// "abt", "qth" or "mth" (GLTO_BACKEND / GLT_IMPL).
+	// Backend selects the GLT backend for the glto runtime: "abt", "qth",
+	// "mth" or the lock-free work-stealing "ws"
+	// (GLTO_BACKEND / GLT_IMPL / GLT_BACKEND).
 	Backend string
 	// SharedQueues is GLT_SHARED_QUEUES (glto runtime only).
 	SharedQueues bool
@@ -211,6 +212,8 @@ func (c Config) FromEnv() Config {
 		if v := os.Getenv("GLTO_BACKEND"); v != "" {
 			c.Backend = v
 		} else if v := os.Getenv("GLT_IMPL"); v != "" {
+			c.Backend = v
+		} else if v := os.Getenv("GLT_BACKEND"); v != "" {
 			c.Backend = v
 		}
 	}

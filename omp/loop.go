@@ -25,7 +25,8 @@ type ForOpts struct {
 }
 
 // loopState is the shared descriptor of one work-shared loop (or sections)
-// instance within a team.
+// instance within a team. States are pooled inside the team's loopTable and
+// re-armed in place per region (see arm), never reallocated in steady state.
 type loopState struct {
 	next    atomic.Int64 // dispatch cursor for dynamic/guided/sections
 	hi      int64
@@ -39,6 +40,29 @@ type loopState struct {
 	redI   int64
 	redAny any
 	redSet bool
+}
+
+// loopSpec carries the construct-instance parameters the first-arriving
+// member arms a pooled loopState with. It is a plain value — passing it
+// through loopFor costs no closure allocation, which is what keeps the
+// dynamic-loop and reduction paths allocation-free across team recycles.
+type loopSpec struct {
+	lo, hi, chunk int64
+	guided        bool
+	redF          float64
+	redI          int64
+	redAny        any
+	redSet        bool
+}
+
+// arm re-initializes a pooled state in place for its next construct
+// instance. The dispatch and ordered cursors restart at lo; reduction
+// accumulators take the spec's identity values.
+func (ls *loopState) arm(spec loopSpec) {
+	ls.lo, ls.hi, ls.chunk, ls.guided = spec.lo, spec.hi, spec.chunk, spec.guided
+	ls.next.Store(spec.lo)
+	ls.ordNext.Store(spec.lo)
+	ls.redF, ls.redI, ls.redAny, ls.redSet = spec.redF, spec.redI, spec.redAny, spec.redSet
 }
 
 // For executes body(i) for every i in [lo, hi) work-shared across the team
@@ -115,11 +139,8 @@ func (tc *TC) dispatchLoop(lo, hi, chunk int, guided bool, opts ForOpts, body fu
 		chunk = 1
 	}
 	tc.loopSeq++
-	ls := tc.team.loopFor(tc.loopSeq, func() *loopState {
-		s := &loopState{hi: int64(hi), lo: int64(lo), chunk: int64(chunk), guided: guided}
-		s.next.Store(int64(lo))
-		s.ordNext.Store(int64(lo))
-		return s
+	ls := tc.team.loopFor(tc.loopSeq, loopSpec{
+		lo: int64(lo), hi: int64(hi), chunk: int64(chunk), guided: guided,
 	})
 	size := int64(tc.team.Size)
 	for {
@@ -173,12 +194,7 @@ func (tc *TC) runChunk(start, end int, ordered *loopState, body func(i int)) {
 // (dynamic/guided loops allocate it in dispatchLoop).
 func (tc *TC) orderedState(lo, hi int) *loopState {
 	tc.loopSeq++
-	return tc.team.loopFor(tc.loopSeq, func() *loopState {
-		s := &loopState{hi: int64(hi), lo: int64(lo)}
-		s.next.Store(int64(lo))
-		s.ordNext.Store(int64(lo))
-		return s
-	})
+	return tc.team.loopFor(tc.loopSeq, loopSpec{lo: int64(lo), hi: int64(hi)})
 }
 
 // Ordered executes body for iteration i in strict iteration order

@@ -65,6 +65,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Runtime is an instantiated OpenMP runtime as applications see it: a
@@ -131,6 +132,12 @@ type Frontend struct {
 	// teams recycles region descriptors. sync.Pool gives per-P caches, so
 	// concurrent nested regions do not contend on a shared free-list lock.
 	teams sync.Pool
+	// serialized counts parallel regions executed serially (nesting
+	// disabled or the active-level limit reached). Serialization is decided
+	// in the shared construct code (tc.Parallel), which engines never see,
+	// so the front end owns the counter; runtimes fold SerializedRegions()
+	// into their Stats.
+	serialized atomic.Int64
 }
 
 // NewFrontend builds a front end over eng with the given configuration
@@ -175,11 +182,28 @@ func (f *Frontend) ParallelN(n int, body func(*TC)) {
 // Shutdown stops the engine.
 func (f *Frontend) Shutdown() { f.eng.Shutdown() }
 
-// Stats reports the engine's accounting counters.
-func (f *Frontend) Stats() Stats { return f.eng.Stats() }
+// Stats reports the engine's accounting counters plus the front end's own
+// (serialized-region accounting).
+func (f *Frontend) Stats() Stats {
+	s := f.eng.Stats()
+	s.SerializedRegions = f.serialized.Load()
+	return s
+}
 
-// ResetStats zeroes the engine's accounting counters.
-func (f *Frontend) ResetStats() { f.eng.ResetStats() }
+// ResetStats zeroes the engine's accounting counters and the front end's.
+func (f *Frontend) ResetStats() {
+	f.serialized.Store(0)
+	f.eng.ResetStats()
+}
+
+// SerializedRegions reports how many parallel regions this front end has
+// executed serially. Runtimes that shadow Stats with engine-side counters
+// read it through their embedded Frontend.
+func (f *Frontend) SerializedRegions() int64 { return f.serialized.Load() }
+
+// ResetSerializedRegions zeroes the serialized-region counter; for runtimes
+// whose ResetStats shadows the Frontend's.
+func (f *Frontend) ResetSerializedRegions() { f.serialized.Store(0) }
 
 // getTeam fetches a recycled descriptor (or builds one) and prepares it for
 // a region. Nested regions reach it through Team.newNested.

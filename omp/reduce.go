@@ -14,10 +14,7 @@ package omp
 //	    func(i int, acc float64) float64 { return acc + x[i]*y[i] })
 func (tc *TC) ForReduceFloat64(lo, hi int, opts ForOpts, ident float64, comb func(a, b float64) float64, body func(i int, acc float64) float64) float64 {
 	tc.loopSeq++
-	ls := tc.team.loopFor(tc.loopSeq, func() *loopState {
-		s := &loopState{redF: ident}
-		return s
-	})
+	ls := tc.team.loopFor(tc.loopSeq, loopSpec{redF: ident})
 	local := ident
 	inner := opts
 	inner.NoWait = true
@@ -44,10 +41,7 @@ func (tc *TC) ForReduceFloat64(lo, hi int, opts ForOpts, ident float64, comb fun
 // ForReduceInt64 is ForReduceFloat64 for int64 accumulators.
 func (tc *TC) ForReduceInt64(lo, hi int, opts ForOpts, ident int64, comb func(a, b int64) int64, body func(i int, acc int64) int64) int64 {
 	tc.loopSeq++
-	ls := tc.team.loopFor(tc.loopSeq, func() *loopState {
-		s := &loopState{redI: ident}
-		return s
-	})
+	ls := tc.team.loopFor(tc.loopSeq, loopSpec{redI: ident})
 	local := ident
 	inner := opts
 	inner.NoWait = true
@@ -74,9 +68,7 @@ func (tc *TC) ForReduceInt64(lo, hi int, opts ForOpts, ident int64, comb func(a,
 // be generic.
 func ForReduce[T any](tc *TC, lo, hi int, opts ForOpts, ident T, comb func(a, b T) T, body func(i int, acc T) T) T {
 	tc.loopSeq++
-	ls := tc.team.loopFor(tc.loopSeq, func() *loopState {
-		return &loopState{redAny: ident, redSet: true}
-	})
+	ls := tc.team.loopFor(tc.loopSeq, loopSpec{redAny: ident, redSet: true})
 	local := ident
 	inner := opts
 	inner.NoWait = true

@@ -269,9 +269,7 @@ func (tc *TC) Taskyield() {
 // (#pragma omp sections).
 func (tc *TC) Sections(fns ...func()) {
 	tc.sectSeq++
-	ls := tc.team.sectionFor(tc.sectSeq, func() *loopState {
-		return &loopState{hi: int64(len(fns)), chunk: 1}
-	})
+	ls := tc.team.sectionFor(tc.sectSeq, loopSpec{hi: int64(len(fns)), chunk: 1})
 	for {
 		i := ls.next.Add(1) - 1
 		if i >= int64(len(fns)) {
@@ -312,6 +310,9 @@ func (tc *TC) Parallel(n int, body func(*TC)) {
 // encountering thread, reusing the engine's tasking machinery so explicit
 // tasks inside still work.
 func (tc *TC) serialRegion(body func(*TC)) {
+	if owner := tc.team.owner; owner != nil {
+		owner.serialized.Add(1)
+	}
 	team := tc.team.newNested(1, body)
 	team.Run(0, tc.ops, tc.ectx)
 	tc.team.releaseNested(team)

@@ -32,6 +32,10 @@ type Team struct {
 	// finished. The implicit barrier at region end waits for it to drain,
 	// per the OpenMP task-completion rules.
 	Tasks atomic.Int64
+	// ends counts members that have not yet returned from the region's
+	// implicit barrier; the member that decrements it to zero — the last one
+	// out — fires Tracer.RegionEnd, pairing every RegionBegin exactly once.
+	ends atomic.Int32
 
 	loops    loopTable  // work-shared loop instances, by per-member loop seq
 	sections loopTable  // sections instances, by per-member sections seq
@@ -80,6 +84,7 @@ func (t *Team) prepare(size, level int, cfg Config, body func(*TC)) {
 	}
 	t.Size, t.Level, t.Cfg, t.body = size, level, cfg, body
 	t.Tasks.Store(0)
+	t.ends.Store(int32(size))
 	t.loops.reset()
 	t.sections.reset()
 	t.singles.reset()
@@ -109,6 +114,10 @@ func (t *Team) Run(rank int, ops EngineOps, ectx any) {
 	tc.rearm(t, rank, ops, ectx, node)
 	t.body(tc)
 	tc.Barrier() // the implicit barrier ending the region
+	if t.ends.Add(-1) == 0 {
+		// Last member out of the implicit barrier: the region is over.
+		emitTrace(func(tr Tracer) { tr.RegionEnd(t) })
+	}
 }
 
 // Body returns the region body the team was built with. Engines that cannot
@@ -152,18 +161,18 @@ func (t *Team) criticalFor(name string) *sync.Mutex {
 }
 
 // loopFor returns the state of the work-shared loop with the given
-// per-thread encounter sequence number, creating it if this thread is the
-// first to arrive. All members encounter work-sharing constructs in the same
-// order (an OpenMP requirement), so the sequence number identifies the
-// construct instance.
-func (t *Team) loopFor(seq int64, mk func() *loopState) *loopState {
-	return t.loops.get(seq, mk)
+// per-thread encounter sequence number, arming it from spec if this thread
+// is the first to arrive. All members encounter work-sharing constructs in
+// the same order (an OpenMP requirement), so the sequence number identifies
+// the construct instance.
+func (t *Team) loopFor(seq int64, spec loopSpec) *loopState {
+	return t.loops.get(seq, spec)
 }
 
 // sectionFor is loopFor for sections constructs, which have their own
 // encounter sequence.
-func (t *Team) sectionFor(seq int64, mk func() *loopState) *loopState {
-	return t.sections.get(seq, mk)
+func (t *Team) sectionFor(seq int64, spec loopSpec) *loopState {
+	return t.sections.get(seq, spec)
 }
 
 // claimSingle reports whether the caller is the thread that executes the
@@ -173,33 +182,57 @@ func (t *Team) claimSingle(seq int64) bool {
 }
 
 // loopTable maps per-region encounter sequence numbers (1-based, dense) to
-// shared loop state. It replaces the seed's sync.Map: a plain slice under a
-// mutex recycles its backing storage across descriptor reuses, so rearming a
-// pooled team allocates nothing — the property the front-end pooling exists
-// to provide. Lookups happen once per member per construct instance; the
-// dispatch cursors inside loopState carry the per-chunk traffic.
+// shared loop state. The loopState objects themselves are pooled: each slot
+// carries a generation stamp, reset bumps the table's generation instead of
+// dropping the slice contents, and the first member to arrive at a construct
+// re-arms the slot's existing object in place from the caller's loopSpec.
+// A steady-state region with dynamic/guided loops, sections or reductions
+// therefore allocates nothing per region — the seed dropped every loopState
+// at team recycle and rebuilt them (one allocation plus one mk closure per
+// construct instance per region, which CloverLeaf's hundreds of thousands of
+// per-step regions paid in full). Lookups happen once per member per
+// construct instance; the dispatch cursors inside loopState carry the
+// per-chunk traffic.
 type loopTable struct {
-	mu sync.Mutex
-	s  []*loopState
+	mu  sync.Mutex
+	gen uint64
+	s   []loopSlot
 }
 
-func (lt *loopTable) get(seq int64, mk func() *loopState) *loopState {
+type loopSlot struct {
+	ls  *loopState
+	gen uint64
+}
+
+func (lt *loopTable) get(seq int64, spec loopSpec) *loopState {
 	lt.mu.Lock()
 	for int64(len(lt.s)) < seq {
-		lt.s = append(lt.s, nil)
+		lt.s = append(lt.s, loopSlot{})
 	}
-	ls := lt.s[seq-1]
-	if ls == nil {
-		ls = mk()
-		lt.s[seq-1] = ls
+	sl := &lt.s[seq-1]
+	if sl.ls == nil {
+		sl.ls = new(loopState)
 	}
+	if sl.gen != lt.gen {
+		sl.ls.arm(spec)
+		sl.gen = lt.gen
+	}
+	ls := sl.ls
 	lt.mu.Unlock()
 	return ls
 }
 
+// reset retires the current region's construct instances by advancing the
+// generation; the loopState objects stay allocated for in-place re-arming.
+// Reduction payloads are dropped eagerly so a pooled idle team does not pin
+// user values.
 func (lt *loopTable) reset() {
-	clear(lt.s)
-	lt.s = lt.s[:0]
+	lt.gen++
+	for i := range lt.s {
+		if ls := lt.s[i].ls; ls != nil {
+			ls.redAny = nil
+		}
+	}
 }
 
 // claimTable is the single-construct election table. The per-seq flags are

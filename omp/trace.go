@@ -58,19 +58,23 @@ func emitTrace(f func(Tracer)) {
 }
 
 // CountingTracer is a ready-made Tracer that counts events, usable as a
-// cheap profiler and as the reference implementation.
+// cheap profiler and as the reference implementation. Every RegionBegin is
+// paired by exactly one RegionEnd (fired by the last member out of the
+// region's implicit barrier), so Regions == RegionEnds once all regions a
+// program started have completed.
 type CountingTracer struct {
-	Regions  atomic.Int64
-	Tasks    atomic.Int64
-	TaskEnds atomic.Int64
-	Barriers atomic.Int64
+	Regions    atomic.Int64
+	RegionEnds atomic.Int64
+	Tasks      atomic.Int64
+	TaskEnds   atomic.Int64
+	Barriers   atomic.Int64
 }
 
 // RegionBegin implements Tracer.
 func (c *CountingTracer) RegionBegin(*Team) { c.Regions.Add(1) }
 
 // RegionEnd implements Tracer.
-func (c *CountingTracer) RegionEnd(*Team) {}
+func (c *CountingTracer) RegionEnd(*Team) { c.RegionEnds.Add(1) }
 
 // TaskCreate implements Tracer.
 func (c *CountingTracer) TaskCreate(*Team, *TaskNode) { c.Tasks.Add(1) }

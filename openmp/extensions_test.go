@@ -162,3 +162,33 @@ func TestTracerDisabledByDefault(t *testing.T) {
 		t.Error("a tracer was installed by default")
 	}
 }
+
+// TestTracerRegionBeginEndPairing pins the RegionEnd contract: every
+// RegionBegin — top-level, nested and serialized regions alike — is paired
+// by exactly one RegionEnd, fired by the last member out of the region's
+// implicit barrier.
+func TestTracerRegionBeginEndPairing(t *testing.T) {
+	forEachRuntime(t, func(t *testing.T, rt omp.Runtime) {
+		tr := &omp.CountingTracer{}
+		prev := omp.SetTracer(tr)
+		defer omp.SetTracer(prev)
+		for i := 0; i < 5; i++ {
+			rt.Parallel(func(tc *omp.TC) {
+				tc.Parallel(2, func(itc *omp.TC) {}) // nested region
+				tc.Master(func() {
+					tc.Parallel(1, func(itc *omp.TC) {}) // serialized (team of 1)
+				})
+				tc.Barrier()
+			})
+		}
+		omp.SetTracer(prev)
+		begins, ends := tr.Regions.Load(), tr.RegionEnds.Load()
+		// 5 top-level + 5*4 nested + 5 serialized = 30 regions.
+		if begins != 30 {
+			t.Errorf("tracer saw %d RegionBegin events, want 30", begins)
+		}
+		if ends != begins {
+			t.Errorf("RegionBegin/RegionEnd unpaired: %d begins, %d ends", begins, ends)
+		}
+	})
+}

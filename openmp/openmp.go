@@ -13,8 +13,9 @@
 //   - "gomp": GNU-libgomp-like, pthread based (internal/gomp)
 //   - "iomp": Intel-runtime-like, pthread based (internal/iomp)
 //   - "glto": the paper's OpenMP-over-lightweight-threads runtime
-//     (internal/core), with Config.Backend selecting the GLT library
-//     analogue ("abt", "qth", "mth")
+//     (internal/core), with Config.Backend selecting the GLT backend: the
+//     library analogues "abt", "qth", "mth", or the lock-free Chase-Lev
+//     work-stealing "ws"
 //
 // All three are runtime SPI implementations (omp.RegionEngine +
 // omp.EngineOps) behind a shared omp.Frontend that owns the pooled Team/TC

@@ -2,7 +2,7 @@ package openmp_test
 
 // Cross-runtime conformance tests: every directive of the omp front end is
 // exercised on all three runtimes (gomp, iomp, glto) and, for glto, on all
-// three GLT backends. The same application code must behave identically
+// four GLT backends. The same application code must behave identically
 // everywhere — the portability claim of the paper's Fig. 2.
 
 import (
@@ -28,6 +28,7 @@ var variants = []variant{
 	{"glto-abt", "glto", "abt"},
 	{"glto-qth", "glto", "qth"},
 	{"glto-mth", "glto", "mth"},
+	{"glto-ws", "glto", "ws"},
 }
 
 // forEachRuntime runs f once per variant with a 4-thread runtime.
@@ -50,6 +51,38 @@ func forEachRuntimeN(t *testing.T, n int, base omp.Config, f func(t *testing.T, 
 			}
 			defer rt.Shutdown()
 			f(t, rt)
+		})
+	}
+}
+
+// TestSerializedRegionsCounted pins the serialized-region accounting: with
+// nesting disabled, every inner tc.Parallel is serialized and must show up
+// in Stats.SerializedRegions (the counter lives in the front end, where the
+// serialization decision is made).
+func TestSerializedRegionsCounted(t *testing.T) {
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			rt, err := openmp.New(v.runtime, omp.Config{
+				NumThreads: 2, Backend: v.backend, Nested: false,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Shutdown()
+			rt.Parallel(func(tc *omp.TC) {
+				tc.Parallel(2, func(itc *omp.TC) {
+					if itc.NumThreads() != 1 {
+						t.Errorf("serialized region has %d threads, want 1", itc.NumThreads())
+					}
+				})
+			})
+			if got := rt.Stats().SerializedRegions; got != 2 {
+				t.Errorf("SerializedRegions = %d, want 2 (one per team member)", got)
+			}
+			rt.ResetStats()
+			if got := rt.Stats().SerializedRegions; got != 0 {
+				t.Errorf("SerializedRegions = %d after ResetStats, want 0", got)
+			}
 		})
 	}
 }
