@@ -47,17 +47,31 @@ func TestRegionRespawnAllocCeiling(t *testing.T) {
 	}
 }
 
-// TestTaskRespawnAllocsBounded pins the task path's allocation profile under
-// batched submission: per empty task, the engines may allocate the task node
-// and closure plus a bounded constant, but nothing proportional to dispatch
-// episodes (the producer-side buffer amortizes those). This is a loose bound
-// — the point is catching structural regressions (per-task channels, per-
-// flush slices), not chasing zero.
-func TestTaskRespawnAllocsBounded(t *testing.T) {
+// taskSpawnAllocCeiling is the accepted steady-state allocation budget per
+// deferred task spawn (the ISSUE-4 acceptance bound; measured 0 at
+// submission on every runtime — the TaskNode and its task-scoped TC now come
+// from the team's sharded descriptor pools, the overflow ring and flush
+// scratch are retained per TC, and the engines' queues/deques/unit
+// descriptors were already recycled. The slack absorbs GC-emptied pools and
+// the per-run region/closure overhead, amortized over the task count).
+const taskSpawnAllocCeiling = 1.0
+
+// emptyTaskBody is package-level so the measured loop creates no closure per
+// task — the residual is the runtime's own per-task footprint.
+var emptyTaskBody = func(*omp.TC) {}
+
+// TestTaskSpawnAllocCeiling pins the allocation-free explicit-task
+// lifecycle: a steady-state deferred-task storm (single producer, batched
+// submission, consumers raiding and stealing) must not allocate per task on
+// any of the three runtimes. It replaces the looser ceiling-6 bound that
+// predated descriptor pooling.
+func TestTaskSpawnAllocCeiling(t *testing.T) {
 	const tasks = 64
 	for _, v := range []harness.Variant{
+		{Label: "GCC", Runtime: "gomp"},
 		{Label: "Intel", Runtime: "iomp"},
 		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+		{Label: "GLTO(WS)", Runtime: "glto", Backend: "ws"},
 	} {
 		v := v
 		t.Run(v.Label, func(t *testing.T) {
@@ -70,21 +84,20 @@ func TestTaskRespawnAllocsBounded(t *testing.T) {
 				rt.ParallelN(benchThreads, func(tc *omp.TC) {
 					tc.Single(func() {
 						for i := 0; i < tasks; i++ {
-							tc.Task(func(*omp.TC) {})
+							tc.Task(emptyTaskBody)
 						}
 					})
 				})
 			}
 			for i := 0; i < 20; i++ {
-				run()
+				run() // warm descriptor pools, rings, unit caches, shells
 			}
 			got := testing.AllocsPerRun(30, run)
 			perTask := got / tasks
-			t.Logf("%s: %.2f allocs/run, %.2f per task", v.Label, got, perTask)
-			// Node + body TC (+ GLTO's task TC) ≈ 2-3 per task; 6 leaves
-			// headroom without masking a per-task channel or queue alloc.
-			if perTask > 6 {
-				t.Errorf("%s task spawn allocates %.2f per task, ceiling 6", v.Label, perTask)
+			t.Logf("%s: %.2f allocs/run, %.3f per task", v.Label, got, perTask)
+			if perTask > taskSpawnAllocCeiling {
+				t.Errorf("%s task spawn allocates %.3f per task, ceiling %.1f",
+					v.Label, perTask, taskSpawnAllocCeiling)
 			}
 		})
 	}

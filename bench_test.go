@@ -433,6 +433,50 @@ func BenchmarkAblationGLTOTaskletTasks(b *testing.B) {
 	}
 }
 
+// benchTaskBody is package-level so the task-spawn benches pay no per-task
+// closure allocation; what remains is the runtime's own footprint.
+var benchTaskBody = func(*omp.TC) {}
+
+// BenchmarkTaskSpawn: the steady-state deferred-task hot path — one region,
+// a single producer, tasks per op — on every runtime. Run with -benchmem:
+// the allocation-free task lifecycle is accepted on ~0 allocs per task
+// (tasks per op amortize the region and closure overhead; the CI guard is
+// TestTaskSpawnAllocCeiling at ≤ 1 alloc/task). The per-op figure divides
+// by the task count via the tasks/op metric.
+func BenchmarkTaskSpawn(b *testing.B) {
+	const tasks = 64
+	variants := []harness.Variant{
+		{Label: "GCC", Runtime: "gomp"},
+		{Label: "Intel", Runtime: "iomp"},
+		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+		{Label: "GLTO(WS)", Runtime: "glto", Backend: "ws"},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.Label, func(b *testing.B) {
+			rt := newRT(b, v, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+			run := func() {
+				rt.ParallelN(benchThreads, func(tc *omp.TC) {
+					tc.Single(func() {
+						for k := 0; k < tasks; k++ {
+							tc.Task(benchTaskBody)
+						}
+					})
+				})
+			}
+			for i := 0; i < 10; i++ {
+				run() // warm descriptor pools, rings, unit caches
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.ReportMetric(tasks, "tasks/op")
+		})
+	}
+}
+
 // BenchmarkRegionRespawn: the ParallelN respawn hot path on every runtime,
 // under the default pooled front end (teams recycled, batched dispatch)
 // against the paper-faithful per-unit mode (omp.Config.PerUnitDispatch).

@@ -5,6 +5,7 @@
 //
 //	uts -rt glto -backend abt -threads 8
 //	uts -native pthreads -threads 8
+//	uts -native ws -tasks -threads 8
 //	uts -preset t3 -serial
 package main
 
@@ -25,10 +26,11 @@ import (
 func main() {
 	var (
 		rtName  = flag.String("rt", "glto", "OpenMP runtime: gomp, iomp, glto")
-		backend = flag.String("backend", "abt", "GLT backend for glto: abt, qth, mth")
+		backend = flag.String("backend", "abt", "GLT backend for glto: abt, qth, mth, ws")
 		threads = flag.Int("threads", 0, "thread count (0 = host cores)")
 		preset  = flag.String("preset", "t1xxl", "tree preset: t1xxl, t3, tiny")
-		native  = flag.String("native", "", "bypass OpenMP: pthreads, abt, qth, mth")
+		native  = flag.String("native", "", "bypass OpenMP: pthreads, abt, qth, mth, ws")
+		tasks   = flag.Bool("tasks", false, "with -native <backend>: task-parallel driver (one detached ULT per node batch; the backend's stealing — ws steal-half, engine idle raids — does the load balancing)")
 		serial  = flag.Bool("serial", false, "run the serial reference traversal")
 	)
 	flag.Parse()
@@ -64,8 +66,16 @@ func main() {
 			os.Exit(1)
 		}
 		defer g.Shutdown()
-		result = params.CountGLT(g)
-		how = fmt.Sprintf("native %s x%d", *native, n)
+		if *tasks {
+			result = params.CountGLTTasks(g)
+			how = fmt.Sprintf("native %s task-parallel x%d", *native, n)
+			if sp, ok := g.Policy().(interface{ StealsObserved() uint64 }); ok {
+				how += fmt.Sprintf(" (%d units stolen)", sp.StealsObserved())
+			}
+		} else {
+			result = params.CountGLT(g)
+			how = fmt.Sprintf("native %s x%d", *native, n)
+		}
 	default:
 		rt, err := openmp.New(*rtName, omp.Config{NumThreads: n, Backend: *backend})
 		if err != nil {

@@ -75,12 +75,23 @@ type Runtime struct {
 	// flushBufs recycles the target/arg scratch slices of FlushTasks.
 	flushBufs sync.Pool
 
-	regions atomic.Int64
-	nested  atomic.Int64
-	ults    atomic.Int64
-	tasks      atomic.Int64
-	flushes    atomic.Int64
-	stolen     atomic.Int64
+	// active tracks the teams whose regions are currently in flight, so the
+	// engine's idle drain hook knows which producer-side overflow rings
+	// exist to be raided. Entries are added by RunRegion/Nested and removed
+	// before the team descriptor returns to the front end's pool; the hook
+	// never outlives a claimable task, because a non-empty ring keeps the
+	// team's task count (and hence the region) alive. The backing array is
+	// retained, so region churn costs no allocation here.
+	activeMu sync.Mutex
+	active   []*omp.Team
+
+	regions   atomic.Int64
+	nested    atomic.Int64
+	ults      atomic.Int64
+	tasks     atomic.Int64
+	flushes   atomic.Int64
+	stolen    atomic.Int64
+	bufStolen atomic.Int64
 }
 
 // regionSlot is the pooled dispatch state of one in-flight region.
@@ -131,8 +142,63 @@ func New(cfg omp.Config) (*Runtime, error) {
 			args:    make([]any, 0, rt.taskBuf),
 		}
 	}
+	// The engine-level half of consumer-visible overflow: a stream that found
+	// nothing to pop — and, on stealing backends, nothing to steal — raids
+	// the active teams' producer-side rings and respawns the claimed task as
+	// a detached unit on itself, instead of parking.
+	g.SetIdleDrain(rt.drainBufferedTask)
 	rt.Frontend = omp.NewFrontend(rt, cfg)
 	return rt, nil
+}
+
+// enlist/delist maintain the active-team registry for the idle drain hook.
+func (rt *Runtime) enlist(t *omp.Team) {
+	rt.activeMu.Lock()
+	rt.active = append(rt.active, t)
+	rt.activeMu.Unlock()
+}
+
+func (rt *Runtime) delist(t *omp.Team) {
+	rt.activeMu.Lock()
+	for i, a := range rt.active {
+		if a == t {
+			last := len(rt.active) - 1
+			rt.active[i] = rt.active[last]
+			rt.active[last] = nil
+			rt.active = rt.active[:last]
+			break
+		}
+	}
+	rt.activeMu.Unlock()
+}
+
+// stealBufferedTask claims one task from any active team's overflow rings.
+func (rt *Runtime) stealBufferedTask() *omp.TaskNode {
+	rt.activeMu.Lock()
+	defer rt.activeMu.Unlock()
+	for _, t := range rt.active {
+		if node := t.StealBufferedTask(); node != nil {
+			return node
+		}
+	}
+	return nil
+}
+
+// drainBufferedTask is the glt idle drain hook (glt.Runtime.SetIdleDrain):
+// called on stream rank's scheduler goroutine when its Pop and StealHalf
+// both came up empty. A claimed task is respawned as a detached work unit on
+// the idle stream itself — through the rank's unlocked descriptor cache, so
+// the rescue allocates nothing — giving it the full ULT semantics (yield,
+// migration) a normally dispatched task would have.
+func (rt *Runtime) drainBufferedTask(rank int) bool {
+	node := rt.stealBufferedTask()
+	if node == nil {
+		return false
+	}
+	rt.bufStolen.Add(1)
+	rt.ults.Add(1)
+	rt.g.SpawnDetachedFrom(rank, rank, rt.taskBody, node, rt.cfg.Tasklets)
+	return true
 }
 
 // Name reports "glto".
@@ -157,12 +223,14 @@ func (rt *Runtime) RunRegion(t *omp.Team) {
 	n := t.Size
 	rt.regions.Add(1)
 	rt.ults.Add(int64(n))
+	rt.enlist(t)
 	slot := rt.slots.Get().(*regionSlot)
 	slot.team = t
 	units := rt.g.SpawnTeam(n, slot.fn, slot.units)
 	for _, u := range units {
 		u.Join()
 	}
+	rt.delist(t)
 	rt.g.ReleaseAll(units)
 	slot.units = units[:0]
 	slot.team = nil
@@ -176,13 +244,14 @@ func (rt *Runtime) Shutdown() { rt.g.Shutdown() }
 func (rt *Runtime) Stats() omp.Stats {
 	gs := rt.g.Stats()
 	return omp.Stats{
-		Regions:           rt.regions.Load(),
-		NestedRegions:     rt.nested.Load(),
-		SerializedRegions: rt.SerializedRegions(),
-		ULTsCreated:       rt.ults.Load(),
-		TasksQueued:       rt.tasks.Load(),
-		TaskFlushes:       rt.flushes.Load(),
-		TasksStolen:       gs.Migrations + rt.stolen.Load(),
+		Regions:               rt.regions.Load(),
+		NestedRegions:         rt.nested.Load(),
+		SerializedRegions:     rt.SerializedRegions(),
+		ULTsCreated:           rt.ults.Load(),
+		TasksQueued:           rt.tasks.Load(),
+		TaskFlushes:           rt.flushes.Load(),
+		TasksStolen:           gs.Migrations + rt.stolen.Load(),
+		TasksStolenFromBuffer: rt.bufStolen.Load(),
 	}
 }
 
@@ -195,6 +264,7 @@ func (rt *Runtime) ResetStats() {
 	rt.tasks.Store(0)
 	rt.flushes.Store(0)
 	rt.stolen.Store(0)
+	rt.bufStolen.Store(0)
 	rt.g.ResetStats()
 }
 
@@ -209,11 +279,14 @@ func ctxOf(tc *omp.TC) *glt.Ctx {
 }
 
 // BarrierWait parks the calling ULT in a yield loop until the team arrives
-// and its tasks drain. Waiters do not poll an engine queue: GLTO's tasks are
-// ULTs living in the GLT pools, so yielding *is* how waiting threads execute
-// them — the stream's scheduler picks the task ULTs up between yields.
+// and its tasks drain. Waiters do not poll an engine queue for *dispatched*
+// tasks: those are ULTs living in the GLT pools, so yielding *is* how waiting
+// threads execute them — the stream's scheduler picks the task ULTs up
+// between yields. Ring-resident tasks are different: they are not units yet,
+// so waiters claim them inline through TryRunTask (the same raid the
+// pthread engines' barrier waiters perform) before falling back to a yield.
 func (e *engine) BarrierWait(tc *omp.TC) {
-	tc.Team().Bar.WaitTC(tc, false)
+	tc.Team().Bar.WaitTC(tc, true)
 }
 
 func (e *engine) idle(c *glt.Ctx) {
@@ -341,9 +414,24 @@ func (e *engine) FlushTasks(tc *omp.TC) {
 	e.rt.flushBufs.Put(fb)
 }
 
-// TryRunTask reports false: GLTO's tasks are ULTs scheduled by the GLT
-// streams, which pick them up while the caller yields in Idle.
-func (e *engine) TryRunTask(tc *omp.TC) bool { return false }
+// TryRunTask raids the team's producer-side overflow rings and executes one
+// claimed task inline — the only engine-queue work a GLTO thread can run
+// directly, since dispatched tasks are ULTs the stream scheduler owns (those
+// are picked up while the caller yields in Idle). Executing at a barrier,
+// taskwait or taskgroup wait is a legal task scheduling point for the
+// claimed task, exactly as on the pthread engines.
+func (e *engine) TryRunTask(tc *omp.TC) bool {
+	node := tc.Team().StealBufferedTask()
+	if node == nil {
+		return false
+	}
+	e.rt.bufStolen.Add(1)
+	if node.CreatedBy != tc.ThreadNum() {
+		e.rt.stolen.Add(1)
+	}
+	omp.ExecTask(tc, node)
+	return true
+}
 
 // Taskwait yields until the current task's children complete.
 func (e *engine) Taskwait(tc *omp.TC) {
@@ -377,6 +465,8 @@ func (e *engine) Taskyield(tc *omp.TC) {
 func (e *engine) Nested(tc *omp.TC, team *omp.Team) {
 	n := team.Size
 	e.rt.nested.Add(1)
+	e.rt.enlist(team)
+	defer e.rt.delist(team)
 	c := ctxOf(tc)
 	e.rt.ults.Add(int64(n - 1))
 	slot := e.rt.slots.Get().(*regionSlot)

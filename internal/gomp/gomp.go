@@ -67,6 +67,7 @@ type Runtime struct {
 	tasksQueued atomic.Int64
 	flushes     atomic.Int64
 	stolen      atomic.Int64
+	bufStolen   atomic.Int64
 }
 
 // New builds a runtime with the given configuration. The top-level pool is
@@ -106,14 +107,15 @@ func (rt *Runtime) Shutdown() { rt.pool.Shutdown() }
 // Stats reports accounting counters.
 func (rt *Runtime) Stats() omp.Stats {
 	return omp.Stats{
-		Regions:           rt.regions.Load(),
-		NestedRegions:     rt.nested.Load(),
-		SerializedRegions: rt.SerializedRegions(),
-		ThreadsCreated:    rt.pool.Created.Load() + rt.createdTop.Load(),
-		PeakThreads:       pthread.Peak(),
-		TasksQueued:       rt.tasksQueued.Load(),
-		TaskFlushes:       rt.flushes.Load(),
-		TasksStolen:       rt.stolen.Load(),
+		Regions:               rt.regions.Load(),
+		NestedRegions:         rt.nested.Load(),
+		SerializedRegions:     rt.SerializedRegions(),
+		ThreadsCreated:        rt.pool.Created.Load() + rt.createdTop.Load(),
+		PeakThreads:           pthread.Peak(),
+		TasksQueued:           rt.tasksQueued.Load(),
+		TaskFlushes:           rt.flushes.Load(),
+		TasksStolen:           rt.stolen.Load(),
+		TasksStolenFromBuffer: rt.bufStolen.Load(),
 	}
 }
 
@@ -127,6 +129,7 @@ func (rt *Runtime) ResetStats() {
 	rt.tasksQueued.Store(0)
 	rt.flushes.Store(0)
 	rt.stolen.Store(0)
+	rt.bufStolen.Store(0)
 }
 
 // engine implements omp.EngineOps for the GNU-like runtime. One instance per
@@ -200,7 +203,22 @@ func (e *engine) tryRunTask(tc *omp.TC) bool {
 	ts.mu.Lock()
 	if len(ts.q) == 0 {
 		ts.mu.Unlock()
-		return false
+		// The shared queue is dry; raid the members' producer-side overflow
+		// rings so a burst buffered by a busy producer is picked up now
+		// rather than at the producer's next scheduling point. (The native
+		// runtime has no analogue — its producers hold the queue lock per
+		// task; the raid keeps the batched design's task *visibility* no
+		// worse than the paper's.)
+		node := tc.Team().StealBufferedTask()
+		if node == nil {
+			return false
+		}
+		e.rt.bufStolen.Add(1)
+		if node.CreatedBy != tc.ThreadNum() {
+			e.rt.stolen.Add(1)
+		}
+		omp.ExecTask(tc, node)
+		return true
 	}
 	node := ts.q[0]
 	copy(ts.q, ts.q[1:])

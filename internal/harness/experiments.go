@@ -195,7 +195,7 @@ func init() {
 			}
 			const outer = 100
 			tbl := NewTable(fmt.Sprintf("Nested thread accounting, OMP_NUM_THREADS=%d, outer=%d", n, outer),
-				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused", "StolenUnits", "Allocs/Region"})
+				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused", "StolenUnits", "Allocs/Region", "Allocs/Task", "BufferSteals"})
 			// The paper's Table II lists GCC, Intel and GLTO once (the GLT
 			// backend does not change the thread/ULT accounting); this report
 			// keeps one GLTO row per backend so the scheduling-engine
@@ -211,11 +211,16 @@ func init() {
 				runNested(rt, n, outer)
 				s := rt.Stats()
 				allocs := allocsPerRegion(rt, n)
+				allocsTask := allocsPerTask(rt, n)
 				label := v.Label
 				if label == "ICC" {
 					label = "Intel"
 				}
 				tbl.Set(label, "Allocs/Region", fmt.Sprintf("%.1f", allocs))
+				tbl.Set(label, "Allocs/Task", fmt.Sprintf("%.2f", allocsTask))
+				// The task storm above is what exercises the overflow rings:
+				// how many of its tasks idle consumers claimed mid-burst.
+				tbl.Set(label, "BufferSteals", fmt.Sprint(rt.Stats().TasksStolenFromBuffer))
 				if v.Runtime == "glto" {
 					tbl.Set(label, "CreatedThreads", fmt.Sprint(n))
 					tbl.Set(label, "ReusedThreads", "0")
@@ -256,11 +261,13 @@ func init() {
 
 	register(Experiment{
 		ID:    "allocs",
-		Title: "Region-respawn memory: steady-state allocations per empty parallel region",
+		Title: "Steady-state allocations: per empty parallel region and per deferred task spawn",
 		Run: func(cfg Config) error {
 			cfg = cfg.withDefaults()
 			labels := variantLabels(PaperVariants)
 			tbl := NewTable("Allocs per region respawn (pooled front end; set GLT_PER_UNIT_DISPATCH=1 for the paper-faithful mode)",
+				"threads", labels)
+			taskTbl := NewTable("Allocs per deferred task spawn (pooled task descriptors + overflow ring; 64-task single-producer storm)",
 				"threads", labels)
 			for _, n := range cfg.Threads {
 				for _, v := range PaperVariants {
@@ -269,11 +276,14 @@ func init() {
 						return err
 					}
 					a := allocsPerRegion(rt, n)
+					at := allocsPerTask(rt, n)
 					rt.Shutdown()
 					tbl.Set(fmt.Sprint(n), v.Label, fmt.Sprintf("%.1f", a))
+					taskTbl.Set(fmt.Sprint(n), v.Label, fmt.Sprintf("%.2f", at))
 				}
 			}
 			tbl.Render(cfg.Out)
+			taskTbl.Render(cfg.Out)
 			return nil
 		},
 	})
@@ -404,6 +414,39 @@ func allocsPerRegion(rt omp.Runtime, n int) float64 {
 	}
 	runtime.ReadMemStats(&m1)
 	return float64(m1.Mallocs-m0.Mallocs) / regions
+}
+
+// taskNop is package-level so allocsPerTask measures the runtime's own
+// per-task footprint, not a per-task closure allocation.
+var taskNop = func(*omp.TC) {}
+
+// allocsPerTask measures steady-state heap allocations per deferred task
+// spawn — the Allocs/Task column of the Table II report, the quantity the
+// pooled task-descriptor lifecycle drives to zero. A single producer storms
+// the team from inside a single construct (the Fig. 14 shape), so the
+// batched-submission, ring-raid and steal paths are all on the measured
+// path; the per-region overhead (the region itself, the single's closure) is
+// amortized across the task count.
+func allocsPerTask(rt omp.Runtime, n int) float64 {
+	const tasks = 64
+	body := func(tc *omp.TC) {
+		tc.Single(func() {
+			for i := 0; i < tasks; i++ {
+				tc.Task(taskNop)
+			}
+		})
+	}
+	for i := 0; i < 20; i++ {
+		rt.ParallelN(n, body)
+	}
+	const regions = 30
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < regions; i++ {
+		rt.ParallelN(n, body)
+	}
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / (regions * tasks)
 }
 
 // runNested executes the Listing-1 microbenchmark once: an outer parallel

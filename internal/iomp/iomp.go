@@ -76,6 +76,7 @@ type Runtime struct {
 	tasksDirect   atomic.Int64
 	flushes       atomic.Int64
 	stolen        atomic.Int64
+	bufStolen     atomic.Int64
 	stealAttempts atomic.Int64
 	shutdownFlag  atomic.Bool
 }
@@ -127,17 +128,18 @@ func (rt *Runtime) Shutdown() {
 // Stats reports accounting counters.
 func (rt *Runtime) Stats() omp.Stats {
 	return omp.Stats{
-		Regions:           rt.regions.Load(),
-		NestedRegions:     rt.nested.Load(),
-		SerializedRegions: rt.SerializedRegions(),
-		ThreadsCreated:    rt.pool.Created.Load() + rt.created.Load(),
-		ThreadsReused:     rt.reused.Load(),
-		PeakThreads:       pthread.Peak(),
-		TasksQueued:       rt.tasksQueued.Load(),
-		TasksDirect:       rt.tasksDirect.Load(),
-		TaskFlushes:       rt.flushes.Load(),
-		TasksStolen:       rt.stolen.Load(),
-		StealAttempts:     rt.stealAttempts.Load(),
+		Regions:               rt.regions.Load(),
+		NestedRegions:         rt.nested.Load(),
+		SerializedRegions:     rt.SerializedRegions(),
+		ThreadsCreated:        rt.pool.Created.Load() + rt.created.Load(),
+		ThreadsReused:         rt.reused.Load(),
+		PeakThreads:           pthread.Peak(),
+		TasksQueued:           rt.tasksQueued.Load(),
+		TasksDirect:           rt.tasksDirect.Load(),
+		TaskFlushes:           rt.flushes.Load(),
+		TasksStolen:           rt.stolen.Load(),
+		TasksStolenFromBuffer: rt.bufStolen.Load(),
+		StealAttempts:         rt.stealAttempts.Load(),
 	}
 }
 
@@ -152,6 +154,7 @@ func (rt *Runtime) ResetStats() {
 	rt.tasksDirect.Store(0)
 	rt.flushes.Store(0)
 	rt.stolen.Store(0)
+	rt.bufStolen.Store(0)
 	rt.stealAttempts.Store(0)
 }
 
@@ -334,6 +337,19 @@ func (e *engine) tryRunTask(tc *omp.TC) bool {
 			return true
 		}
 		v.mu.Unlock()
+	}
+	// Every deque is dry; raid the members' producer-side overflow rings so
+	// a burst buffered by a busy producer becomes runnable now instead of at
+	// the producer's next scheduling point. Like a deque steal, the raided
+	// task leaves the producer's observable queue length, so the Fig. 14
+	// cut-off keeps seeing the same counts it would with eager flushing.
+	if node := tc.Team().StealBufferedTask(); node != nil {
+		e.rt.bufStolen.Add(1)
+		if node.CreatedBy != tc.ThreadNum() {
+			e.rt.stolen.Add(1)
+		}
+		omp.ExecTask(tc, node)
+		return true
 	}
 	return false
 }

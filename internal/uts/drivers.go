@@ -3,6 +3,7 @@ package uts
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/glt"
 	"repro/glt/qth/feb"
@@ -211,6 +212,83 @@ func (p Params) CountPthreads(nthreads int) Result {
 	for i, th := range threads {
 		th.Join()
 		total.Add(results[i])
+	}
+	return total
+}
+
+// taskGrain is the number of tree nodes a task-parallel unit keeps private
+// before donating surplus as fresh work units (the task-driver analogue of
+// chunkSize, but smaller: a unit donates once its depth-first stack exceeds
+// 2*taskGrain, and the geometric presets' decaying branching keeps that
+// stack shallow — a grain much above the tree depth would never shed work).
+const taskGrain = 8
+
+// paddedResult keeps per-stream counters out of each other's cache lines.
+type paddedResult struct {
+	r Result
+	_ [64]byte
+}
+
+// CountGLTTasks is the task-parallel native driver: instead of one worker
+// ULT per stream pulling from an application-managed shared queue (CountGLT,
+// the upstream pthreads structure of Fig. 5), every batch of tree nodes is
+// its own detached work unit spawned onto the *creating* stream, and load
+// balance is left entirely to the backend — which is exactly what the
+// lock-free ws backend provides: idle streams steal half a loaded peer's
+// run (glt.Stealer), so the tree's irregular fan-out sheds in O(log) bulk
+// episodes instead of through a contended shared queue. On non-stealing
+// backends (abt, qth) the traversal degenerates to stream 0 working alone —
+// the contrast is the point; pair this driver with ws (or mth).
+//
+// Termination is a plain outstanding-unit count: a unit increments it for
+// every donation before dispatch and decrements itself on completion, so
+// zero means the whole tree has been expanded.
+func (p Params) CountGLTTasks(g *glt.Runtime) Result {
+	n := g.NumThreads()
+	results := make([]paddedResult, n)
+	var outstanding atomic.Int64
+	var body glt.Func
+	body = func(c *glt.Ctx) {
+		defer outstanding.Add(-1)
+		local := c.Arg().([]Node)
+		// The body never yields, so the rank — and with it exclusive
+		// ownership of this stream's result counters — is stable even under
+		// stealing (a steal moves the unit before it starts).
+		r := &results[c.Rank()].r
+		for len(local) > 0 {
+			nd := local[len(local)-1]
+			local = local[:len(local)-1]
+			r.Nodes++
+			if int64(nd.Depth) > r.MaxDepth {
+				r.MaxDepth = int64(nd.Depth)
+			}
+			nc := p.NumChildren(nd)
+			if nc == 0 {
+				r.Leaves++
+				continue
+			}
+			for i := 0; i < nc; i++ {
+				local = append(local, Child(nd, i))
+			}
+			// Donate surplus beyond 2*taskGrain as new units on this stream's
+			// own pool (work-first); thieves carve them off the cold end.
+			for len(local) > 2*taskGrain {
+				batch := make([]Node, taskGrain)
+				copy(batch, local[len(local)-taskGrain:])
+				local = local[:len(local)-taskGrain]
+				outstanding.Add(1)
+				c.SpawnDetachedBatch(body, []int{c.Rank()}, []any{batch}, false)
+			}
+		}
+	}
+	outstanding.Store(1)
+	g.SpawnDetachedBatch(body, []int{0}, []any{[]Node{p.Root()}}, false)
+	for outstanding.Load() > 0 {
+		runtime.Gosched()
+	}
+	var total Result
+	for i := range results {
+		total.Add(results[i].r)
 	}
 	return total
 }

@@ -119,6 +119,49 @@ func TestGLTDriversMatchSerial(t *testing.T) {
 	}
 }
 
+func TestGLTTaskDriverMatchesSerial(t *testing.T) {
+	want := Tiny.CountSerial()
+	// ws is the driver's home backend (steal-half + idle raids do the load
+	// balancing); mth checks the other stealing policy, and abt pins the
+	// degenerate no-stealing case (stream 0 expands the whole tree alone).
+	for _, backend := range []string{"ws", "mth", "abt"} {
+		t.Run(backend, func(t *testing.T) {
+			g, err := glt.New(glt.Config{Backend: backend, NumThreads: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer g.Shutdown()
+			got := Tiny.CountGLTTasks(g)
+			if got.Nodes != want.Nodes || got.Leaves != want.Leaves || got.MaxDepth != want.MaxDepth {
+				t.Errorf("glt-tasks/%s count %+v, want %+v", backend, got, want)
+			}
+		})
+	}
+}
+
+func TestGLTTaskDriverStealsOnWS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled tree skipped in -short")
+	}
+	g, err := glt.New(glt.Config{Backend: "ws", NumThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Shutdown()
+	want := T1XXLScaled.CountSerial()
+	got := T1XXLScaled.CountGLTTasks(g)
+	if got.Nodes != want.Nodes {
+		t.Fatalf("scaled task-driver count %d, want %d", got.Nodes, want.Nodes)
+	}
+	// The whole tree grows from stream 0's root unit; with ~120k nodes the
+	// other streams can only have contributed via stealing.
+	if sp, ok := g.Policy().(interface{ StealsObserved() uint64 }); ok {
+		if sp.StealsObserved() == 0 {
+			t.Error("ws task driver finished an irregular tree with zero steals")
+		}
+	}
+}
+
 func TestScaledPresetsMatchAcrossDrivers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaled tree skipped in -short")

@@ -255,6 +255,11 @@ type Stats struct {
 	// TasksStolen counts tasks executed by a thread other than their
 	// creator.
 	TasksStolen int64
+	// TasksStolenFromBuffer counts tasks consumers claimed directly from a
+	// producer's overflow ring — work that became visible *between* the
+	// producer's scheduling points instead of waiting for its next flush.
+	// Zero when batching is disabled or no consumer ever ran dry.
+	TasksStolenFromBuffer int64
 	// StealAttempts counts queue inspections on other threads' queues,
 	// successful or not (a proxy for task-system contention).
 	StealAttempts int64

@@ -7,6 +7,15 @@ import "sync/atomic"
 // taskwait synchronizes on, and the identity of the threads that created,
 // started and resumed it — the observable the OpenUH validation suite's
 // taskyield/untied tests check (paper Table I).
+//
+// Explicit-task nodes are pooled: PrepareTask draws a TaskNode+task-TC pair
+// from the team's sharded free lists and the last reference dropped at
+// FinishTask recycles it, so a steady-state tc.Task spawn allocates nothing —
+// the per-ULT creation overhead the paper's Fig. 8/14 analysis identifies is
+// paid once per pool slot, not once per task. Lifetime is reference-counted
+// (see refs) because a task can outlive its parent's execution and vice
+// versa; Generation exposes the recycle stamp so tests (and tools) can assert
+// a held node was never recycled out from under them.
 type TaskNode struct {
 	// Fn is the task body. It receives the TC of the thread executing the
 	// task, with CurTask pointing at this node.
@@ -33,6 +42,24 @@ type TaskNode struct {
 	group    *TaskGroup
 	team     *Team
 
+	// refs counts the parties that may still reach the node: its own
+	// execution (held from PrepareTask until FinishTask) plus one per
+	// unfinished child (a child dereferences its parent when it finishes, to
+	// drop the parent's child count) plus any Retain callers (tracers).
+	// Whoever drops the last reference recycles the descriptor into its
+	// team's pool — which is what makes the recycle safe against a parent
+	// that completed while children were still running, or children that
+	// finished after their parent's taskwait returned.
+	refs atomic.Int32
+	// gen is the recycle generation, bumped every time the descriptor
+	// returns to the pool. A party holding a reference must never observe it
+	// change; the recycling white-box tests assert exactly that under -race.
+	gen atomic.Uint32
+	// slot points back to the pooled node+TC pair this descriptor lives in;
+	// nil for implicit-task nodes (which live in Team.nodes and are rearmed
+	// per region) and hand-built nodes (garbage collected).
+	slot *taskSlot
+
 	// CreatedBy, StartedBy and ResumedBy record team-thread numbers for
 	// conformance checks; ResumedBy is -1 until the task resumes after a
 	// yield.
@@ -42,16 +69,19 @@ type TaskNode struct {
 }
 
 // newTaskNode links a fresh node under parent and pre-sets the bookkeeping
-// fields.
+// fields. It is the non-pooled construction path, kept for implicit tasks
+// built outside a team's slot array (NewTC).
 func newTaskNode(fn func(*TC), parent *TaskNode, createdBy int) *TaskNode {
-	n := &TaskNode{Fn: fn, Tied: true, parent: parent, CreatedBy: createdBy}
-	n.StartedBy.Store(-1)
-	n.ResumedBy.Store(-1)
+	n := &TaskNode{}
+	n.reset(createdBy)
+	n.Fn = fn
+	n.parent = parent
 	return n
 }
 
-// rearm resets a pooled implicit-task node for its next region (Team.Run).
-func (n *TaskNode) rearm(createdBy int) {
+// reset initializes the per-incarnation fields shared by every construction
+// path. The generation stamp and slot back-pointer deliberately survive.
+func (n *TaskNode) reset(createdBy int) {
 	n.Fn = nil
 	n.Tied = true
 	n.Final = false
@@ -61,10 +91,14 @@ func (n *TaskNode) rearm(createdBy int) {
 	n.children.Store(0)
 	n.group = nil
 	n.team = nil
+	n.refs.Store(1)
 	n.CreatedBy = createdBy
 	n.StartedBy.Store(-1)
 	n.ResumedBy.Store(-1)
 }
+
+// rearm resets a pooled implicit-task node for its next region (Team.Run).
+func (n *TaskNode) rearm(createdBy int) { n.reset(createdBy) }
 
 // Children reports the number of unfinished direct children.
 func (n *TaskNode) Children() int64 { return n.children.Load() }
@@ -73,6 +107,38 @@ func (n *TaskNode) Children() int64 { return n.children.Load() }
 // barrier waits for it). It is set by PrepareTask; engines dispatching tasks
 // from a buffer use it to rebuild the execution context (see ExecTaskOn).
 func (n *TaskNode) Team() *Team { return n.team }
+
+// Generation reports the descriptor's recycle stamp. A party holding a
+// reference (creator until dispatch, executor until FinishTask, a child's
+// view of its parent, a Retain caller) observes a constant generation; a
+// changed value proves the node was recycled — the aliasing bug the pooled
+// lifecycle exists to prevent, and what the recycling tests assert.
+func (n *TaskNode) Generation() uint32 { return n.gen.Load() }
+
+// Retain adds a reference so the holder (a tracer, a tool) may keep the node
+// past FinishTask. Every Retain must be paired with exactly one Release.
+func (n *TaskNode) Retain() { n.refs.Add(1) }
+
+// Release drops a reference; the dropper of the last one recycles the
+// descriptor into its team's pool (implicit and hand-built nodes are simply
+// left to their owner). The node must not be touched after Release.
+func (n *TaskNode) Release() {
+	if n.refs.Add(-1) != 0 {
+		return
+	}
+	s := n.slot
+	if s == nil {
+		return
+	}
+	// Drop user-reachable payloads so a pooled descriptor pins neither the
+	// task closure nor the parent chain, then advance the generation before
+	// the slot becomes claimable again.
+	n.Fn = nil
+	n.parent = nil
+	n.group = nil
+	n.gen.Add(1)
+	putTaskSlot(s)
+}
 
 // TaskOpt customizes Task.
 type TaskOpt func(*TaskNode)
@@ -97,14 +163,7 @@ func If(cond bool) TaskOpt { return func(n *TaskNode) { n.Undeferred = !cond } }
 // body buffered are flushed before the node is marked finished.
 func ExecTask(tc *TC, node *TaskNode) {
 	node.StartedBy.CompareAndSwap(-1, int32(tc.num))
-	ttc := &TC{
-		team:  tc.team,
-		num:   tc.num,
-		ops:   tc.ops,
-		ectx:  tc.ectx,
-		cur:   node,
-		group: node.group, // descendants join the creator's taskgroup
-	}
+	ttc := taskContext(node, tc.team, tc.num, tc.ops, tc.ectx)
 	node.Fn(ttc)
 	ttc.flushPending()
 	FinishTask(tc.team, node)
@@ -117,32 +176,62 @@ func ExecTask(tc *TC, node *TaskNode) {
 // bookkeeping.
 func ExecTaskOn(team *Team, num int, ops EngineOps, ectx any, node *TaskNode) {
 	node.StartedBy.CompareAndSwap(-1, int32(num))
-	ttc := &TC{team: team, num: num, ops: ops, ectx: ectx, cur: node, group: node.group}
+	ttc := taskContext(node, team, num, ops, ectx)
 	node.Fn(ttc)
 	ttc.flushPending()
 	FinishTask(team, node)
 }
 
+// taskContext builds (or rearms) the task-scoped TC for node. Pooled nodes
+// reuse the TC paired with them in their slot — exactly one thread executes a
+// node, so the pair shares the node's lifetime; the TC's overflow ring and
+// flush scratch survive recycles, keeping task-created tasks allocation-free
+// too. Non-pooled nodes fall back to a fresh TC.
+func taskContext(node *TaskNode, team *Team, num int, ops EngineOps, ectx any) *TC {
+	if s := node.slot; s != nil {
+		s.tc.rearmTask(team, num, ops, ectx, node)
+		return &s.tc
+	}
+	return &TC{team: team, num: num, ops: ops, ectx: ectx, cur: node, group: node.group}
+}
+
 // FinishTask performs the completion bookkeeping for node: it detaches the
 // task from its parent's child count and from the team's outstanding-task
-// count. Engines that execute task bodies themselves (e.g. as ULTs) call it
-// after the body returns; ExecTask and ExecTaskOn call it automatically.
+// count, and drops the execution reference — which recycles the descriptor
+// unless live children (or Retain holders) still reference it. Engines that
+// execute task bodies themselves (e.g. as ULTs) call it after the body
+// returns; ExecTask and ExecTaskOn call it automatically. The node (and its
+// slot TC) must not be touched after FinishTask returns.
+//
+// Ordering matters: every recycle (node.Release, parent release) happens
+// before the team task count drops, because Tasks reaching zero is what lets
+// the region's end barrier release and the team descriptor recycle — a slot
+// returned after that could race the next region's pool reset.
 func FinishTask(team *Team, node *TaskNode) {
-	if node.parent != nil {
-		node.parent.children.Add(-1)
+	if p := node.parent; p != nil {
+		p.children.Add(-1)
+		p.Release()
 	}
-	if node.group != nil {
-		node.group.count.Add(-1)
+	g := node.group
+	node.Release()
+	if g != nil {
+		g.count.Add(-1)
 	}
 	team.Tasks.Add(-1)
 	emitTrace(func(tr Tracer) { tr.TaskEnd(team) })
 }
 
-// PrepareTask builds the TaskNode for a tc.Task call and registers it with
-// the parent task and the team counters. It is exported for runtime engines;
-// application code uses tc.Task.
+// PrepareTask builds the TaskNode for a tc.Task call — drawn from the team's
+// descriptor pool, so steady-state task creation allocates nothing — and
+// registers it with the parent task and the team counters. The parent gains a
+// reference (the child must be able to drop the parent's child count whenever
+// it finishes, even long after the parent's own execution completed). It is
+// exported for runtime engines; application code uses tc.Task.
 func PrepareTask(tc *TC, fn func(*TC), opts ...TaskOpt) *TaskNode {
-	node := newTaskNode(fn, tc.cur, tc.num)
+	node := tc.team.getTaskSlot(tc.num)
+	node.reset(tc.num)
+	node.Fn = fn
+	node.parent = tc.cur
 	node.team = tc.team
 	node.InSingleMaster = tc.inSM
 	for _, o := range opts {
@@ -150,6 +239,7 @@ func PrepareTask(tc *TC, fn func(*TC), opts ...TaskOpt) *TaskNode {
 	}
 	if node.parent != nil {
 		node.parent.children.Add(1)
+		node.parent.Retain()
 	}
 	if tc.group != nil {
 		node.group = tc.group
@@ -164,7 +254,9 @@ func PrepareTask(tc *TC, fn func(*TC), opts ...TaskOpt) *TaskNode {
 // thread owning tc, without executing it. Engines that run task bodies in
 // their own work units use it together with FinishTask; ExecTask is the
 // packaged combination. Callers are responsible for flushing tasks the body
-// buffers (ExecTaskOn packages that too).
+// buffers (ExecTaskOn packages that too). For pooled nodes the returned TC is
+// the node's slot companion: build at most one per node, and drop it before
+// FinishTask releases the pair.
 func TaskTC(tc *TC, node *TaskNode) *TC {
-	return &TC{team: tc.team, num: tc.num, ops: tc.ops, ectx: tc.ectx, cur: node, group: node.group}
+	return taskContext(node, tc.team, tc.num, tc.ops, tc.ectx)
 }

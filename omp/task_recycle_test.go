@@ -1,0 +1,214 @@
+package omp
+
+// White-box tests for the pooled explicit-task lifecycle: descriptor
+// recycling must never alias a node that any party still references — the
+// parent a running child will dereference, the node a body is executing
+// under, the entries of a producer-side overflow ring. Generations stamp
+// every recycle, so the tests can assert "this node was not recycled while I
+// held it" directly; run under -race (CI does) they also give the detector
+// real concurrent recycling traffic to chew on.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// recycleEngine is a minimal EngineOps: a shared LIFO task queue plus the
+// team's overflow-ring raid, enough to drive buffering, stealing, waiting
+// and recycling without importing a real runtime package.
+type recycleEngine struct {
+	mu sync.Mutex
+	q  []*TaskNode
+}
+
+func (e *recycleEngine) BarrierWait(tc *TC) { tc.Team().Bar.WaitTC(tc, true) }
+
+func (e *recycleEngine) SpawnTask(tc *TC, node *TaskNode) {
+	if node.Final || node.Undeferred {
+		ExecTask(tc, node)
+		return
+	}
+	if tc.BufferTask(node, 8) {
+		e.FlushTasks(tc)
+	}
+}
+
+func (e *recycleEngine) FlushTasks(tc *TC) {
+	nodes := tc.TakeBuffered()
+	if len(nodes) == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.q = append(e.q, nodes...)
+	e.mu.Unlock()
+	clear(nodes)
+}
+
+func (e *recycleEngine) TryRunTask(tc *TC) bool {
+	e.mu.Lock()
+	var node *TaskNode
+	if n := len(e.q); n > 0 {
+		node = e.q[n-1]
+		e.q[n-1] = nil
+		e.q = e.q[:n-1]
+	}
+	e.mu.Unlock()
+	if node == nil {
+		// Queue dry: raid the overflow rings, as the real engines do.
+		node = tc.Team().StealBufferedTask()
+		if node == nil {
+			return false
+		}
+	}
+	ExecTask(tc, node)
+	return true
+}
+
+func (e *recycleEngine) Taskwait(tc *TC) {
+	for tc.CurTask().Children() > 0 {
+		if !e.TryRunTask(tc) {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (e *recycleEngine) Taskyield(tc *TC) {}
+
+func (e *recycleEngine) Nested(tc *TC, t *Team) { t.Run(0, e, nil) }
+
+func (e *recycleEngine) Idle(tc *TC) { runtime.Gosched() }
+
+// TestTaskDescriptorRecycling spawns task trees (children and grandchildren,
+// buffered, stolen and recycled) across repeatedly recycled team descriptors
+// and asserts that no node's generation ever advances while a live reference
+// holds it:
+//
+//   - a running child observes its parent's generation unchanged (the parent
+//     may have *finished*, but a child reference pins the descriptor);
+//   - a task observes its own generation unchanged across a taskwait for its
+//     children (the execution reference pins it);
+//
+// while the recycled generations — the same slots re-serving new tasks with
+// bumped stamps — prove the pool is actually cycling rather than leaking.
+func TestTaskDescriptorRecycling(t *testing.T) {
+	const (
+		regions = 25
+		ranks   = 4
+		perRank = 12
+	)
+	e := &recycleEngine{}
+	var violations atomic.Int64
+	body := func(tc *TC) {
+		for i := 0; i < perRank; i++ {
+			parent := tc.CurTask()
+			pgen := parent.Generation()
+			tc.Task(func(ttc *TC) {
+				self := ttc.CurTask()
+				sgen := self.Generation()
+				if parent.Generation() != pgen {
+					violations.Add(1) // parent recycled under a live child
+				}
+				ttc.Task(func(*TC) {
+					if self.Generation() != sgen {
+						violations.Add(1) // node recycled under a live grandchild's parent ref
+					}
+				})
+				ttc.Taskwait()
+				if self.Generation() != sgen {
+					violations.Add(1) // node recycled while still executing
+				}
+			})
+		}
+		tc.Taskwait()
+	}
+	team := NewTeam(ranks, 0, Config{NumThreads: ranks, TaskBuffer: 8}.WithDefaults(), body)
+	for r := 0; r < regions; r++ {
+		if r > 0 {
+			team.prepare(ranks, 0, team.Cfg, body)
+		}
+		var wg sync.WaitGroup
+		for rank := 0; rank < ranks; rank++ {
+			rank := rank
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				team.Run(rank, e, nil)
+			}()
+		}
+		wg.Wait()
+	}
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("%d generation violations: recycled task descriptors aliased live references", n)
+	}
+	// The pool must really be recycling: after 25 regions x 4 ranks x 36
+	// tasks, the shards hold warmed slots whose generations have advanced.
+	var pooled, recycled int
+	for i := range team.taskPools {
+		sh := &team.taskPools[i]
+		sh.mu.Lock()
+		for s := sh.free; s != nil; s = s.next {
+			pooled++
+			if s.node.Generation() > 0 {
+				recycled++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if pooled == 0 {
+		t.Fatal("no pooled task descriptors after a task storm: the free lists never filled")
+	}
+	if recycled == 0 {
+		t.Fatal("no pooled descriptor carries an advanced generation: recycling never happened")
+	}
+	t.Logf("%d pooled slots, %d with recycled generations", pooled, recycled)
+}
+
+// TestTaskRingClaimExactlyOnce drives the overflow ring directly: one
+// producer, several CAS-claiming consumers, every pushed node claimed
+// exactly once, across enough traffic to wrap the ring many times.
+func TestTaskRingClaimExactlyOnce(t *testing.T) {
+	const (
+		capacity  = 64
+		total     = 20000
+		consumers = 4
+	)
+	var resident atomic.Int64
+	r := newTaskRing(capacity, &resident)
+	nodes := make([]TaskNode, total)
+	claimed := make([]atomic.Int32, total)
+	var got atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for got.Load() < total {
+				n := r.claim()
+				if n == nil {
+					runtime.Gosched()
+					continue
+				}
+				claimed[n.CreatedBy].Add(1)
+				got.Add(1)
+			}
+		}()
+	}
+	for i := range nodes {
+		nodes[i].CreatedBy = i
+		for r.size() >= capacity {
+			runtime.Gosched() // ring full: wait for consumers
+		}
+		r.push(&nodes[i])
+	}
+	wg.Wait()
+	for i := range claimed {
+		if n := claimed[i].Load(); n != 1 {
+			t.Fatalf("node %d claimed %d times", i, n)
+		}
+	}
+	if n := resident.Load(); n != 0 {
+		t.Fatalf("resident gate reads %d after full drain, want 0", n)
+	}
+}

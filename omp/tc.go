@@ -1,12 +1,15 @@
 package omp
 
+import "sync/atomic"
+
 // TC is the per-thread context inside a parallel region: the receiver for
 // every OpenMP construct the thread executes. A TC is created by the runtime
 // for each implicit task of a region (and for each explicit task body) and
 // must only be used by the goroutine or work unit it was handed to.
 //
 // Implicit-task TCs are pooled inside their Team and rearmed per region by
-// Team.Run; explicit-task TCs are built by ExecTask/ExecTaskOn.
+// Team.Run; explicit-task TCs are pooled alongside their TaskNode in the
+// team's task-descriptor slots and rearmed by ExecTask/ExecTaskOn.
 type TC struct {
 	team *Team
 	num  int
@@ -34,13 +37,18 @@ type TC struct {
 	// in its extent (see taskgroup.go).
 	group *TaskGroup
 
-	// taskBuf is the producer-side task buffer: deferred tasks accumulate
-	// here and are handed to the engine in one FlushTasks call at OpenMP task
-	// scheduling points (barriers, taskwait, taskyield, taskgroup end) or
-	// when the buffer reaches the engine's limit — one engine
-	// synchronization episode per batch instead of one per task. The backing
-	// array is retained across rearms.
-	taskBuf []*TaskNode
+	// ring is the producer-side overflow ring: deferred tasks accumulate
+	// here and are handed to the engine in one FlushTasks call at OpenMP
+	// task scheduling points (barriers, taskwait, taskyield, taskgroup end)
+	// or when the buffer reaches the engine's limit. Unlike the private
+	// slice it replaced, the ring is single-producer/multi-consumer and
+	// enlisted in the team's raid registry, so idle workers can claim
+	// buffered tasks *between* the producer's scheduling points instead of
+	// waiting for its next flush. Allocated on first use and retained across
+	// rearms and descriptor recycles.
+	ring *taskRing
+	// flushScratch is the reusable slice TakeBuffered drains the ring into.
+	flushScratch []*TaskNode
 }
 
 // EngineOps is the service provider interface a runtime engine implements to
@@ -54,12 +62,14 @@ type EngineOps interface {
 	BarrierWait(tc *TC)
 	// SpawnTask makes node runnable according to the engine's tasking
 	// policy (queue, deque, ULT, immediate undeferred execution, or the
-	// producer-side buffer via tc.BufferTask).
+	// producer-side buffer via tc.BufferTask — whose true return obliges
+	// the engine to FlushTasks before buffering more; see BufferTask).
 	SpawnTask(tc *TC, node *TaskNode)
-	// FlushTasks dispatches every task in tc's producer-side buffer
-	// (tc.TakeBuffered) to the engine's queues in one batch. The shared
-	// construct code calls it at every task scheduling point; it must be a
-	// cheap no-op when the buffer is empty. Engines that never buffer
+	// FlushTasks dispatches every task left in tc's producer-side overflow
+	// ring (tc.TakeBuffered) to the engine's queues in one batch — "left"
+	// because idle consumers may have raided part of the burst already. The
+	// shared construct code calls it at every task scheduling point; it must
+	// be a cheap no-op when the buffer is empty. Engines that never buffer
 	// (tc.BufferTask unused) may implement it as an empty method.
 	FlushTasks(tc *TC)
 	// Taskwait blocks until the current task's children have completed,
@@ -74,10 +84,11 @@ type EngineOps interface {
 	// builds and recycles t; engines only place its members on threads.
 	Nested(tc *TC, t *Team)
 	// TryRunTask executes one queued task of the team if the engine's
-	// tasking structures hold one, reporting whether it did. Engines whose
-	// tasks are scheduled elsewhere (GLTO's ULTs run under the stream
-	// scheduler during Idle) report false. Construct-level waits that must
-	// guarantee task progress (taskgroup) use it together with Idle.
+	// tasking structures hold one, reporting whether it did. All engines can
+	// at minimum raid the team's overflow rings (Team.StealBufferedTask) —
+	// including GLTO, whose queued task ULTs are otherwise scheduled by the
+	// streams during Idle. Construct-level waits that must guarantee task
+	// progress (taskgroup) use it together with Idle.
 	TryRunTask(tc *TC) bool
 	// Idle is the engine's waiting primitive: spin hint for pthread
 	// engines, cooperative yield for ULT engines. Construct-level waits
@@ -97,8 +108,8 @@ func NewTC(team *Team, num int, ops EngineOps, ectx any, node *TaskNode) *TC {
 	return &TC{team: team, num: num, ops: ops, ectx: ectx, cur: node}
 }
 
-// rearm resets a pooled TC slot for its next region, retaining the task
-// buffer's backing array.
+// rearm resets a pooled TC slot for its next region, retaining the overflow
+// ring and its flush scratch.
 func (tc *TC) rearm(team *Team, num int, ops EngineOps, ectx any, node *TaskNode) {
 	tc.team = team
 	tc.num = num
@@ -111,7 +122,14 @@ func (tc *TC) rearm(team *Team, num int, ops EngineOps, ectx any, node *TaskNode
 	tc.sectSeq = 0
 	tc.curOrdered = nil
 	tc.group = nil
-	tc.taskBuf = tc.taskBuf[:0]
+}
+
+// rearmTask resets the TC paired with a pooled explicit-task node for one
+// execution of that node: like rearm, but the current task is the node and
+// the taskgroup is inherited from it (descendants join the creator's group).
+func (tc *TC) rearmTask(team *Team, num int, ops EngineOps, ectx any, node *TaskNode) {
+	tc.rearm(team, num, ops, ectx, node)
+	tc.group = node.group
 }
 
 // ThreadNum reports the calling thread's number within its team
@@ -141,39 +159,148 @@ func (tc *TC) CurTask() *TaskNode { return tc.cur }
 // master construct (see the note on the inSM field).
 func (tc *TC) InSingleMaster() bool { return tc.inSM }
 
-// BufferTask appends node to this context's producer-side task buffer and
-// reports whether the buffer has reached limit, i.e. whether the engine
-// should flush now. It is part of the runtime SPI: engines call it from
-// SpawnTask when batched submission is enabled; the shared construct code
-// guarantees a FlushTasks at every task scheduling point, so a buffered task
-// is dispatched no later than the next barrier/taskwait/taskyield.
+// taskRing is the fixed-capacity single-producer/multi-consumer overflow
+// ring behind a TC's task buffer. The owning thread is the only producer:
+// it writes the slot, then publishes by advancing tail. Consumers — idle
+// team members raiding through Team.StealBufferedTask, and the producer
+// itself when it drains at a scheduling point — claim entries by CASing
+// head forward; the slot they read is certified by the CAS (the producer
+// never overwrites index i until head has passed i, and head passing i
+// fails the claimant's CAS).
+type taskRing struct {
+	head atomic.Int64
+	tail atomic.Int64
+	// listed marks the ring as enlisted in its team's raid registry; set by
+	// the producer on the empty→non-empty transition, cleared when the team
+	// descriptor is prepared for its next region.
+	listed atomic.Bool
+	// resident points at the owning team's count of ring-resident tasks
+	// (ringSet.resident): push increments it, every successful claim
+	// decrements it, and the raid fast path reads it alone — so spinning
+	// waiters skip the registry mutex whenever the rings are drained, not
+	// just in regions that never buffered.
+	resident *atomic.Int64
+	mask     int64
+	slots    []atomic.Pointer[TaskNode]
+}
+
+func newTaskRing(capacity int, resident *atomic.Int64) *taskRing {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &taskRing{
+		resident: resident,
+		mask:     int64(n - 1),
+		slots:    make([]atomic.Pointer[TaskNode], n),
+	}
+}
+
+// push publishes node at the tail. Producer-only; callers guarantee room
+// (the engine flushes at its limit, and limit never exceeds capacity).
+func (r *taskRing) push(node *TaskNode) {
+	t := r.tail.Load()
+	r.slots[t&r.mask].Store(node)
+	r.tail.Store(t + 1)
+	r.resident.Add(1)
+}
+
+// claim takes the oldest unclaimed task, or returns nil when the ring is
+// empty. Safe for any thread.
+func (r *taskRing) claim() *TaskNode {
+	for {
+		h := r.head.Load()
+		if h >= r.tail.Load() {
+			return nil
+		}
+		node := r.slots[h&r.mask].Load()
+		if r.head.CompareAndSwap(h, h+1) {
+			r.resident.Add(-1)
+			return node
+		}
+	}
+}
+
+// size reports the population (racy under concurrent claims, exact for the
+// producer in the absence of consumers).
+func (r *taskRing) size() int64 {
+	n := r.tail.Load() - r.head.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// BufferTask appends node to this context's producer-side overflow ring and
+// reports whether the buffer has reached limit — in which case the engine
+// MUST FlushTasks before buffering anything further: the ring's capacity is
+// fixed at first use (sized for limit), so unlike the growable slice it
+// replaced, ignoring the signal is not an option (an engine that does, or
+// that raises its limit past the first-use capacity, panics here instead of
+// silently overwriting a task). It is part of the runtime SPI: engines call
+// it from SpawnTask when batched submission is enabled; the shared construct
+// code guarantees a FlushTasks at every task scheduling point, so a buffered
+// task is dispatched no later than the next barrier/taskwait/taskyield — and
+// may be claimed earlier by an idle consumer through the team's raid
+// registry.
 func (tc *TC) BufferTask(node *TaskNode, limit int) bool {
-	tc.taskBuf = append(tc.taskBuf, node)
-	return len(tc.taskBuf) >= limit
+	r := tc.ring
+	if r == nil {
+		// The TC belongs to one team for life (implicit slot or pooled task
+		// slot), so the ring binds to that team's resident gate once.
+		r = newTaskRing(limit, &tc.team.rings.resident)
+		tc.ring = r
+	}
+	if r.size() > r.mask {
+		panic("omp: BufferTask on a full ring — the engine ignored the flush signal or raised its limit past the ring's first-use capacity")
+	}
+	r.push(node)
+	if !r.listed.Load() && r.listed.CompareAndSwap(false, true) {
+		tc.team.enlistRing(r)
+	}
+	return r.size() >= int64(limit)
 }
 
 // BufferedTasks reports how many created-but-not-yet-dispatched tasks sit in
-// the producer-side buffer. Engines with queue-length policies (the Intel
-// cut-off of Fig. 14) must count it as part of the observable queue length,
-// so buffering does not change which tasks are deferred versus undeferred.
-func (tc *TC) BufferedTasks() int { return len(tc.taskBuf) }
+// the producer-side overflow ring. Engines with queue-length policies (the
+// Intel cut-off of Fig. 14) must count it as part of the observable queue
+// length, so buffering does not change which tasks are deferred versus
+// undeferred; ring-resident tasks raided by consumers leave the count the
+// same way stolen queue entries would.
+func (tc *TC) BufferedTasks() int {
+	if tc.ring == nil {
+		return 0
+	}
+	return int(tc.ring.size())
+}
 
-// TakeBuffered empties the producer-side buffer and returns its contents.
-// The returned slice aliases the buffer's backing array: it is valid only
-// until the next BufferTask on this context, so engines must finish
-// dispatching (or copy) before returning from FlushTasks — and should
-// clear() the slice once their queues own the nodes, so the pooled buffer
-// does not retain finished tasks.
+// TakeBuffered drains the overflow ring — whatever idle consumers have not
+// already claimed — and returns the drained tasks. The returned slice is the
+// context's reusable flush scratch: it is valid only until the next
+// TakeBuffered on this context, so engines must finish dispatching (or copy)
+// before returning from FlushTasks — and should clear() the slice once their
+// queues own the nodes, so the pooled scratch does not retain finished tasks.
 func (tc *TC) TakeBuffered() []*TaskNode {
-	nodes := tc.taskBuf
-	tc.taskBuf = tc.taskBuf[:0]
-	return nodes
+	r := tc.ring
+	if r == nil {
+		return nil
+	}
+	buf := tc.flushScratch[:0]
+	for {
+		node := r.claim()
+		if node == nil {
+			break
+		}
+		buf = append(buf, node)
+	}
+	tc.flushScratch = buf
+	return buf
 }
 
 // flushPending hands any buffered tasks to the engine. Called at every task
 // scheduling point before the wait they imply.
 func (tc *TC) flushPending() {
-	if len(tc.taskBuf) > 0 {
+	if tc.ring != nil && tc.ring.size() > 0 {
 		tc.ops.FlushTasks(tc)
 	}
 }
@@ -241,8 +368,10 @@ func (tc *TC) Critical(name string, body func()) {
 // placement and stealing are runtime policy: the GNU-like runtime queues to
 // a shared team queue, the Intel-like runtime to per-thread deques with a
 // cut-off, and GLTO creates a ULT (paper §IV-D). Engines may batch deferred
-// tasks through the producer-side buffer; undeferred tasks (final, if(0),
-// cut-off overflow) always execute inline at this call, before it returns.
+// tasks through the producer-side overflow ring, from which idle consumers
+// may claim them before the next scheduling point; undeferred tasks (final,
+// if(0), cut-off overflow) always execute inline at this call, before it
+// returns.
 func (tc *TC) Task(fn func(*TC), opts ...TaskOpt) {
 	node := PrepareTask(tc, fn, opts...)
 	tc.ops.SpawnTask(tc, node)

@@ -41,6 +41,24 @@ type Team struct {
 	sections loopTable  // sections instances, by per-member sections seq
 	singles  claimTable // single-construct claims, by per-member single seq
 
+	// taskPools are the sharded free lists of explicit-task descriptors
+	// (TaskNode + task-scoped TC pairs), one shard per rank so producers on
+	// different threads never contend on one lock. PrepareTask draws from the
+	// creating rank's shard; the last reference dropped (usually FinishTask)
+	// recycles into the creator's shard, keeping descriptors warm where the
+	// producer will spawn next. The slots — like the engine data — survive
+	// descriptor reuse, which is what makes the steady-state tc.Task spawn
+	// allocation-free across the hundreds of thousands of regions of the
+	// CloverLeaf and CG experiments.
+	taskPools []taskShard
+
+	// rings is the raid registry: every producer-side overflow ring that has
+	// held a task this region, enlisted by the producer on its first push.
+	// Idle consumers walk it through StealBufferedTask, which is what makes
+	// the producer-side buffer visible between the producer's scheduling
+	// points (the consumer-visible half of the paper's Fig. 14 analysis).
+	rings ringSet
+
 	critMu sync.Mutex
 	crit   map[string]*sync.Mutex
 
@@ -88,6 +106,12 @@ func (t *Team) prepare(size, level int, cfg Config, body func(*TC)) {
 	t.loops.reset()
 	t.sections.reset()
 	t.singles.reset()
+	t.rings.reset()
+	if cap(t.taskPools) < size {
+		t.taskPools = make([]taskShard, size)
+	} else {
+		t.taskPools = t.taskPools[:size]
+	}
 	t.critMu.Lock()
 	clear(t.crit)
 	t.critMu.Unlock()
@@ -179,6 +203,141 @@ func (t *Team) sectionFor(seq int64, spec loopSpec) *loopState {
 // single construct with the given encounter sequence number.
 func (t *Team) claimSingle(seq int64) bool {
 	return t.singles.claim(seq)
+}
+
+// taskSlot is one pooled explicit-task descriptor: the TaskNode and the
+// task-scoped TC its body runs under, allocated together so one pool hit
+// serves both halves of a task's footprint. The node's slot back-pointer is
+// set once, at allocation; the free list threads through next.
+type taskSlot struct {
+	node TaskNode
+	tc   TC
+	next *taskSlot
+	// shard is the free list this slot recycles into, captured when the
+	// slot is drawn. Releasing through the captured pointer (instead of
+	// re-indexing t.taskPools) keeps a late Release — a tracer dropping a
+	// Retain after the region ended — from racing Team.prepare's pool-array
+	// replacement on the recycled descriptor: the shard struct itself is
+	// stable, and a slot pushed into an orphaned shard is simply collected.
+	shard *taskShard
+}
+
+// taskShard is one rank's free list of task descriptors. Padded so
+// neighbouring ranks' list heads do not share a cache line.
+type taskShard struct {
+	mu   sync.Mutex
+	free *taskSlot
+	_    [48]byte
+}
+
+// getTaskSlot pops a pooled descriptor from rank's shard, allocating only
+// when the shard is empty (the cold start of a task storm). The caller owns
+// the node until it registers references through PrepareTask.
+func (t *Team) getTaskSlot(rank int) *TaskNode {
+	sh := &t.taskPools[rank%len(t.taskPools)]
+	sh.mu.Lock()
+	s := sh.free
+	if s != nil {
+		sh.free = s.next
+	}
+	sh.mu.Unlock()
+	if s == nil {
+		s = new(taskSlot)
+		s.node.slot = s
+	}
+	s.shard = sh
+	return &s.node
+}
+
+// putTaskSlot recycles a descriptor into the shard it was drawn from. Called
+// by TaskNode.Release after the generation stamp has advanced; deliberately
+// touches nothing on the Team, so it stays safe however late the last
+// reference drops.
+func putTaskSlot(s *taskSlot) {
+	sh := s.shard
+	sh.mu.Lock()
+	s.next = sh.free
+	sh.free = s
+	sh.mu.Unlock()
+}
+
+// ringSet is the team's raid registry of producer-side overflow rings.
+// Producers enlist once per region (on the ring's first push, guarded by the
+// ring's listed flag); consumers walk the set under the mutex, which they
+// only take when they have run out of every other source of work AND the
+// lock-free resident gate says there is anything to claim — barrier waiters
+// spin through StealBufferedTask on every iteration, so both a region that
+// never buffers (the CloverLeaf/CG region-respawn hot path) and a region
+// whose bursts have drained must cost one atomic load, not a shared lock.
+type ringSet struct {
+	// resident counts tasks currently sitting in enlisted rings: pushes
+	// increment, successful claims decrement (see taskRing.resident). The
+	// raid fast path reads it alone; transient staleness in either
+	// direction just means one wasted retry or one harmless lock.
+	resident atomic.Int64
+	mu       sync.Mutex
+	rings    []*taskRing
+}
+
+func (rs *ringSet) add(r *taskRing) {
+	rs.mu.Lock()
+	rs.rings = append(rs.rings, r)
+	rs.mu.Unlock()
+}
+
+// reset retires the registry between regions: the enlisted rings (all empty
+// by now — the region's end barrier drained every task) have their listed
+// flags cleared so next region's first push re-enlists them, and the slice
+// is truncated with its backing array retained.
+func (rs *ringSet) reset() {
+	rs.resident.Store(0)
+	for i, r := range rs.rings {
+		r.listed.Store(false)
+		rs.rings[i] = nil
+	}
+	rs.rings = rs.rings[:0]
+}
+
+// enlistRing registers a ring whose producer just made it non-empty.
+func (t *Team) enlistRing(r *taskRing) { t.rings.add(r) }
+
+// StealBufferedTask claims one task from some member's producer-side
+// overflow ring, or returns nil when every enlisted ring is empty. It is the
+// consumer half of the overflow design: engines call it from their idle and
+// wait paths (and the glt engine from its pre-park drain hook), so a burst
+// buffered by a busy producer is picked up by idle threads instead of
+// waiting for the producer's next scheduling point. The claimed node is
+// ready for ExecTask/ExecTaskOn on any team thread.
+func (t *Team) StealBufferedTask() *TaskNode {
+	rs := &t.rings
+	if rs.resident.Load() <= 0 {
+		return nil // nothing ring-resident anywhere: skip the registry lock
+	}
+	rs.mu.Lock()
+	for _, r := range rs.rings {
+		if node := r.claim(); node != nil {
+			rs.mu.Unlock()
+			return node
+		}
+	}
+	rs.mu.Unlock()
+	return nil
+}
+
+// BufferedTaskCount reports how many tasks currently sit in the team's
+// enlisted overflow rings (racy; for tests and tooling).
+func (t *Team) BufferedTaskCount() int {
+	rs := &t.rings
+	if rs.resident.Load() <= 0 {
+		return 0
+	}
+	rs.mu.Lock()
+	var n int
+	for _, r := range rs.rings {
+		n += int(r.size())
+	}
+	rs.mu.Unlock()
+	return n
 }
 
 // loopTable maps per-region encounter sequence numbers (1-based, dense) to
@@ -298,8 +457,11 @@ func (b *BarrierState) Wait(size int, tasks *atomic.Int64, tryTask func() bool, 
 // WaitTC is Wait specialized for an engine's BarrierWait: it drives the
 // engine's TryRunTask/Idle hooks through tc directly, so engines need no
 // per-call closures on the barrier hot path. runTasks selects whether
-// waiting threads poll the engine's queues (pthread engines) or only idle
-// (GLTO, whose task ULTs run under the stream scheduler between yields).
+// waiting threads execute tasks through TryRunTask between idles; every
+// in-tree engine passes true — the pthread engines poll their queues and
+// deques, and GLTO (whose dispatched task ULTs run under the stream
+// scheduler between yields) still raids the overflow rings inline. Pass
+// false only for an engine whose TryRunTask must never run at a barrier.
 func (b *BarrierState) WaitTC(tc *TC, runTasks bool) {
 	team := tc.team
 	epoch := b.epoch.Load()

@@ -21,7 +21,10 @@ type Tracer interface {
 	// per team, on the member that completed it last.
 	RegionEnd(team *Team)
 	// TaskCreate fires when an explicit task is created (before deferral
-	// policy applies).
+	// policy applies). Task descriptors are pooled: a tracer that keeps node
+	// past the callback must Retain it (and Release it later), or the
+	// runtime may recycle it for a new task the moment the old one finishes
+	// (observable via TaskNode.Generation).
 	TaskCreate(team *Team, node *TaskNode)
 	// TaskEnd fires when an explicit task's body has completed.
 	TaskEnd(team *Team)
