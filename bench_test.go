@@ -36,8 +36,12 @@ func shortN(full, short int) int {
 }
 
 func newRT(b *testing.B, v harness.Variant, mutate func(*omp.Config)) omp.Runtime {
+	return newRTN(b, v, benchThreads, mutate)
+}
+
+func newRTN(b *testing.B, v harness.Variant, threads int, mutate func(*omp.Config)) omp.Runtime {
 	b.Helper()
-	rt, err := v.New(benchThreads, mutate)
+	rt, err := v.New(threads, mutate)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -472,6 +476,51 @@ func BenchmarkTaskSpawn(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				run()
 			}
+			b.ReportMetric(tasks, "tasks/op")
+		})
+	}
+}
+
+// BenchmarkConsumerContention: the consumer-side raid path under maximum
+// contention — a wide team in which ONE producer bursts deferred tasks into
+// its overflow ring and then spins below any scheduling point, so the burst
+// can only drain through the other N-1 members raiding the ring concurrently
+// from the single's implicit barrier (plus, on GLTO, idle execution streams
+// through the engine drain hook). Every claimed task crosses
+// Team.StealBufferedTask, which makes this the benchmark for the raid
+// registry's synchronization: with the mutex ringSet all raiders serialized
+// on one team lock; with the per-rank ring directories the steady-state raid
+// performs no mutex acquisition at all. steals/op counts the tasks that
+// moved through the raid path per region (== tasks/op when nothing leaked to
+// a flush). The harness's `contention` experiment runs the same shape as a
+// thread sweep; BENCH_consumer_contention.json records the before/after
+// baseline.
+func BenchmarkConsumerContention(b *testing.B) {
+	const tasks = 192 // below the 256-slot ring, so no flush can rescue the burst
+	ranks := shortN(8, 4)
+	variants := []harness.Variant{
+		{Label: "GCC", Runtime: "gomp"},
+		{Label: "Intel", Runtime: "iomp"},
+		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+		{Label: "GLTO(WS)", Runtime: "glto", Backend: "ws"},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.Label, func(b *testing.B) {
+			rt := newRTN(b, v, ranks, func(c *omp.Config) { c.TaskBuffer = 256 })
+			for i := 0; i < 3; i++ {
+				harness.ContentionBurst(rt, ranks, tasks) // warm rings, pools, directories
+			}
+			rt.ResetStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if claimed := harness.ContentionBurst(rt, ranks, tasks); claimed != tasks {
+					b.Fatalf("raiders claimed only %d of %d tasks", claimed, tasks)
+				}
+			}
+			b.StopTimer()
+			s := rt.Stats()
+			b.ReportMetric(float64(s.TasksStolenFromBuffer)/float64(b.N), "steals/op")
 			b.ReportMetric(tasks, "tasks/op")
 		})
 	}

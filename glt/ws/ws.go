@@ -53,8 +53,11 @@
 // (suspended continuations) are stealable too — this is what lets untied
 // OpenMP tasks migrate between streams under GLTO(WS).
 //
-// With GLT_SHARED_QUEUES all streams share one mutex-guarded FIFO pool and
-// stealing is moot; the deques are not used.
+// With GLT_SHARED_QUEUES all streams share one FIFO pool and stealing is
+// moot; the deques are not used. The shared pool keeps the backend's
+// no-lock story: it is a lock-free MPMC segment queue (see sharedPool), so
+// the one mode that funnels every stream through a single structure still
+// performs no mutex acquisition on push or pop.
 package ws
 
 import (
@@ -257,36 +260,155 @@ type stream struct {
 	_     [64]byte
 }
 
-// sharedPool is the GLT_SHARED_QUEUES degradation: one FIFO under one mutex,
-// popped from the head so no unit can be starved by a polling continuation.
+// sharedSegSize is the slot count of one shared-pool segment. Small enough
+// that ordinary workloads (and the conformance tests) cross segment
+// boundaries routinely, large enough that the amortized cost of opening a
+// segment — one allocation plus two CASes per sharedSegSize units — is
+// noise.
+const sharedSegSize = 64
+
+// sharedSeg is one fixed-size segment of the shared pool's queue. Indices
+// are used exactly once — a segment never wraps — which is what makes the
+// algorithm immune to ABA without tags or hazard pointers: a slot can only
+// ever transition nil → unit → nil (claimed), and a stale consumer's CAS on
+// claim simply fails. Retired segments are reclaimed by the garbage
+// collector once no producer or consumer can still reach them, the same
+// GC-runtime simplification of memory reclamation the deques use for their
+// old rings.
+type sharedSeg struct {
+	// reserve is the producer reservation cursor. A fetch-add claims a range
+	// of indices; values at or beyond sharedSegSize mean the segment is
+	// closed and the producer must move to (or install) the next one.
+	reserve atomic.Int64
+	_       [56]byte // producers' reserve and consumers' claim on separate lines
+	// claim is the consumer cursor: a CAS from h to h+1 certifies ownership
+	// of slot h.
+	claim atomic.Int64
+	_     [56]byte
+	next  atomic.Pointer[sharedSeg]
+	slot  [sharedSegSize]atomic.Pointer[glt.Unit]
+}
+
+// sharedPool is the GLT_SHARED_QUEUES degradation: one FIFO pool shared by
+// every stream. The seed implementation was a single mutex-guarded slice —
+// the one place where this backend's no-lock story broke down, and exactly
+// the mode the paper turns on to neutralize load imbalance (§IV-F), i.e.
+// the mode in which every stream hammers the pool at once. It is now a
+// lock-free MPMC queue: a chain of fixed-size segments, producers reserving
+// slot ranges with one fetch-add on the tail segment's cursor (so a
+// PushBatch publishes a whole run under O(1) synchronization episodes, one
+// per segment touched, not one per unit) and consumers claiming slots with
+// one CAS each on the head segment's cursor. No path through push, pushAll
+// or pop acquires a mutex.
+//
+// Ordering: each producer's units appear in its submission order, and
+// concurrent producers interleave at reservation granularity (one whole
+// PushBatch run, or the sub-run that fit the tail segment, per fetch-add).
+// Consumers drain each segment strictly in slot order. A consumer that
+// reaches a slot whose producer has reserved but not yet stored it observes
+// the pool as empty rather than waiting — safe, because the engine wakes
+// the streams only after the producer's push call has returned.
 type sharedPool struct {
-	mu sync.Mutex
-	q  []*glt.Unit
+	head atomic.Pointer[sharedSeg] // consumers claim here
+	_    [56]byte
+	tail atomic.Pointer[sharedSeg] // producers reserve here
+}
+
+func newSharedPool() *sharedPool {
+	p := new(sharedPool)
+	s := new(sharedSeg)
+	p.head.Store(s)
+	p.tail.Store(s)
+	return p
+}
+
+// advance moves the pool's tail past the closed segment s, installing a
+// fresh successor if no producer has yet. Both CASes may lose to a
+// competitor; either way the tail has moved and the caller retries there.
+func (p *sharedPool) advance(s *sharedSeg) {
+	next := s.next.Load()
+	if next == nil {
+		n := new(sharedSeg)
+		if s.next.CompareAndSwap(nil, n) {
+			next = n
+		} else {
+			next = s.next.Load()
+		}
+	}
+	p.tail.CompareAndSwap(s, next)
 }
 
 func (p *sharedPool) push(u *glt.Unit) {
-	p.mu.Lock()
-	p.q = append(p.q, u)
-	p.mu.Unlock()
-}
-
-func (p *sharedPool) pushAll(run []*glt.Unit) {
-	p.mu.Lock()
-	p.q = append(p.q, run...)
-	p.mu.Unlock()
-}
-
-func (p *sharedPool) pop() *glt.Unit {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.q) == 0 {
-		return nil
+	for {
+		s := p.tail.Load()
+		t := s.reserve.Add(1) - 1
+		if t < sharedSegSize {
+			s.slot[t].Store(u)
+			return
+		}
+		p.advance(s)
 	}
-	u := p.q[0]
-	copy(p.q, p.q[1:])
-	p.q[len(p.q)-1] = nil
-	p.q = p.q[:len(p.q)-1]
-	return u
+}
+
+// pushAll publishes a run in submission order: one reservation fetch-add
+// per segment touched, then plain releasing stores into the reserved slots.
+// Indices a reservation pushes past the segment end are simply dead — the
+// ranges still tile the segment exactly, so every live slot has exactly one
+// writer and the claim cursor can always reach the end.
+func (p *sharedPool) pushAll(run []*glt.Unit) {
+	for len(run) > 0 {
+		s := p.tail.Load()
+		n := int64(len(run))
+		t := s.reserve.Add(n) - n
+		if t < sharedSegSize {
+			k := sharedSegSize - t
+			if k > n {
+				k = n
+			}
+			for i := int64(0); i < k; i++ {
+				s.slot[t+i].Store(run[i])
+			}
+			run = run[k:]
+			if len(run) == 0 {
+				return
+			}
+		}
+		p.advance(s)
+	}
+}
+
+// pop claims the oldest published unit, or returns nil when the pool is
+// empty (or the head slot's producer is mid-publish, which the caller
+// cannot distinguish and need not: the producer's own wake follows). The
+// winning CAS on claim certifies the slot read; the claimed slot is nilled
+// so a drained segment retains no descriptor.
+func (p *sharedPool) pop() *glt.Unit {
+	for {
+		s := p.head.Load()
+		h := s.claim.Load()
+		if h >= sharedSegSize {
+			next := s.next.Load()
+			if next == nil {
+				return nil
+			}
+			p.head.CompareAndSwap(s, next)
+			continue
+		}
+		u := s.slot[h].Load()
+		if u == nil {
+			if s.claim.Load() != h {
+				// A competing claimer took slot h and nilled it between our
+				// cursor and slot loads; the nil says nothing about the rest
+				// of the pool. Retry at the advanced cursor.
+				continue
+			}
+			return nil // genuinely unpublished: empty or mid-publish
+		}
+		if s.claim.CompareAndSwap(h, h+1) {
+			s.slot[h].Store(nil)
+			return u
+		}
+	}
 }
 
 type policy struct {
@@ -300,7 +422,7 @@ func (*policy) PinMain() bool { return false }
 
 func (p *policy) Setup(nthreads int, shared bool) {
 	if shared {
-		p.shared = new(sharedPool)
+		p.shared = newSharedPool()
 		return
 	}
 	p.streams = make([]stream, nthreads)

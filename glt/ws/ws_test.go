@@ -253,3 +253,107 @@ func TestEngineIdleStealRescuesBurst(t *testing.T) {
 		t.Error("IdleSteals = 0: the rescue did not go through the engine's Stealer idle path")
 	}
 }
+
+// TestSharedPoolFIFOAcrossSegments drives the lock-free shared pool
+// single-threaded through several segment boundaries: a burst larger than
+// one segment, singles that land mid-segment, and full drains in between.
+// Sequential FIFO order must hold exactly — that is the ordering the
+// BatchEquivalence/shared conformance subtest relies on.
+func TestSharedPoolFIFOAcrossSegments(t *testing.T) {
+	p := newSharedPool()
+	next := 0
+	expect := 0
+	pushN := func(n int) {
+		units := make([]*glt.Unit, n)
+		for i := range units {
+			units[i] = glt.NewPolicyUnit(next, 0)
+			next++
+		}
+		p.pushAll(units)
+	}
+	drain := func(n int) {
+		for i := 0; i < n; i++ {
+			u := p.pop()
+			if u == nil {
+				t.Fatalf("pool empty at unit %d of a %d-unit drain", i, n)
+			}
+			if u.Tag() != expect {
+				t.Fatalf("popped tag %d, want %d (FIFO violated)", u.Tag(), expect)
+			}
+			expect++
+		}
+	}
+	pushN(3 * sharedSegSize) // one burst spanning several segments
+	drain(sharedSegSize / 2)
+	for i := 0; i < sharedSegSize; i++ { // singles crossing a boundary
+		p.push(glt.NewPolicyUnit(next, 0))
+		next++
+	}
+	pushN(sharedSegSize + 7) // a burst that straddles a partial segment
+	drain(next - expect)
+	if u := p.pop(); u != nil {
+		t.Fatalf("drained pool popped tag %d", u.Tag())
+	}
+	// The pool must be reusable after a full drain (head caught up to tail
+	// through the whole chain).
+	pushN(5)
+	drain(5)
+}
+
+// TestSharedPoolConcurrentExactlyOnce hammers the shared pool with every
+// rank producing and consuming at once — the §IV-F all-streams-one-pool
+// shape — and checks exactly-once delivery across the segment chain. The
+// claimed-slot CAS protocol and the no-wraparound segment design are what
+// make this hold without a mutex; under -race (CI) the detector also sees
+// the producers' stores against the consumers' claims.
+func TestSharedPoolConcurrentExactlyOnce(t *testing.T) {
+	const workers, perWorker = 4, 512
+	const total = workers * perWorker
+	p := newSharedPool()
+	seen := make([]atomic.Int32, total)
+	var surfaced atomic.Int32
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tag := w * perWorker
+			pushed := 0
+			for pushed < perWorker || !stop.Load() {
+				if pushed < perWorker {
+					if pushed%3 == 0 {
+						burst := 17
+						if rem := perWorker - pushed; burst > rem {
+							burst = rem
+						}
+						units := make([]*glt.Unit, burst)
+						for i := range units {
+							units[i] = glt.NewPolicyUnit(tag, 0)
+							tag++
+						}
+						p.pushAll(units)
+						pushed += burst
+					} else {
+						p.push(glt.NewPolicyUnit(tag, 0))
+						tag++
+						pushed++
+					}
+				}
+				if u := p.pop(); u != nil {
+					seen[u.Tag()].Add(1)
+					if surfaced.Add(1) == total {
+						stop.Store(true)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for tag := range seen {
+		if got := seen[tag].Load(); got != 1 {
+			t.Fatalf("unit %d surfaced %d times, want exactly once", tag, got)
+		}
+	}
+}

@@ -75,15 +75,27 @@ type Runtime struct {
 	// flushBufs recycles the target/arg scratch slices of FlushTasks.
 	flushBufs sync.Pool
 
-	// active tracks the teams whose regions are currently in flight, so the
-	// engine's idle drain hook knows which producer-side overflow rings
-	// exist to be raided. Entries are added by RunRegion/Nested and removed
-	// before the team descriptor returns to the front end's pool; the hook
-	// never outlives a claimable task, because a non-empty ring keeps the
-	// team's task count (and hence the region) alive. The backing array is
-	// retained, so region churn costs no allocation here.
-	activeMu sync.Mutex
-	active   []*omp.Team
+	// drainTab tracks the teams whose regions are currently in flight,
+	// indexed by execution stream, so the engine's idle drain hook knows
+	// which producer-side overflow rings exist to be raided without taking
+	// any lock: each stream owns a fixed array of atomically published
+	// (team, epoch) entries. Top-level regions enlist under the stream of
+	// their rank-0 member, nested regions under their encountering stream;
+	// an idle stream tours the table starting at its own index, so a
+	// many-teams workload (nested regions in flight on every stream) finds
+	// its local teams first and never scans a global list under a mutex
+	// (the previous design: one activeMu over a flat team slice). Entries
+	// are published by RunRegion/Nested and retired before the team
+	// descriptor returns to the front end's pool; the epoch stamp lets a
+	// raider holding a just-retired entry detect descriptor recycling (see
+	// omp.Team.Epoch — and note the raid itself is recycle-safe, the stamp
+	// only spares stale work). A stream whose array is full spills to the
+	// mutex-guarded overflow list, touched only when a single stream hosts
+	// more than drainSlots regions at once.
+	drainTab []drainDir
+	spillMu  sync.Mutex
+	spill    []*omp.Team
+	spillN   atomic.Int32
 
 	regions   atomic.Int64
 	nested    atomic.Int64
@@ -92,6 +104,27 @@ type Runtime struct {
 	flushes   atomic.Int64
 	stolen    atomic.Int64
 	bufStolen atomic.Int64
+}
+
+// drainSlots is the per-stream capacity of the idle-drain registry: how many
+// in-flight regions one stream can have published before enlists spill to
+// the mutex-guarded fallback.
+const drainSlots = 4
+
+// drainEntry is one published (team, epoch) pair. The team pointer is
+// claimed/retired with CAS/store; the epoch is written by the publisher
+// after winning the slot, so a raider that reads a team with a mismatched
+// epoch simply skips it (the entry is mid-publish or the team recycled).
+type drainEntry struct {
+	team  atomic.Pointer[omp.Team]
+	epoch atomic.Uint64
+}
+
+// drainDir is one stream's slice of the idle-drain registry, padded so
+// neighbouring streams' publishes do not false-share.
+type drainDir struct {
+	slot [drainSlots]drainEntry
+	_    [64]byte
 }
 
 // regionSlot is the pooled dispatch state of one in-flight region.
@@ -121,6 +154,7 @@ func New(cfg omp.Config) (*Runtime, error) {
 		return nil, err
 	}
 	rt := &Runtime{cfg: cfg, g: g, taskBuf: cfg.EffectiveTaskBuffer()}
+	rt.drainTab = make([]drainDir, g.NumThreads())
 	rt.eng.rt = rt
 	rt.taskBody = func(tcx *glt.Ctx) {
 		node := tcx.Arg().(*omp.TaskNode)
@@ -151,35 +185,79 @@ func New(cfg omp.Config) (*Runtime, error) {
 	return rt, nil
 }
 
-// enlist/delist maintain the active-team registry for the idle drain hook.
-func (rt *Runtime) enlist(t *omp.Team) {
-	rt.activeMu.Lock()
-	rt.active = append(rt.active, t)
-	rt.activeMu.Unlock()
+// enlist publishes t in stream's directory of the idle-drain registry and
+// returns the slot index claimed, or -1 when the directory was full and the
+// team went to the spill list. The steady-state path is one CAS plus one
+// store; only the spill takes a mutex.
+func (rt *Runtime) enlist(t *omp.Team, stream int) int {
+	d := &rt.drainTab[stream%len(rt.drainTab)]
+	for j := range d.slot {
+		e := &d.slot[j]
+		if e.team.Load() == nil && e.team.CompareAndSwap(nil, t) {
+			e.epoch.Store(t.Epoch())
+			return j
+		}
+	}
+	rt.spillMu.Lock()
+	rt.spill = append(rt.spill, t)
+	rt.spillN.Add(1)
+	rt.spillMu.Unlock()
+	return -1
 }
 
-func (rt *Runtime) delist(t *omp.Team) {
-	rt.activeMu.Lock()
-	for i, a := range rt.active {
+// delist retires the entry enlist published (h is enlist's return value).
+// Only the enlisting goroutine calls it, with the region over, so the CAS
+// can only race a raider's reads, never another delist of the same entry.
+func (rt *Runtime) delist(t *omp.Team, stream, h int) {
+	if h >= 0 {
+		rt.drainTab[stream%len(rt.drainTab)].slot[h].team.CompareAndSwap(t, nil)
+		return
+	}
+	rt.spillMu.Lock()
+	for i, a := range rt.spill {
 		if a == t {
-			last := len(rt.active) - 1
-			rt.active[i] = rt.active[last]
-			rt.active[last] = nil
-			rt.active = rt.active[:last]
+			last := len(rt.spill) - 1
+			rt.spill[i] = rt.spill[last]
+			rt.spill[last] = nil
+			rt.spill = rt.spill[:last]
+			rt.spillN.Add(-1)
 			break
 		}
 	}
-	rt.activeMu.Unlock()
+	rt.spillMu.Unlock()
 }
 
-// stealBufferedTask claims one task from any active team's overflow rings.
-func (rt *Runtime) stealBufferedTask() *omp.TaskNode {
-	rt.activeMu.Lock()
-	defer rt.activeMu.Unlock()
-	for _, t := range rt.active {
-		if node := t.StealBufferedTask(); node != nil {
-			return node
+// stealBufferedTask claims one task from any active team's overflow rings,
+// touring the stream-indexed registry from the idle stream's own directory
+// outward — lock-free end to end: atomic entry loads here, and the per-rank
+// ring-directory raid inside StealBufferedTaskFrom. A team whose epoch no
+// longer matches its entry is mid-publish or recycled and is skipped; the
+// claim itself is recycle-safe regardless (see omp's ringSet), the stamp
+// just spares raiding a descriptor that has moved on.
+func (rt *Runtime) stealBufferedTask(rank int) *omp.TaskNode {
+	n := len(rt.drainTab)
+	for i := 0; i < n; i++ {
+		d := &rt.drainTab[(rank+i)%n]
+		for j := range d.slot {
+			e := &d.slot[j]
+			t := e.team.Load()
+			if t == nil || e.epoch.Load() != t.Epoch() {
+				continue // retires punch holes, so no dense-prefix cutoff here
+			}
+			if node := t.StealBufferedTaskFrom(rank); node != nil {
+				return node
+			}
 		}
+	}
+	if rt.spillN.Load() > 0 {
+		rt.spillMu.Lock()
+		for _, t := range rt.spill {
+			if node := t.StealBufferedTaskFrom(rank); node != nil {
+				rt.spillMu.Unlock()
+				return node
+			}
+		}
+		rt.spillMu.Unlock()
 	}
 	return nil
 }
@@ -191,7 +269,7 @@ func (rt *Runtime) stealBufferedTask() *omp.TaskNode {
 // the rescue allocates nothing — giving it the full ULT semantics (yield,
 // migration) a normally dispatched task would have.
 func (rt *Runtime) drainBufferedTask(rank int) bool {
-	node := rt.stealBufferedTask()
+	node := rt.stealBufferedTask(rank)
 	if node == nil {
 		return false
 	}
@@ -223,14 +301,16 @@ func (rt *Runtime) RunRegion(t *omp.Team) {
 	n := t.Size
 	rt.regions.Add(1)
 	rt.ults.Add(int64(n))
-	rt.enlist(t)
+	// Rank 0 lands on stream 0 (SpawnTeam places rank i on stream i mod
+	// streams), so the team is published under stream 0's directory.
+	h := rt.enlist(t, 0)
 	slot := rt.slots.Get().(*regionSlot)
 	slot.team = t
 	units := rt.g.SpawnTeam(n, slot.fn, slot.units)
 	for _, u := range units {
 		u.Join()
 	}
-	rt.delist(t)
+	rt.delist(t, 0, h)
 	rt.g.ReleaseAll(units)
 	slot.units = units[:0]
 	slot.team = nil
@@ -421,7 +501,7 @@ func (e *engine) FlushTasks(tc *omp.TC) {
 // taskwait or taskgroup wait is a legal task scheduling point for the
 // claimed task, exactly as on the pthread engines.
 func (e *engine) TryRunTask(tc *omp.TC) bool {
-	node := tc.Team().StealBufferedTask()
+	node := tc.StealBufferedTask()
 	if node == nil {
 		return false
 	}
@@ -465,9 +545,16 @@ func (e *engine) Taskyield(tc *omp.TC) {
 func (e *engine) Nested(tc *omp.TC, team *omp.Team) {
 	n := team.Size
 	e.rt.nested.Add(1)
-	e.rt.enlist(team)
-	defer e.rt.delist(team)
 	c := ctxOf(tc)
+	// Nested teams enlist under their encountering stream: the inner ULTs
+	// spawn there (§IV-E), so that is where an idle tour should find them
+	// first.
+	stream := 0
+	if c != nil {
+		stream = c.Rank()
+	}
+	h := e.rt.enlist(team, stream)
+	defer e.rt.delist(team, stream, h)
 	e.rt.ults.Add(int64(n - 1))
 	slot := e.rt.slots.Get().(*regionSlot)
 	slot.team = team

@@ -208,8 +208,8 @@ func (e *engine) tryRunTask(tc *omp.TC) bool {
 		// rather than at the producer's next scheduling point. (The native
 		// runtime has no analogue — its producers hold the queue lock per
 		// task; the raid keeps the batched design's task *visibility* no
-		// worse than the paper's.)
-		node := tc.Team().StealBufferedTask()
+		// worse than the paper's.) The rotor-seeded raid is lock-free.
+		node := tc.StealBufferedTask()
 		if node == nil {
 			return false
 		}

@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"repro/glt"
 	_ "repro/glt/backends"
@@ -289,6 +291,49 @@ func init() {
 	})
 
 	register(Experiment{
+		ID:    "contention",
+		Title: "Consumer contention: one producer's buffered burst drained only by concurrent raiders",
+		Run: func(cfg Config) error {
+			cfg = cfg.withDefaults()
+			const tasks = 192 // below the 256-slot ring: no flush can rescue the burst
+			reps := repsOr(cfg, 5)
+			variants := []Variant{
+				{"GCC", "gomp", ""},
+				{"Intel", "iomp", ""},
+				{"GLTO(ABT)", "glto", "abt"},
+				{"GLTO(WS)", "glto", "ws"},
+			}
+			labels := variantLabels(variants)
+			tbl := NewTable(fmt.Sprintf("Raid-path drain time per %d-task burst (1 producer, N-1 raiders), %d reps", tasks, reps),
+				"threads", labels)
+			steals := NewTable("Ring raids per burst (tasks claimed through Team.StealBufferedTask)",
+				"threads", labels)
+			for _, n := range cfg.Threads {
+				if n < 2 {
+					continue // the shape needs at least one raider
+				}
+				for _, v := range variants {
+					rt, err := v.New(n, func(c *omp.Config) { c.TaskBuffer = 256 })
+					if err != nil {
+						return err
+					}
+					run := func() { ContentionBurst(rt, n, tasks) }
+					run() // warm rings, descriptor pools, directories
+					rt.ResetStats()
+					s := Measure(reps, run)
+					per := rt.Stats().TasksStolenFromBuffer / int64(reps)
+					rt.Shutdown()
+					tbl.Set(fmt.Sprint(n), v.Label, s.String())
+					steals.Set(fmt.Sprint(n), v.Label, fmt.Sprint(per))
+				}
+			}
+			tbl.Render(cfg.Out)
+			steals.Render(cfg.Out)
+			return nil
+		},
+	})
+
+	register(Experiment{
 		ID:    "table3",
 		Title: "Table III: percentage of queued tasks per granularity (Intel-like runtime)",
 		Run: func(cfg Config) error {
@@ -447,6 +492,44 @@ func allocsPerTask(rt omp.Runtime, n int) float64 {
 	}
 	runtime.ReadMemStats(&m1)
 	return float64(m1.Mallocs-m0.Mallocs) / (regions * tasks)
+}
+
+// ContentionBurst is one round of the consumer-contention shape shared by
+// the `contention` experiment and BenchmarkConsumerContention (and recorded
+// in BENCH_consumer_contention.json): the producer, inside a single
+// construct, bursts tasks into its overflow ring and then spins below any
+// scheduling point, so the burst can drain only through the other members
+// raiding the ring from the single's implicit barrier (plus, on GLTO, idle
+// streams through the engine drain hook). Every task therefore crosses the
+// raid path, whose synchronization is what gets measured.
+//
+// On a raid-path regression the producer gives up after a generous deadline
+// rather than wedging the caller: returning reaches the single's implicit
+// barrier, whose flush drains the leftovers so the region still completes.
+// The returned count is how many tasks the raiders claimed before the
+// producer stopped spinning — tasks on success, fewer on the give-up path —
+// so callers can report the shortfall from their own goroutine (a Fatalf
+// inside the region body would run on a team member).
+func ContentionBurst(rt omp.Runtime, n, tasks int) int64 {
+	var ran atomic.Int64
+	body := func(*omp.TC) { ran.Add(1) }
+	claimed := int64(tasks)
+	rt.ParallelN(n, func(tc *omp.TC) {
+		tc.Single(func() {
+			for k := 0; k < tasks; k++ {
+				tc.Task(body)
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for ran.Load() != int64(tasks) {
+				if time.Now().After(deadline) {
+					claimed = ran.Load()
+					return
+				}
+				runtime.Gosched()
+			}
+		})
+	})
+	return claimed
 }
 
 // runNested executes the Listing-1 microbenchmark once: an outer parallel

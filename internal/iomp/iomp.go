@@ -343,7 +343,8 @@ func (e *engine) tryRunTask(tc *omp.TC) bool {
 	// the producer's next scheduling point. Like a deque steal, the raided
 	// task leaves the producer's observable queue length, so the Fig. 14
 	// cut-off keeps seeing the same counts it would with eager flushing.
-	if node := tc.Team().StealBufferedTask(); node != nil {
+	// The rotor-seeded raid is lock-free.
+	if node := tc.StealBufferedTask(); node != nil {
 		e.rt.bufStolen.Add(1)
 		if node.CreatedBy != tc.ThreadNum() {
 			e.rt.stolen.Add(1)

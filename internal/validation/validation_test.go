@@ -135,21 +135,30 @@ func TestTable1RuntimeOutcomes(t *testing.T) {
 // backend named by GLT_BACKEND, so CI (or a developer) can certify a single
 // backend end to end: GLT_BACKEND=ws go test ./internal/validation. Skipped
 // when the variable is unset — the expectation table above already covers
-// the in-tree backends.
+// the in-tree backends. GLT_SHARED_QUEUES=1 additionally collapses the
+// backend's pools into the shared queue (§IV-F), which is how CI certifies
+// ws's lock-free MPMC pool against the whole construct surface.
 func TestEnvBackendSuite(t *testing.T) {
 	backend := os.Getenv("GLT_BACKEND")
 	if backend == "" {
 		t.Skip("GLT_BACKEND not set")
 	}
-	rt, err := openmp.New("glto", omp.Config{NumThreads: 4, Backend: backend, Nested: true})
+	shared := os.Getenv("GLT_SHARED_QUEUES") == "1"
+	label := "glto-" + backend
+	if shared {
+		label += "-shared"
+	}
+	rt, err := openmp.New("glto", omp.Config{
+		NumThreads: 4, Backend: backend, Nested: true, SharedQueues: shared,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer rt.Shutdown()
 	rep := RunSuite(rt, 4)
-	t.Logf("glto-%s: %d/%d passed; failed: %v", backend, rep.Passed(), len(rep.Outcomes), rep.FailedNames())
+	t.Logf("%s: %d/%d passed; failed: %v", label, rep.Passed(), len(rep.Outcomes), rep.FailedNames())
 	if rep.Passed() < 118 {
-		t.Errorf("glto-%s passed %d, expected at least 118", backend, rep.Passed())
+		t.Errorf("%s passed %d, expected at least 118", label, rep.Passed())
 	}
 }
 

@@ -37,6 +37,13 @@ type TC struct {
 	// in its extent (see taskgroup.go).
 	group *TaskGroup
 
+	// raidRotor is this consumer's cursor into the team's per-rank ring
+	// directories: StealBufferedTask starts its tour here and parks the
+	// rotor on whichever rank yielded a task, so concurrent raiders spread
+	// over the producers instead of convoying on the lowest published rank.
+	// Single-threaded like the rest of the TC, so no atomics needed.
+	raidRotor int
+
 	// ring is the producer-side overflow ring: deferred tasks accumulate
 	// here and are handed to the engine in one FlushTasks call at OpenMP
 	// task scheduling points (barriers, taskwait, taskyield, taskgroup end)
@@ -122,6 +129,7 @@ func (tc *TC) rearm(team *Team, num int, ops EngineOps, ectx any, node *TaskNode
 	tc.sectSeq = 0
 	tc.curOrdered = nil
 	tc.group = nil
+	tc.raidRotor = num
 }
 
 // rearmTask resets the TC paired with a pooled explicit-task node for one
@@ -256,9 +264,22 @@ func (tc *TC) BufferTask(node *TaskNode, limit int) bool {
 	}
 	r.push(node)
 	if !r.listed.Load() && r.listed.CompareAndSwap(false, true) {
-		tc.team.enlistRing(r)
+		tc.team.enlistRing(r, tc.num)
 	}
 	return r.size() >= int64(limit)
+}
+
+// StealBufferedTask claims one task from some team member's overflow ring
+// through this consumer's raid rotor (see raidRotor) — the preferred raid
+// entry point for engines, since it keeps concurrent raiders from touring
+// the per-rank directories in lockstep. The claimed node is ready for
+// ExecTask on this thread.
+func (tc *TC) StealBufferedTask() *TaskNode {
+	node, at := tc.team.stealBuffered(tc.raidRotor)
+	if node != nil {
+		tc.raidRotor = at
+	}
+	return node
 }
 
 // BufferedTasks reports how many created-but-not-yet-dispatched tasks sit in

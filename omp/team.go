@@ -36,6 +36,13 @@ type Team struct {
 	// implicit barrier; the member that decrements it to zero — the last one
 	// out — fires Tracer.RegionEnd, pairing every RegionBegin exactly once.
 	ends atomic.Int32
+	// epoch counts descriptor incarnations: prepare bumps it before a reused
+	// descriptor serves its next region. Registries that publish Team
+	// pointers outside the region's own lifetime (GLTO's stream-indexed
+	// idle-drain table) stamp their entries with it, so a raider holding a
+	// stale pointer can detect — with one atomic load — that the descriptor
+	// has moved on.
+	epoch atomic.Uint64
 
 	loops    loopTable  // work-shared loop instances, by per-member loop seq
 	sections loopTable  // sections instances, by per-member sections seq
@@ -100,13 +107,14 @@ func (t *Team) prepare(size, level int, cfg Config, body func(*TC)) {
 	if size < 1 {
 		size = 1
 	}
+	t.epoch.Add(1)
 	t.Size, t.Level, t.Cfg, t.body = size, level, cfg, body
 	t.Tasks.Store(0)
 	t.ends.Store(int32(size))
 	t.loops.reset()
 	t.sections.reset()
 	t.singles.reset()
-	t.rings.reset()
+	t.rings.reset(size)
 	if cap(t.taskPools) < size {
 		t.taskPools = make([]taskShard, size)
 	} else {
@@ -148,6 +156,12 @@ func (t *Team) Run(rank int, ops EngineOps, ectx any) {
 // route execution through Run (none in this repository) may invoke it
 // directly against hand-built TCs.
 func (t *Team) Body() func(*TC) { return t.body }
+
+// Epoch reports the descriptor's incarnation stamp (bumped on every region
+// prepare). Holders of a Team pointer that may outlive the region — GLTO's
+// idle-drain registry — compare it against the value they captured at
+// publish time to detect recycling.
+func (t *Team) Epoch() uint64 { return t.epoch.Load() }
 
 // EngineData returns per-team engine state, initializing it with init on
 // first use. Engines use it to attach region-local structures (task queues,
@@ -261,45 +275,118 @@ func putTaskSlot(s *taskSlot) {
 	sh.mu.Unlock()
 }
 
+// ringDirSlots is the per-rank capacity of the raid directory: how many
+// overflow rings one rank can have published simultaneously before enlists
+// spill to the registry's mutex-guarded fallback. A rank's implicit task
+// plus a handful of in-flight explicit tasks buffering their own children
+// fit comfortably; only a pathological depth of simultaneously-buffering
+// task bodies on one rank ever reaches the spill.
+const ringDirSlots = 8
+
+// ringDir is one rank's directory of published overflow rings: a fixed slot
+// array written with atomic stores, so raiders read it with no lock at all.
+// Slots fill densely from index 0 (publishers CAS the first nil slot) and
+// are only cleared wholesale at region reset, so a raider may stop scanning
+// at the first nil slot. Padded so one rank's publishes do not false-share
+// with its neighbour's.
+type ringDir struct {
+	slot [ringDirSlots]atomic.Pointer[taskRing]
+	_    [64]byte
+}
+
 // ringSet is the team's raid registry of producer-side overflow rings.
 // Producers enlist once per region (on the ring's first push, guarded by the
-// ring's listed flag); consumers walk the set under the mutex, which they
-// only take when they have run out of every other source of work AND the
-// lock-free resident gate says there is anything to claim — barrier waiters
-// spin through StealBufferedTask on every iteration, so both a region that
-// never buffers (the CloverLeaf/CG region-respawn hot path) and a region
-// whose bursts have drained must cost one atomic load, not a shared lock.
+// ring's listed flag) into their own rank's directory; raiders tour the
+// per-rank directories starting from a per-consumer rotor (see
+// TC.StealBufferedTask), so the steady-state raid path performs no mutex
+// acquisition: one atomic load on the resident gate, atomic slot loads along
+// the tour, one CAS to claim. The registry's only mutex guards the spill
+// list, reachable solely when a rank published more than ringDirSlots rings
+// in one region.
+//
+// The directory slice is published through an atomic pointer because a
+// raider may hold the Team across a descriptor recycle (GLTO's idle-drain
+// hook keeps a stream-indexed table of teams; its entries are epoch-checked
+// but a recycle can still race the check). Every field a raider touches —
+// the gate, the directory header, the slots, the rings' cursors — is
+// therefore atomic, and a stale raid can only miss or claim a task of the
+// team's next region, which executes exactly once either way (the claim CAS
+// arbitrates, and execution routes through the node's own Team pointer).
 type ringSet struct {
 	// resident counts tasks currently sitting in enlisted rings: pushes
 	// increment, successful claims decrement (see taskRing.resident). The
-	// raid fast path reads it alone; transient staleness in either
-	// direction just means one wasted retry or one harmless lock.
+	// raid fast path reads it alone — barrier waiters spin through
+	// StealBufferedTask on every iteration, so both a region that never
+	// buffers (the CloverLeaf/CG region-respawn hot path) and a region whose
+	// bursts have drained must cost one atomic load, not a shared lock.
 	resident atomic.Int64
-	mu       sync.Mutex
-	rings    []*taskRing
+	_        [56]byte
+	// dirs is the per-rank directory array, one entry per team rank,
+	// replaced (atomically) only when a recycle changes the team size.
+	dirs atomic.Pointer[[]ringDir]
+	// spillCount gates the spill path; raiders take spillMu only when it is
+	// non-zero.
+	spillCount atomic.Int32
+	spillMu    sync.Mutex
+	spill      []*taskRing
 }
 
-func (rs *ringSet) add(r *taskRing) {
-	rs.mu.Lock()
-	rs.rings = append(rs.rings, r)
-	rs.mu.Unlock()
+func (rs *ringSet) add(r *taskRing, rank int) {
+	if dp := rs.dirs.Load(); dp != nil && len(*dp) > 0 {
+		d := &(*dp)[rank%len(*dp)]
+		for i := range d.slot {
+			if d.slot[i].Load() == nil && d.slot[i].CompareAndSwap(nil, r) {
+				return
+			}
+		}
+	}
+	rs.spillMu.Lock()
+	rs.spill = append(rs.spill, r)
+	rs.spillCount.Add(1)
+	rs.spillMu.Unlock()
 }
 
 // reset retires the registry between regions: the enlisted rings (all empty
 // by now — the region's end barrier drained every task) have their listed
-// flags cleared so next region's first push re-enlists them, and the slice
-// is truncated with its backing array retained.
-func (rs *ringSet) reset() {
+// flags cleared so next region's first push re-enlists them, the directory
+// slots are nilled, and the directory array is resized for the next team
+// shape. size is the next region's rank count.
+func (rs *ringSet) reset(size int) {
 	rs.resident.Store(0)
-	for i, r := range rs.rings {
-		r.listed.Store(false)
-		rs.rings[i] = nil
+	dp := rs.dirs.Load()
+	if dp != nil {
+		for i := range *dp {
+			d := &(*dp)[i]
+			for j := range d.slot {
+				if r := d.slot[j].Load(); r != nil {
+					r.listed.Store(false)
+					d.slot[j].Store(nil)
+				}
+			}
+		}
 	}
-	rs.rings = rs.rings[:0]
+	if dp == nil || cap(*dp) < size {
+		fresh := make([]ringDir, size)
+		rs.dirs.Store(&fresh)
+	} else if len(*dp) != size {
+		resized := (*dp)[:size]
+		rs.dirs.Store(&resized)
+	}
+	if rs.spillCount.Load() > 0 {
+		rs.spillMu.Lock()
+		for i, r := range rs.spill {
+			r.listed.Store(false)
+			rs.spill[i] = nil
+		}
+		rs.spill = rs.spill[:0]
+		rs.spillCount.Store(0)
+		rs.spillMu.Unlock()
+	}
 }
 
-// enlistRing registers a ring whose producer just made it non-empty.
-func (t *Team) enlistRing(r *taskRing) { t.rings.add(r) }
+// enlistRing registers a ring whose producer (team rank `rank`) just made it
+// non-empty.
+func (t *Team) enlistRing(r *taskRing, rank int) { t.rings.add(r, rank) }
 
 // StealBufferedTask claims one task from some member's producer-side
 // overflow ring, or returns nil when every enlisted ring is empty. It is the
@@ -308,20 +395,64 @@ func (t *Team) enlistRing(r *taskRing) { t.rings.add(r) }
 // buffered by a busy producer is picked up by idle threads instead of
 // waiting for the producer's next scheduling point. The claimed node is
 // ready for ExecTask/ExecTaskOn on any team thread.
+//
+// The tour starts at rank 0; engines with a consumer identity should prefer
+// TC.StealBufferedTask (per-consumer rotor) or StealBufferedTaskFrom so
+// concurrent raiders spread over the producers instead of convoying on the
+// lowest published rank.
 func (t *Team) StealBufferedTask() *TaskNode {
+	node, _ := t.stealBuffered(0)
+	return node
+}
+
+// StealBufferedTaskFrom is StealBufferedTask with the directory tour
+// starting at rank start (mod the team size). The glt idle-drain hook seeds
+// it with the idle stream's rank.
+func (t *Team) StealBufferedTaskFrom(start int) *TaskNode {
+	node, _ := t.stealBuffered(start)
+	return node
+}
+
+// stealBuffered tours the per-rank ring directories from start and claims
+// the first available task, reporting the rank it was found at so
+// per-consumer rotors can stick with a productive producer. Lock-free on
+// the steady-state path; the spill list's mutex is touched only when a
+// directory overflowed this region.
+func (t *Team) stealBuffered(start int) (*TaskNode, int) {
 	rs := &t.rings
 	if rs.resident.Load() <= 0 {
-		return nil // nothing ring-resident anywhere: skip the registry lock
+		return nil, start // nothing ring-resident anywhere: one atomic load
 	}
-	rs.mu.Lock()
-	for _, r := range rs.rings {
-		if node := r.claim(); node != nil {
-			rs.mu.Unlock()
-			return node
+	if dp := rs.dirs.Load(); dp != nil {
+		n := len(*dp)
+		if start < 0 {
+			start = 0
+		}
+		for i := 0; i < n; i++ {
+			at := (start + i) % n
+			d := &(*dp)[at]
+			for j := range d.slot {
+				r := d.slot[j].Load()
+				if r == nil {
+					break // slots fill densely; nil ends the published prefix
+				}
+				if node := r.claim(); node != nil {
+					return node, at
+				}
+			}
 		}
 	}
-	rs.mu.Unlock()
-	return nil
+	if rs.spillCount.Load() > 0 {
+		rs.spillMu.Lock()
+		for _, r := range rs.spill {
+			if node := r.claim(); node != nil {
+				rs.spillMu.Unlock()
+				return node, start
+			}
+		}
+		rs.spillMu.Unlock()
+	}
+	return nil, start
 }
 
 // BufferedTaskCount reports how many tasks currently sit in the team's
@@ -331,12 +462,26 @@ func (t *Team) BufferedTaskCount() int {
 	if rs.resident.Load() <= 0 {
 		return 0
 	}
-	rs.mu.Lock()
 	var n int
-	for _, r := range rs.rings {
-		n += int(r.size())
+	if dp := rs.dirs.Load(); dp != nil {
+		for i := range *dp {
+			d := &(*dp)[i]
+			for j := range d.slot {
+				r := d.slot[j].Load()
+				if r == nil {
+					break
+				}
+				n += int(r.size())
+			}
+		}
 	}
-	rs.mu.Unlock()
+	if rs.spillCount.Load() > 0 {
+		rs.spillMu.Lock()
+		for _, r := range rs.spill {
+			n += int(r.size())
+		}
+		rs.spillMu.Unlock()
+	}
 	return n
 }
 
@@ -396,25 +541,60 @@ func (lt *loopTable) reset() {
 
 // claimTable is the single-construct election table. The per-seq flags are
 // recycled (cleared, not dropped) across descriptor reuses, so a steady-state
-// region with single constructs allocates nothing for its elections.
+// region with single constructs allocates nothing for its elections — and the
+// steady-state claim is lock-free: one atomic load of the published table,
+// one CAS on the flag. The table grows by CAS-replacing the published slice
+// with a larger copy; the flag objects are shared between the copies, so a
+// reset racing a concurrent grow (the recycle race the mutex version had:
+// reset iterated the slice unguarded while claim appended) still clears
+// every flag a claimer can reach — entries a racing grow adds are fresh,
+// i.e. already false.
 type claimTable struct {
-	mu sync.Mutex
-	s  []*atomic.Bool
+	s atomic.Pointer[[]*atomic.Bool]
 }
 
 func (ct *claimTable) claim(seq int64) bool {
-	ct.mu.Lock()
-	for int64(len(ct.s)) < seq {
-		ct.s = append(ct.s, new(atomic.Bool))
+	for {
+		sp := ct.s.Load()
+		if sp != nil && int64(len(*sp)) >= seq {
+			return (*sp)[seq-1].CompareAndSwap(false, true)
+		}
+		var cur []*atomic.Bool
+		if sp != nil {
+			cur = *sp
+		}
+		n := int(seq)
+		if d := 2 * len(cur); d > n {
+			n = d // double so a region of many singles grows O(log) times
+		}
+		bigger := make([]*atomic.Bool, n)
+		copy(bigger, cur)
+		for i := len(cur); i < n; i++ {
+			bigger[i] = new(atomic.Bool)
+		}
+		ct.s.CompareAndSwap(sp, &bigger)
+		// Lost CAS: another claimer grew it; reload and retry either way.
 	}
-	b := ct.s[seq-1]
-	ct.mu.Unlock()
-	return b.CompareAndSwap(false, true)
 }
 
 func (ct *claimTable) reset() {
-	for _, b := range ct.s {
-		b.Store(false)
+	// Re-check the published pointer after clearing: a claimer racing the
+	// reset may have CAS-published a larger table and set a flag in it that
+	// the snapshot we just cleared does not reach. Repeating on the new
+	// slice (which shares the old entries, so re-clearing them is harmless)
+	// until the pointer is stable guarantees every publish that completed
+	// before reset returns has had its flags cleared.
+	for {
+		sp := ct.s.Load()
+		if sp == nil {
+			return
+		}
+		for _, b := range *sp {
+			b.Store(false)
+		}
+		if ct.s.Load() == sp {
+			return
+		}
 	}
 }
 
@@ -423,10 +603,27 @@ func (ct *claimTable) reset() {
 // and the mechanism by which consumer threads in the paper's CG experiment
 // pick up the producer's tasks while parked at the single construct's
 // barrier.
+//
+// The two words are padded apart: arrivals hammer arrived with RMWs while
+// every waiter spins loading epoch, and sharing a cache line between them
+// made each arrival invalidate every spinner. Waiters use a bounded pure
+// spin on the epoch word before each round of task raids and engine idles
+// (see barrierSpin), so a short barrier costs a handful of loads instead of
+// a task-queue inspection per iteration, and a long one degrades to the
+// engine's wait policy exactly as before.
 type BarrierState struct {
 	arrived atomic.Int64
+	_       [56]byte
 	epoch   atomic.Uint64
+	_       [56]byte
 }
+
+// barrierSpin is the bounded budget of pure epoch-word spins a waiter burns
+// between task-raid/idle rounds. Large enough to ride out another member's
+// arrival-to-release window without touching shared scheduling structures,
+// small enough that a waiter reaches the engine's Idle (which yields or
+// parks, and on GLTO is what lets queued task ULTs run) promptly.
+const barrierSpin = 32
 
 // Wait blocks until all size participants have arrived and, if tasks is
 // non-nil, until it has drained to zero. While waiting, tryTask (if non-nil)
@@ -447,7 +644,13 @@ func (b *BarrierState) Wait(size int, tasks *atomic.Int64, tryTask func() bool, 
 		b.epoch.Add(1)
 		return
 	}
+	spins := 0
 	for b.epoch.Load() == epoch {
+		if spins < barrierSpin {
+			spins++
+			continue
+		}
+		spins = 0
 		if tryTask == nil || !tryTask() {
 			idle()
 		}
@@ -475,7 +678,13 @@ func (b *BarrierState) WaitTC(tc *TC, runTasks bool) {
 		b.epoch.Add(1)
 		return
 	}
+	spins := 0
 	for b.epoch.Load() == epoch {
+		if spins < barrierSpin {
+			spins++
+			continue
+		}
+		spins = 0
 		if !runTasks || !tc.ops.TryRunTask(tc) {
 			tc.ops.Idle(tc)
 		}

@@ -89,6 +89,77 @@ func TestOverflowRingRaidedByWaiters(t *testing.T) {
 	}
 }
 
+// TestRingDirectoryTwoProducerRaid: the per-rank ring-directory shape — TWO
+// producers on different ranks publish their overflow rings concurrently
+// (each enlists in its own rank's directory on its first push) while the
+// remaining ranks raid from the implicit barrier at region end. Neither
+// producer reaches a scheduling point until every task has run, so the
+// bursts can drain only through the lock-free raid path; each task must
+// execute exactly once and the counters must account for every one of them:
+// TasksStolenFromBuffer counts all claims (every task was ring-resident
+// until claimed) and TaskFlushes stays zero (the rings are empty by the
+// time the producers reach their barrier). Run under -race in CI.
+func TestRingDirectoryTwoProducerRaid(t *testing.T) {
+	const perProducer = 40
+	const total = 2 * perProducer
+	for _, v := range []struct {
+		label, rt, backend string
+	}{
+		{"gomp", "gomp", ""},
+		{"iomp", "iomp", ""},
+		{"glto-abt", "glto", "abt"},
+		{"glto-ws", "glto", "ws"},
+	} {
+		v := v
+		t.Run(v.label, func(t *testing.T) {
+			rt, err := openmp.New(v.rt, omp.Config{
+				NumThreads: 4,
+				Backend:    v.backend,
+				TaskBuffer: 256, // both bursts stay under the flush limit
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Shutdown()
+			var seen [total]atomic.Int32
+			var ran atomic.Int64
+			rt.ParallelN(4, func(tc *omp.TC) {
+				me := tc.ThreadNum()
+				if me == 0 || me == 1 {
+					base := me * perProducer
+					for i := 0; i < perProducer; i++ {
+						tag := base + i
+						tc.Task(func(*omp.TC) {
+							seen[tag].Add(1)
+							ran.Add(1)
+						})
+					}
+					// Spin below any scheduling point: if this burst runs,
+					// raiders claimed it from this rank's directory.
+					if !spinUntil(func() bool { return ran.Load() == total }, 10*time.Second) {
+						t.Errorf("rank %d: raiders claimed %d of %d buffered tasks", me, ran.Load(), total)
+					}
+				}
+				// Ranks 2 and 3 fall straight to the implicit barrier and
+				// raid from there (and, on GLTO, idle streams raid through
+				// the engine drain hook).
+			})
+			for tag := range seen {
+				if got := seen[tag].Load(); got != 1 {
+					t.Fatalf("task %d executed %d times, want exactly once", tag, got)
+				}
+			}
+			s := rt.Stats()
+			if s.TasksStolenFromBuffer != total {
+				t.Errorf("TasksStolenFromBuffer = %d, want %d", s.TasksStolenFromBuffer, total)
+			}
+			if s.TaskFlushes != 0 {
+				t.Errorf("TaskFlushes = %d, want 0 (raiders drained both rings before any scheduling point)", s.TaskFlushes)
+			}
+		})
+	}
+}
+
 // TestBufferStealsUnderImbalanceWS: an imbalanced task storm on the ws
 // backend in which every team member is busy — the producer spinning after
 // its burst, the other member spinning in its body — so the ONLY consumers
