@@ -496,7 +496,10 @@ func BenchmarkTaskSpawn(b *testing.B) {
 // thread sweep; BENCH_consumer_contention.json records the before/after
 // baseline.
 func BenchmarkConsumerContention(b *testing.B) {
-	const tasks = 192 // below the 256-slot ring, so no flush can rescue the burst
+	// Full size stays below the 256-slot ring, so no flush can rescue the
+	// burst; the -short size keeps the same property while letting the CI
+	// smoke finish in seconds.
+	tasks := shortN(192, 48)
 	ranks := shortN(8, 4)
 	variants := []harness.Variant{
 		{Label: "GCC", Runtime: "gomp"},
@@ -508,20 +511,20 @@ func BenchmarkConsumerContention(b *testing.B) {
 		v := v
 		b.Run(v.Label, func(b *testing.B) {
 			rt := newRTN(b, v, ranks, func(c *omp.Config) { c.TaskBuffer = 256 })
-			for i := 0; i < 3; i++ {
+			for i := 0; i < shortN(3, 1); i++ {
 				harness.ContentionBurst(rt, ranks, tasks) // warm rings, pools, directories
 			}
 			rt.ResetStats()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if claimed := harness.ContentionBurst(rt, ranks, tasks); claimed != tasks {
+				if claimed := harness.ContentionBurst(rt, ranks, tasks); claimed != int64(tasks) {
 					b.Fatalf("raiders claimed only %d of %d tasks", claimed, tasks)
 				}
 			}
 			b.StopTimer()
 			s := rt.Stats()
 			b.ReportMetric(float64(s.TasksStolenFromBuffer)/float64(b.N), "steals/op")
-			b.ReportMetric(tasks, "tasks/op")
+			b.ReportMetric(float64(tasks), "tasks/op")
 		})
 	}
 }
@@ -557,6 +560,63 @@ func BenchmarkRegionRespawn(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					rt.ParallelN(benchThreads, func(tc *omp.TC) {})
 				}
+			})
+		}
+	}
+}
+
+// runBarrierBench times one region of the given width containing `barriers`
+// explicit barriers, on a fresh runtime for the variant.
+func runBarrierBench(b *testing.B, v harness.Variant, width, barriers int) {
+	rt := newRTN(b, v, width, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+	body := func(tc *omp.TC) {
+		for i := 0; i < barriers; i++ {
+			tc.Barrier()
+		}
+	}
+	rt.ParallelN(width, body) // warm team pools and the barrier's EWMA
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.ParallelN(width, body)
+	}
+	b.ReportMetric(float64(barriers), "barriers/op")
+}
+
+// BenchmarkBarrier: the barrier hot path — one region per op with 64
+// explicit barriers inside — swept across team widths that exercise the
+// flat epoch barrier (2, 8) and the combining tree (32), on both pthread
+// engines and two GLT backends. The w32-flat variants pin the tree's
+// counterfactual by forcing the flat topology through
+// omp.SetBarrierTreeThreshold; the harness's bench-diff mode records both
+// in BENCH_barrier.json so the tree-vs-flat delta is tracked per commit.
+func BenchmarkBarrier(b *testing.B) {
+	const barriers = 64
+	widths := []int{2, 8, 32}
+	if testing.Short() {
+		widths = []int{2, 8}
+	}
+	variants := []harness.Variant{
+		{Label: "GCC", Runtime: "gomp"},
+		{Label: "Intel", Runtime: "iomp"},
+		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+		{Label: "GLTO(WS)", Runtime: "glto", Backend: "ws"},
+	}
+	for _, width := range widths {
+		for _, v := range variants {
+			v := v
+			width := width
+			b.Run(fmt.Sprintf("w%d/%s", width, v.Label), func(b *testing.B) {
+				runBarrierBench(b, v, width, barriers)
+			})
+		}
+	}
+	if !testing.Short() {
+		omp.SetBarrierTreeThreshold(64) // wider than any team below: flat everywhere
+		defer omp.SetBarrierTreeThreshold(0)
+		for _, v := range variants {
+			v := v
+			b.Run("w32-flat/"+v.Label, func(b *testing.B) {
+				runBarrierBench(b, v, 32, barriers)
 			})
 		}
 	}

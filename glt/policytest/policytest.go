@@ -75,6 +75,10 @@ func Suite(t *testing.T, mk func() glt.Policy) {
 	}
 	t.Run("SingletonBatch", func(t *testing.T) { singletonBatch(t, mk) })
 	t.Run("EmptyBatch", func(t *testing.T) { emptyBatch(t, mk) })
+	t.Run("ForeignPush", func(t *testing.T) {
+		t.Run("DrainOrder", func(t *testing.T) { foreignDrainOrder(t, mk) })
+		t.Run("ExactlyOnce", func(t *testing.T) { foreignExactlyOnce(t, mk) })
+	})
 	t.Run("OwnershipTransfer", func(t *testing.T) { ownershipTransfer(t, mk) })
 	t.Run("SharedQueues", func(t *testing.T) { sharedExactlyOnce(t, mk) })
 	t.Run("Stealer", func(t *testing.T) {
@@ -389,6 +393,124 @@ func sharedExactlyOnce(t *testing.T, mk func() glt.Policy) {
 					pushed += burst
 				} else {
 					p.Push(-1, prod%nthreads, glt.NewPolicyUnit(tag, prod%nthreads))
+					tag++
+					pushed++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for tag := range seen {
+		if got := seen[tag].Load(); got != 1 {
+			t.Fatalf("unit %d surfaced %d times, want exactly once", tag, got)
+		}
+	}
+}
+
+// foreignDrainOrder pins the foreign-submission (inbox) path's ordering: a
+// producer outside any stream (from = -1) alternates single pushes and small
+// batches at one destination rank, and the resulting drain must match an
+// instance that received the identical tag sequence through Push calls
+// alone. This is batch equivalence specialized to the inbox — for the ws
+// backend it certifies that the lock-free segment queue preserves one
+// producer's submission order across put/putAll interleavings, exactly as
+// the old mutex FIFO did.
+func foreignDrainOrder(t *testing.T, mk func() glt.Policy) {
+	const nthreads, n, to = 4, 96, 2
+	mixed, each := mk(), mk()
+	mixed.Setup(nthreads, false)
+	each.Setup(nthreads, false)
+	tag := 0
+	for tag < n {
+		burst := make([]*glt.Unit, 0, 8)
+		for i := 0; i < 8 && tag+i < n; i++ {
+			burst = append(burst, glt.NewPolicyUnit(tag+i, to))
+		}
+		for _, u := range burst {
+			each.Push(-1, to, glt.NewPolicyUnit(u.Tag(), to))
+		}
+		mixed.PushBatch(-1, burst)
+		tag += len(burst)
+		if tag < n {
+			mixed.Push(-1, to, glt.NewPolicyUnit(tag, to))
+			each.Push(-1, to, glt.NewPolicyUnit(tag, to))
+			tag++
+		}
+	}
+	got, want := drain(mixed, nthreads), drain(each, nthreads)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("mixed put/putAll drain %v != per-unit push drain %v", got, want)
+	}
+}
+
+// foreignExactlyOnce is the concurrent half of the inbox section: producers
+// outside any stream Push and PushBatch into two destination ranks while
+// those ranks' owners pop (draining their backlogs) and, on Stealer
+// policies, the other ranks raid the same backlogs through StealHalf. Every
+// unit must surface exactly once across all Pop and StealHalf calls — for
+// the ws backend this races put, putAll, the owner's drain and the thief's
+// claim on the lock-free inbox simultaneously, which is exactly the
+// interleaving the old mutex serialized. Run under -race (CI does): the
+// consumers' immediate Home rewrite catches any post-transfer read.
+func foreignExactlyOnce(t *testing.T, mk func() glt.Policy) {
+	const nthreads, producers, perProducer = 4, 3, 192
+	const total = producers * perProducer
+	p := mk()
+	p.Setup(nthreads, false)
+	st, _ := p.(glt.Stealer)
+	seen := make([]atomic.Int32, total)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var surfaced atomic.Int32
+	account := func(rank int, u *glt.Unit) {
+		u.SetHome(rank) // post-transfer write: races with a non-conforming policy
+		seen[u.Tag()].Add(1)
+		if surfaced.Add(1) == total {
+			stop.Store(true)
+		}
+	}
+	for rank := 0; rank < nthreads; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if u := p.Pop(rank); u != nil {
+					account(rank, u)
+					continue
+				}
+				if st != nil && rank >= 2 {
+					if u := st.StealHalf(rank); u != nil {
+						account(rank, u)
+					}
+				}
+			}
+		}()
+	}
+	for prod := 0; prod < producers; prod++ {
+		prod := prod
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tag := prod * perProducer
+			to := prod % 2 // both destinations are foreign to the producer goroutine
+			for pushed := 0; pushed < perProducer; {
+				if pushed%3 == 0 {
+					// Odd burst size so runs straddle the ws inbox's 64-slot
+					// segment boundaries at shifting offsets.
+					burst := 13
+					if rem := perProducer - pushed; burst > rem {
+						burst = rem
+					}
+					units := make([]*glt.Unit, burst)
+					for i := range units {
+						units[i] = glt.NewPolicyUnit(tag, to)
+						tag++
+					}
+					p.PushBatch(-1, units)
+					pushed += burst
+				} else {
+					p.Push(-1, to, glt.NewPolicyUnit(tag, to))
 					tag++
 					pushed++
 				}

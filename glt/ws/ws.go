@@ -19,12 +19,15 @@
 //     but the glt engine pushes from anywhere: the application's main
 //     goroutine dispatches regions (from = -1) and GLTO's round-robin task
 //     placement targets remote ranks. Those land in the destination's
-//     *inbox*, a small mutex-guarded FIFO the owner drains into its deque
-//     when its local work runs out — and that thieves may raid when the
-//     victim's deque is empty, so work cannot be stranded behind an owner
-//     whose current ULT never yields. Pushes from a stream to its own
-//     rank — the work-first common case — go straight to the deque bottom,
-//     lock-free.
+//     *inbox*, a lock-free MPMC FIFO (the same segment-chain design as the
+//     shared pool, plus a resident count that gates the empty fast path at
+//     one atomic load) the owner drains into its deque when its local work
+//     runs out — and that thieves may raid when the victim's deque is
+//     empty, so work cannot be stranded behind an owner whose current ULT
+//     never yields. Pushes from a stream to its own rank — the work-first
+//     common case — go straight to the deque bottom. With the inbox's old
+//     mutex gone, no submit, steal or yield steady-state path in this
+//     backend acquires a lock at all.
 //   - Bulk loading. PushBatch writes a whole equal-Home run into the
 //     destination deque (or inbox) and publishes it with a single bottom
 //     store, so a region's team becomes runnable in one episode and is never
@@ -61,7 +64,6 @@
 package ws
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/glt"
@@ -209,55 +211,103 @@ func (d *deque) population() int64 {
 	return b - t
 }
 
-// inbox is the mutex-guarded FIFO receiving submissions from parties other
+// inbox is the lock-free MPMC FIFO receiving submissions from parties other
 // than the owning stream: external dispatch (the application goroutine),
 // remote-targeted pushes, and the owner's own yielded continuations (which
-// must go to the back of the line, see the package comment). The backing
-// array is retained across drains, so a steady-state region pays no
-// allocation here.
+// must go to the back of the line, see the package comment). It embeds the
+// shared pool's segment-chain queue — producers reserve slot ranges with a
+// fetch-add, consumers claim slots with a CAS, no mutex anywhere — and adds
+// a resident count so the owner's empty check and a thief's raid gate cost
+// one atomic load instead of a queue traversal.
+//
+// resident is adjusted *after* the queue operation it describes, so it is an
+// estimate, not an invariant: it can read low while a producer is between
+// publish and Add, and transiently negative when a concurrent pop claims
+// such a not-yet-counted unit first. Both skews resolve within the two
+// racing calls and neither strands work — the engine wakes streams only
+// after the producer's push call has returned, at which point the count
+// covers the published unit (the same spurious-empty contract sharedPool
+// itself relies on).
 type inbox struct {
-	mu sync.Mutex
-	q  []*glt.Unit
+	resident atomic.Int64
+	_        [56]byte // keep the hot count off the segment cursors' lines
+	q        sharedPool
 }
+
+func (b *inbox) init() { b.q.init() }
 
 func (b *inbox) put(u *glt.Unit) {
-	b.mu.Lock()
-	b.q = append(b.q, u)
-	b.mu.Unlock()
+	b.q.push(u)
+	b.resident.Add(1)
 }
 
-// putAll appends a run under one lock acquisition, preserving slice order.
+// putAll publishes a run in submission order — one reservation fetch-add per
+// segment touched, not one synchronization episode per unit.
 func (b *inbox) putAll(run []*glt.Unit) {
-	b.mu.Lock()
-	b.q = append(b.q, run...)
-	b.mu.Unlock()
+	if len(run) == 0 {
+		return
+	}
+	b.q.pushAll(run)
+	b.resident.Add(int64(len(run)))
 }
 
-// drainInto bulk-loads the inbox contents into d (the owner's deque) in FIFO
-// order and reports whether anything moved. Owner-only: pushBottomAll is an
-// owner operation, so drainInto must run on the owning stream.
-func (b *inbox) drainInto(d *deque) bool {
-	b.mu.Lock()
-	if len(b.q) == 0 {
-		b.mu.Unlock()
-		return false
+// pop claims the oldest published unit, or returns nil when the inbox is
+// empty (or mid-publish, which the wake contract makes indistinguishable
+// from empty on purpose).
+func (b *inbox) pop() *glt.Unit {
+	u := b.q.pop()
+	if u != nil {
+		b.resident.Add(-1)
 	}
-	d.pushBottomAll(b.q)
-	clear(b.q)
-	b.q = b.q[:0]
-	b.mu.Unlock()
-	return true
+	return u
+}
+
+// size reports the racy resident estimate, clamped at zero, for empty gates
+// and steal-half sizing.
+func (b *inbox) size() int64 {
+	n := b.resident.Load()
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // stream is the per-rank scheduling state. Padded so one rank's owner
 // traffic does not false-share with its neighbour's.
 type stream struct {
-	d     deque
-	box   inbox
-	rng   uint64
-	pops  uint64
-	stole atomic.Uint64 // units stolen by this rank (read by StealsObserved)
-	_     [64]byte
+	d       deque
+	box     inbox
+	scratch []*glt.Unit // drainBox staging; retained so steady-state drains allocate nothing
+	rng     uint64
+	pops    uint64
+	stole   atomic.Uint64 // units stolen by this rank (read by StealsObserved)
+	_       [64]byte
+}
+
+// drainBox moves the inbox backlog into the owner's deque in FIFO order and
+// reports whether anything moved. Owner-only: pushBottomAll is an owner
+// operation. Units are popped in claim order into a retained scratch slice
+// and republished under a single bottom store, so a concurrent thief either
+// claims a unit out of the inbox before the owner does or observes the whole
+// drained run at once — never a half-moved backlog.
+func (s *stream) drainBox() bool {
+	if s.box.size() == 0 {
+		return false
+	}
+	for {
+		u := s.box.pop()
+		if u == nil {
+			break
+		}
+		s.scratch = append(s.scratch, u)
+	}
+	if len(s.scratch) == 0 {
+		return false
+	}
+	s.d.pushBottomAll(s.scratch)
+	clear(s.scratch)
+	s.scratch = s.scratch[:0]
+	return true
 }
 
 // sharedSegSize is the slot count of one shared-pool segment. Small enough
@@ -314,11 +364,17 @@ type sharedPool struct {
 	tail atomic.Pointer[sharedSeg] // producers reserve here
 }
 
-func newSharedPool() *sharedPool {
-	p := new(sharedPool)
+// init installs the first segment. Must run before any push or pop; the
+// inbox embeds sharedPool by value and initializes it here.
+func (p *sharedPool) init() {
 	s := new(sharedSeg)
 	p.head.Store(s)
 	p.tail.Store(s)
+}
+
+func newSharedPool() *sharedPool {
+	p := new(sharedPool)
+	p.init()
 	return p
 }
 
@@ -428,7 +484,10 @@ func (p *policy) Setup(nthreads int, shared bool) {
 	p.streams = make([]stream, nthreads)
 	for i := range p.streams {
 		p.streams[i].d.init()
-		p.streams[i].rng = uint64(i)*0x9E3779B97F4A7C15 + 0x6C62272E07BB0142
+		p.streams[i].box.init()
+		// Distinct splitmix streams per rank: the counter seeds differ by a
+		// constant unrelated to the splitmix gamma, and mix64 decorrelates.
+		p.streams[i].rng = uint64(i) * 0x6C62272E07BB0142
 	}
 }
 
@@ -450,7 +509,8 @@ func (p *policy) Push(from, to int, u *glt.Unit) {
 
 // PushBatch bulk-loads each contiguous equal-Home run into its destination —
 // the spawner's own deque bottom under one publication when the run is
-// home-targeted, the destination inbox under one lock acquisition otherwise.
+// home-targeted, the destination inbox in one reservation episode per
+// segment touched otherwise.
 // Batched units are fresh spawns, and a unit is never read again once its
 // run has been enqueued (ownership transfers on enqueue).
 func (p *policy) PushBatch(from int, units []*glt.Unit) {
@@ -487,7 +547,7 @@ func (p *policy) Pop(self int) *glt.Unit {
 	s.pops++
 	u := s.d.popBottom()
 	if u == nil {
-		if !s.box.drainInto(&s.d) {
+		if !s.drainBox() {
 			return nil // genuinely empty: the engine's idle path steals
 		}
 		u = s.d.popBottom()
@@ -521,23 +581,43 @@ func (p *policy) StealHalf(self int) *glt.Unit {
 	return p.steal(self, true)
 }
 
-// steal makes one random-start tour of the other streams and raids the
+// steal makes one convoy-aware tour of the other streams and raids the
 // first victim with stealable work — its deque first, its inbox when the
 // deque is empty (work can be stranded in the inbox of a stream whose
-// current ULT never yields; the mutex there makes the raid trivially safe).
-// The victim's oldest unit is returned for immediate execution and, when
-// half is set, the ceiling half of the observed run moves into self's deque
-// with it. With half unset this is the single-unit progress probe of Pop,
-// cheap enough to run while the prober still has local work.
+// current ULT never yields; the inbox's per-unit claim CAS makes the raid
+// safe without a lock). The tour starts at a per-stream pseudo-random rank
+// (splitmix counter, no math/rand) so N idle thieves fan out over victims
+// instead of stampeding the same one, and from the start alternates outward
+// — start, start±1, start∓1, start±2, ... with the direction also drawn
+// from the rank's stream — visiting near ranks before far ones. The
+// victim's oldest unit is returned for immediate execution and, when half
+// is set, the ceiling half of the observed run moves into self's deque with
+// it. With half unset this is the single-unit progress probe of Pop, cheap
+// enough to run while the prober still has local work.
 func (p *policy) steal(self int, half bool) *glt.Unit {
 	n := len(p.streams)
 	if n == 1 {
 		return nil
 	}
 	s := &p.streams[self]
-	start := int(p.nextRand(self) % uint64(n-1))
-	for i := 0; i < n-1; i++ {
-		v := &p.streams[(self+1+(start+i)%(n-1))%n]
+	r := p.nextRand(self)
+	start := int(r % uint64(n))
+	flip := 1
+	if r&(1<<63) != 0 {
+		flip = -1
+	}
+	for k := 0; k < n; k++ {
+		// Signed alternation: offsets 0, +1, -1, +2, -2, ... from start
+		// (mirrored when flip is negative) visit all n ranks, nearest first.
+		d := (k + 1) / 2
+		if k%2 == 0 {
+			d = -d
+		}
+		at := ((start+flip*d)%n + n) % n
+		if at == self {
+			continue
+		}
+		v := &p.streams[at]
 		if u := p.raidDeque(s, v, half); u != nil {
 			return u
 		}
@@ -579,31 +659,36 @@ func (p *policy) raidDeque(s, v *stream, half bool) *glt.Unit {
 }
 
 // raidInbox takes the oldest inbox units of a victim whose deque came up
-// empty: the front of the FIFO is returned, and with half set the rest of
-// the ceiling half bottom-pushes into self's deque in age order. Holding
-// v's inbox mutex while pushing to s's own deque is safe — pushBottom takes
-// no lock, and no path holds two inbox mutexes.
+// empty: the front of the FIFO is returned for immediate execution and, with
+// half set, the rest of the ceiling half of the observed backlog
+// bottom-pushes into self's deque in age order. Each unit moves under its
+// own claim CAS, competing fairly with the victim owner's drainBox and with
+// other raiders — whoever wins a claim owns that unit, so nothing is lost or
+// doubled. The resident estimate bounds the take, so a raider cannot strip
+// units published after it sized the backlog.
 func (p *policy) raidInbox(s, v *stream, half bool) *glt.Unit {
-	b := &v.box
-	b.mu.Lock()
-	n := len(b.q)
+	n := v.box.size()
 	if n == 0 {
-		b.mu.Unlock()
 		return nil
 	}
-	take := 1
+	take := int64(1)
 	if half {
 		take = (n + 1) / 2
 	}
-	first := b.q[0]
-	for i := 1; i < take; i++ {
-		s.d.pushBottom(b.q[i])
+	first := v.box.pop()
+	if first == nil {
+		return nil
 	}
-	rest := copy(b.q, b.q[take:])
-	clear(b.q[rest:])
-	b.q = b.q[:rest]
-	b.mu.Unlock()
-	s.stole.Add(uint64(take))
+	taken := int64(1)
+	for taken < take {
+		u := v.box.pop()
+		if u == nil {
+			break
+		}
+		s.d.pushBottom(u)
+		taken++
+	}
+	s.stole.Add(uint64(taken))
 	return first
 }
 
@@ -618,13 +703,22 @@ func (p *policy) StealsObserved() uint64 {
 	return total
 }
 
-// nextRand advances the per-rank xorshift state. Only the owning stream
-// calls it for its rank.
+// nextRand advances the per-rank splitmix64 counter and returns its mixed
+// output: one add, a few multiply-xor-shifts, no math/rand, no shared
+// state. Only the owning stream calls it for its rank.
 func (p *policy) nextRand(self int) uint64 {
-	s := p.streams[self].rng
-	s ^= s << 13
-	s ^= s >> 7
-	s ^= s << 17
-	p.streams[self].rng = s
-	return s
+	p.streams[self].rng += 0x9E3779B97F4A7C15
+	return mix64(p.streams[self].rng)
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64, so
+// consecutive counter values map to decorrelated tour starts.
+func mix64(z uint64) uint64 {
+	z *= 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
 }

@@ -124,7 +124,11 @@ type drainEntry struct {
 // neighbouring streams' publishes do not false-share.
 type drainDir struct {
 	slot [drainSlots]drainEntry
-	_    [64]byte
+	// rng is the owning stream's splitmix tour counter. stealBufferedTask
+	// runs only on the owner's scheduler goroutine (the idle-drain hook and
+	// the owner's own scheduling points), so plain arithmetic suffices.
+	rng uint64
+	_   [64]byte
 }
 
 // regionSlot is the pooled dispatch state of one in-flight region.
@@ -228,16 +232,34 @@ func (rt *Runtime) delist(t *omp.Team, stream, h int) {
 }
 
 // stealBufferedTask claims one task from any active team's overflow rings,
-// touring the stream-indexed registry from the idle stream's own directory
-// outward — lock-free end to end: atomic entry loads here, and the per-rank
-// ring-directory raid inside StealBufferedTaskFrom. A team whose epoch no
-// longer matches its entry is mid-publish or recycled and is skipped; the
-// claim itself is recycle-safe regardless (see omp's ringSet), the stamp
-// just spares raiding a descriptor that has moved on.
+// touring the stream-indexed registry — lock-free end to end: atomic entry
+// loads here, and the per-rank ring-directory raid inside
+// StealBufferedTaskFrom. The tour is convoy-aware: it starts at a
+// pseudo-random directory drawn from the idle stream's own splitmix counter
+// (so N streams going idle on the same burst fan out over producers instead
+// of stampeding one) and alternates outward from the start, visiting near
+// directories before far ones. A team whose epoch no longer matches its
+// entry is mid-publish or recycled and is skipped; the claim itself is
+// recycle-safe regardless (see omp's ringSet), the stamp just spares raiding
+// a descriptor that has moved on.
 func (rt *Runtime) stealBufferedTask(rank int) *omp.TaskNode {
 	n := len(rt.drainTab)
-	for i := 0; i < n; i++ {
-		d := &rt.drainTab[(rank+i)%n]
+	self := &rt.drainTab[rank%n]
+	self.rng += 0x9E3779B97F4A7C15
+	r := mix64(self.rng)
+	start := int(r % uint64(n))
+	flip := 1
+	if r&(1<<63) != 0 {
+		flip = -1
+	}
+	for k := 0; k < n; k++ {
+		// Signed alternation: offsets 0, +1, -1, +2, -2, ... (mirrored when
+		// flip is negative) visit all n directories, nearest-to-start first.
+		off := (k + 1) / 2
+		if k%2 == 0 {
+			off = -off
+		}
+		d := &rt.drainTab[((start+flip*off)%n+n)%n]
 		for j := range d.slot {
 			e := &d.slot[j]
 			t := e.team.Load()
@@ -277,6 +299,18 @@ func (rt *Runtime) drainBufferedTask(rank int) bool {
 	rt.ults.Add(1)
 	rt.g.SpawnDetachedFrom(rank, rank, rt.taskBody, node, rt.cfg.Tasklets)
 	return true
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64, so
+// consecutive counter values map to decorrelated tour starts.
+func mix64(z uint64) uint64 {
+	z *= 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
 }
 
 // Name reports "glto".
@@ -365,6 +399,9 @@ func ctxOf(tc *omp.TC) *glt.Ctx {
 // between yields. Ring-resident tasks are different: they are not units yet,
 // so waiters claim them inline through TryRunTask (the same raid the
 // pthread engines' barrier waiters perform) before falling back to a yield.
+// The wait itself is omp's shared BarrierState, so the adaptive
+// OMP_WAIT_POLICY-clamped spin budget and the combining tree for wide teams
+// apply here exactly as in the pthread runtimes.
 func (e *engine) BarrierWait(tc *omp.TC) {
 	tc.Team().Bar.WaitTC(tc, true)
 }

@@ -154,6 +154,9 @@ func (e *engine) tasksOf(team *omp.Team) *teamTasks {
 	return team.EngineData(newTeamTasks).(*teamTasks)
 }
 
+// BarrierWait funnels through omp's shared BarrierState, so gomp gets the
+// adaptive spin budget (OMP_WAIT_POLICY-clamped EWMA) and the combining-tree
+// topology for wide teams without any runtime-specific barrier code.
 func (e *engine) BarrierWait(tc *omp.TC) {
 	tc.Team().Bar.WaitTC(tc, true)
 }

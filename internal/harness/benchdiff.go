@@ -1,0 +1,350 @@
+// bench-diff is the trajectory-tracking harness mode (ROADMAP item 5,
+// minimal version): it re-runs the four tracked microbenchmarks —
+// RegionRespawn, TaskSpawn, ConsumerContention and Barrier, the same shapes
+// as their testing.B counterparts in bench_test.go — appends a
+// {commit, host, results} point to the per-benchmark BENCH_*.json
+// trajectory files, and exits non-zero when any series regressed by more
+// than 25% against the last recorded point taken on the same host shape
+// (same CPU count and scale factor). The point is recorded either way, so a
+// regression is visible in the trajectory rather than silently retried
+// away; unknown top-level fields of an existing BENCH_*.json (prose notes,
+// historical baselines) are preserved verbatim.
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/omp"
+)
+
+// benchDiffTolerance is the regression gate: a series fails when its new
+// ns_per_op exceeds the previous same-host-shape point's by this factor.
+// 25% sits above the ambient noise of shared CI hosts (the
+// BENCH_consumer_contention.json host note records 10-25% run-to-run drift)
+// while still catching a lost fast path, which costs 2x or more.
+const benchDiffTolerance = 1.25
+
+// benchDiffVariants are the runtimes every tracked benchmark reports: both
+// pthread engines and the bracketing GLT backends (abt as the mutex-pool
+// representative, ws as the lock-free one).
+var benchDiffVariants = []Variant{
+	{"GCC", "gomp", ""},
+	{"Intel", "iomp", ""},
+	{"GLTO(ABT)", "glto", "abt"},
+	{"GLTO(WS)", "glto", "ws"},
+}
+
+func init() {
+	register(Experiment{
+		ID:    "bench-diff",
+		Title: "Benchmark trajectories: run the tracked benches, append a commit point to BENCH_*.json, fail on >25% regression",
+		Run:   runBenchDiff,
+	})
+}
+
+// benchSeries is one recorded series: metric name -> value. ns_per_op is the
+// metric the regression gate compares; anything else (steals_per_op, ...) is
+// recorded for the trajectory only.
+type benchSeries = map[string]float64
+
+// medianNsPerOp runs the iters-iteration loop reps times and returns the
+// median per-iteration wall-clock in nanoseconds — the same "median of N
+// runs" method the consumer-contention baseline file documents.
+func medianNsPerOp(reps, iters int, fn func()) float64 {
+	if reps < 1 {
+		reps = 1
+	}
+	times := make([]float64, reps)
+	for r := range times {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		times[r] = time.Since(start).Seconds()
+	}
+	sort.Float64s(times)
+	return times[len(times)/2] * 1e9 / float64(iters)
+}
+
+// scaledIters shrinks an iteration count by cfg.Scale with a floor, so the
+// CI smoke (-scale 0.05) still crosses every code path.
+func scaledIters(cfg Config, full, min int) int {
+	n := int(float64(full) * cfg.Scale)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// benchRegionRespawn mirrors BenchmarkRegionRespawn's pooled mode: the
+// steady-state cost of an empty width-4 parallel region.
+func benchRegionRespawn(cfg Config, reps int) (map[string]benchSeries, error) {
+	iters := scaledIters(cfg, 2000, 50)
+	out := map[string]benchSeries{}
+	for _, v := range benchDiffVariants {
+		rt, err := v.New(4, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+		if err != nil {
+			return nil, err
+		}
+		run := func() { rt.ParallelN(4, func(tc *omp.TC) {}) }
+		run() // warm team pools
+		out[v.Label] = benchSeries{"ns_per_op": medianNsPerOp(reps, iters, run)}
+		rt.Shutdown()
+	}
+	return out, nil
+}
+
+// benchTaskSpawn mirrors BenchmarkTaskSpawn: one region, a single producer,
+// 64 deferred tasks per op.
+func benchTaskSpawn(cfg Config, reps int) (map[string]benchSeries, error) {
+	const tasks = 64
+	iters := scaledIters(cfg, 300, 10)
+	body := func(*omp.TC) {}
+	out := map[string]benchSeries{}
+	for _, v := range benchDiffVariants {
+		rt, err := v.New(4, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+		if err != nil {
+			return nil, err
+		}
+		run := func() {
+			rt.ParallelN(4, func(tc *omp.TC) {
+				tc.Single(func() {
+					for k := 0; k < tasks; k++ {
+						tc.Task(body)
+					}
+				})
+			})
+		}
+		for i := 0; i < 10; i++ {
+			run() // warm descriptor pools, rings, unit caches
+		}
+		out[v.Label] = benchSeries{"ns_per_op": medianNsPerOp(reps, iters, run)}
+		rt.Shutdown()
+	}
+	return out, nil
+}
+
+// benchConsumerContention mirrors BenchmarkConsumerContention (and the
+// `contention` experiment): one producer's 192-task burst drained only by
+// the other 7 members raiding the overflow ring.
+func benchConsumerContention(cfg Config, reps int) (map[string]benchSeries, error) {
+	const ranks, tasks = 8, 192
+	iters := scaledIters(cfg, 300, 3)
+	out := map[string]benchSeries{}
+	for _, v := range benchDiffVariants {
+		rt, err := v.New(ranks, func(c *omp.Config) { c.TaskBuffer = 256 })
+		if err != nil {
+			return nil, err
+		}
+		run := func() { ContentionBurst(rt, ranks, tasks) }
+		run() // warm rings, descriptor pools, directories
+		rt.ResetStats()
+		ns := medianNsPerOp(reps, iters, run)
+		per := float64(rt.Stats().TasksStolenFromBuffer) / float64(reps*iters)
+		rt.Shutdown()
+		out[v.Label] = benchSeries{"ns_per_op": ns, "steals_per_op": per}
+	}
+	return out, nil
+}
+
+// benchBarrier mirrors BenchmarkBarrier: a region of 64 explicit barriers
+// per op, at the flat widths (2, 8), the tree width (32), and — as the
+// tree's counterfactual — width 32 with the combining tree disabled through
+// omp.SetBarrierTreeThreshold, so BENCH_barrier.json carries the
+// tree-vs-flat delta per commit.
+func benchBarrier(cfg Config, reps int) (map[string]benchSeries, error) {
+	const barriers = 64
+	iters := scaledIters(cfg, 200, 3)
+	out := map[string]benchSeries{}
+	shapes := []struct {
+		key   string
+		width int
+		flat  bool
+	}{
+		{"w2", 2, false},
+		{"w8", 8, false},
+		{"w32", 32, false},
+		{"w32-flat", 32, true},
+	}
+	for _, shape := range shapes {
+		if shape.flat {
+			omp.SetBarrierTreeThreshold(64) // wider than the team: flat topology
+		}
+		for _, v := range benchDiffVariants {
+			rt, err := v.New(shape.width, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+			if err != nil {
+				omp.SetBarrierTreeThreshold(0)
+				return nil, err
+			}
+			body := func(tc *omp.TC) {
+				for i := 0; i < barriers; i++ {
+					tc.Barrier()
+				}
+			}
+			run := func() { rt.ParallelN(shape.width, body) }
+			run() // warm team pools and the barrier's EWMA
+			out[v.Label+"/"+shape.key] = benchSeries{"ns_per_op": medianNsPerOp(reps, iters, run)}
+			rt.Shutdown()
+		}
+		if shape.flat {
+			omp.SetBarrierTreeThreshold(0)
+		}
+	}
+	return out, nil
+}
+
+// benchDiffHost describes the shape of the machine a point was taken on;
+// points are only compared against earlier points with the same cpus.
+func benchDiffHost() map[string]any {
+	host := map[string]any{
+		"cpus":   runtime.NumCPU(),
+		"goos":   runtime.GOOS,
+		"goarch": runtime.GOARCH,
+	}
+	if runtime.NumCPU() == 1 {
+		host["note"] = "1-CPU host: all ranks time-sliced onto one core, so wall-clock " +
+			"deltas are dominated by scheduling noise and contention effects are structural, " +
+			"not measured (see the host note in BENCH_consumer_contention.json)"
+	}
+	return host
+}
+
+func benchDiffCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// appendBenchPoint loads BENCH_<name>.json (creating a fresh skeleton when
+// absent), compares the new results against the most recent point with the
+// same host shape and scale, appends the new point regardless, writes the
+// file back preserving any unrelated fields, and returns the regression
+// descriptions (empty when clean).
+func appendBenchPoint(name string, point map[string]any, results map[string]benchSeries) ([]string, error) {
+	path := "BENCH_" + name + ".json"
+	if dir := os.Getenv("GLTO_BENCH_DIR"); dir != "" {
+		// Trajectory files live at the repo root; GLTO_BENCH_DIR redirects
+		// them (the harness smoke test points it at a temp dir so running
+		// the test suite never dirties the checked-in trajectories).
+		path = dir + string(os.PathSeparator) + path
+	}
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	} else {
+		doc["benchmark"] = name + " (bench-diff trajectory; shapes mirror bench_test.go)"
+	}
+	points, _ := doc["points"].([]any)
+
+	var regressions []string
+	if prev := lastMatchingPoint(points, point); prev != nil {
+		prevResults, _ := prev["results"].(map[string]any)
+		for series, metrics := range results {
+			prevSeries, _ := prevResults[series].(map[string]any)
+			prevNs, ok := prevSeries["ns_per_op"].(float64)
+			if !ok || prevNs <= 0 {
+				continue
+			}
+			if ns := metrics["ns_per_op"]; ns > prevNs*benchDiffTolerance {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s %s: %.0f ns/op vs %.0f ns/op at %v (+%.0f%%)",
+					name, series, ns, prevNs, prev["commit"], 100*(ns/prevNs-1)))
+			}
+		}
+	}
+
+	doc["points"] = append(points, point)
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	sort.Strings(regressions)
+	return regressions, nil
+}
+
+// lastMatchingPoint finds the most recent prior point taken on the same
+// host shape (cpu count) at the same scale; points from other machines or
+// smoke-scaled runs are not comparable.
+func lastMatchingPoint(points []any, next map[string]any) map[string]any {
+	nextHost := next["host"].(map[string]any)
+	for i := len(points) - 1; i >= 0; i-- {
+		p, ok := points[i].(map[string]any)
+		if !ok {
+			continue
+		}
+		host, _ := p["host"].(map[string]any)
+		if host == nil {
+			continue
+		}
+		cpus, _ := host["cpus"].(float64)
+		scale, _ := p["scale"].(float64)
+		if int(cpus) == nextHost["cpus"].(int) && scale == next["scale"].(float64) {
+			return p
+		}
+	}
+	return nil
+}
+
+func runBenchDiff(cfg Config) error {
+	cfg = cfg.withDefaults()
+	reps := repsOr(cfg, 3)
+	benches := []struct {
+		name string
+		run  func(Config, int) (map[string]benchSeries, error)
+	}{
+		{"region_respawn", benchRegionRespawn},
+		{"task_spawn", benchTaskSpawn},
+		{"consumer_contention", benchConsumerContention},
+		{"barrier", benchBarrier},
+	}
+	commit := benchDiffCommit()
+	host := benchDiffHost()
+	var allRegressions []string
+	for _, b := range benches {
+		results, err := b.run(cfg, reps)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.name, err)
+		}
+		point := map[string]any{
+			"commit":  commit,
+			"date":    time.Now().UTC().Format(time.RFC3339),
+			"host":    host,
+			"scale":   cfg.Scale,
+			"reps":    reps,
+			"results": results,
+		}
+		regressions, err := appendBenchPoint(b.name, point, results)
+		if err != nil {
+			return err
+		}
+		allRegressions = append(allRegressions, regressions...)
+		keys := make([]string, 0, len(results))
+		for k := range results {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(cfg.Out, "%s (commit %s, %d reps):\n", b.name, commit, reps)
+		for _, k := range keys {
+			fmt.Fprintf(cfg.Out, "  %-18s %12.0f ns/op\n", k, results[k]["ns_per_op"])
+		}
+	}
+	if len(allRegressions) > 0 {
+		return fmt.Errorf("bench-diff: %d series regressed beyond %.0f%%:\n  %s",
+			len(allRegressions), 100*(benchDiffTolerance-1), strings.Join(allRegressions, "\n  "))
+	}
+	return nil
+}

@@ -245,6 +245,9 @@ func (e *engine) dequesOf(team *omp.Team) []taskDeque {
 	return ds
 }
 
+// BarrierWait funnels through omp's shared BarrierState: the adaptive
+// OMP_WAIT_POLICY-clamped spin budget and the tree topology for wide teams
+// apply to iomp exactly as to the other three runtimes.
 func (e *engine) BarrierWait(tc *omp.TC) {
 	tc.Team().Bar.WaitTC(tc, true)
 }
@@ -322,7 +325,15 @@ func (e *engine) tryRunTask(tc *omp.TC) bool {
 	d.mu.Unlock()
 	size := tc.Team().Size
 	for i := 1; i < size; i++ {
-		v := &deques[(self+i)%size]
+		// Near-first alternation: distances +1, -1, +2, -2, ... from self.
+		// Each thief starts its tour at its own neighbourhood, so idle
+		// threads fan out over victims instead of convoying rank-upward
+		// from the same origin.
+		off := (i + 1) / 2
+		if i%2 == 0 {
+			off = -off
+		}
+		v := &deques[((self+off)%size+size)%size]
 		e.rt.stealAttempts.Add(1)
 		v.mu.Lock()
 		if len(v.q) > 0 {

@@ -162,6 +162,63 @@ func TestEnvBackendSuite(t *testing.T) {
 	}
 }
 
+// TestWaitPolicySuite runs the full Table I suite on all four runtimes under
+// both OMP_WAIT_POLICY settings. The wait policy only reshapes *how* threads
+// wait — the adaptive spin budget's clamp and, through it, how eagerly
+// barrier waiters fall back to task execution or a scheduler yield — so
+// construct outcomes must be policy-invariant: the same 123 tests run and
+// each runtime meets its Table I floor in both modes. OMP_WAIT_POLICY in the
+// environment narrows the sweep to the named policy, so CI's
+// OMP_WAIT_POLICY=passive job certifies that mode end to end without
+// re-running the other.
+func TestWaitPolicySuite(t *testing.T) {
+	policies := []omp.WaitPolicy{omp.PassiveWait, omp.ActiveWait}
+	if env := os.Getenv("OMP_WAIT_POLICY"); env != "" {
+		if env == "active" {
+			policies = []omp.WaitPolicy{omp.ActiveWait}
+		} else {
+			policies = []omp.WaitPolicy{omp.PassiveWait}
+		}
+	}
+	runtimes := []struct {
+		rtName, backend string
+		threshold       int
+	}{
+		{"gomp", "", 115},
+		{"iomp", "", 115},
+		{"glto", "abt", 118},
+		{"glto", "ws", 119},
+	}
+	for _, rtc := range runtimes {
+		for _, policy := range policies {
+			label := rtc.rtName
+			if rtc.backend != "" {
+				label += "-" + rtc.backend
+			}
+			t.Run(label+"/"+policy.String(), func(t *testing.T) {
+				rt, err := openmp.New(rtc.rtName, omp.Config{
+					NumThreads: 4, Backend: rtc.backend, Nested: true,
+					WaitPolicy: policy,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rt.Shutdown()
+				rep := RunSuite(rt, 4)
+				t.Logf("%s/%s: %d/%d passed; failed: %v",
+					label, policy, rep.Passed(), len(rep.Outcomes), rep.FailedNames())
+				if got := len(rep.Outcomes); got != 123 {
+					t.Errorf("%s/%s: ran %d tests, want 123", label, policy, got)
+				}
+				if rep.Passed() < rtc.threshold {
+					t.Errorf("%s/%s: passed %d, expected at least %d",
+						label, policy, rep.Passed(), rtc.threshold)
+				}
+			})
+		}
+	}
+}
+
 // TestTable1DispatchModes runs the full Table I suite on GLTO under every
 // task/region dispatch mode the runtime offers — the default batched path
 // (producer-side task buffer + PushBatch), buffering disabled alone, and the

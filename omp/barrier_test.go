@@ -1,0 +1,195 @@
+package omp
+
+// White-box tests for the adaptive barrier: correctness of the flat and
+// combining-tree topologies across team widths, epoch continuity when a
+// team descriptor (and its BarrierState) is recycled into regions of
+// different widths, the OMP_WAIT_POLICY clamps on the adaptive spin budget,
+// and exactly-once claiming under the randomized near-first raid tour. Run
+// under -race, as CI does.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// barrierOps is the minimal EngineOps a barrier-only region needs: waits
+// funnel to the shared BarrierState and idling is a scheduler yield, as in
+// the pthread engines. No test below spawns explicit tasks.
+type barrierOps struct{}
+
+func (barrierOps) BarrierWait(tc *TC)            { tc.Team().Bar.WaitTC(tc, true) }
+func (barrierOps) SpawnTask(tc *TC, n *TaskNode) { ExecTask(tc, n) }
+func (barrierOps) FlushTasks(*TC)                {}
+func (barrierOps) Taskwait(*TC)                  {}
+func (barrierOps) Taskyield(*TC)                 {}
+func (barrierOps) Nested(*TC, *Team)             {}
+func (barrierOps) TryRunTask(*TC) bool           { return false }
+func (barrierOps) Idle(*TC)                      { runtime.Gosched() }
+
+// runBarrierRegion drives one region of the given width through phases
+// explicit barriers, asserting after every barrier that no member was
+// released before all width arrivals of that phase had been counted. Width
+// 2 and 8 exercise the flat path, anything wider the combining tree.
+func runBarrierRegion(t *testing.T, team *Team, width, phases int) {
+	t.Helper()
+	counts := make([]atomic.Int32, phases)
+	body := func(tc *TC) {
+		for ph := 0; ph < phases; ph++ {
+			counts[ph].Add(1)
+			tc.Barrier()
+			if got := counts[ph].Load(); got != int32(width) {
+				t.Errorf("width %d phase %d: released with %d arrivals", width, ph, got)
+			}
+		}
+	}
+	team.prepare(width, 0, team.Cfg, body)
+	var wg sync.WaitGroup
+	for rank := 0; rank < width; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			team.Run(rank, barrierOps{}, nil)
+		}()
+	}
+	wg.Wait()
+}
+
+// TestBarrierWidths sweeps the flat (2, 8) and tree (32) topologies under
+// both wait policies, several regions each so the adaptive EWMA feeds back
+// into later epochs.
+func TestBarrierWidths(t *testing.T) {
+	for _, policy := range []WaitPolicy{PassiveWait, ActiveWait} {
+		for _, width := range []int{2, 8, 32} {
+			team := NewTeam(width, 0, Config{WaitPolicy: policy}, func(*TC) {})
+			for region := 0; region < 3; region++ {
+				runBarrierRegion(t, team, width, 4)
+			}
+		}
+	}
+}
+
+// TestBarrierTreeSurvivesRecycle recycles one descriptor through
+// tree-width and flat-width regions in alternation. The group epochs must
+// stay monotonic across prepare calls — a stale group counter or epoch
+// left over from a wider region must neither release a later region early
+// nor deadlock it — and groupsFor must regrow the group array when the
+// width comes back up.
+func TestBarrierTreeSurvivesRecycle(t *testing.T) {
+	team := NewTeam(32, 0, Config{}, func(*TC) {})
+	for _, width := range []int{32, 8, 32, 2, 16, 32} {
+		runBarrierRegion(t, team, width, 3)
+	}
+}
+
+// TestBarrierSpinBudgetClamps pins the OMP_WAIT_POLICY clamp arithmetic:
+// whatever latency the EWMA has absorbed, a passive team's budget stays in
+// [barrierSpinMin, barrierSpinMaxPassive] and an active team's in
+// [barrierSpinMin, barrierSpinMaxActive], with the no-observation seed
+// doubling to 2*barrierSpinInit.
+func TestBarrierSpinBudgetClamps(t *testing.T) {
+	var b BarrierState
+	if got := b.spinBudget(false); got != 2*barrierSpinInit {
+		t.Errorf("unseeded passive budget = %d, want %d", got, 2*barrierSpinInit)
+	}
+	b.spinEWMA.Store(1 << 30)
+	if got := b.spinBudget(false); got != barrierSpinMaxPassive {
+		t.Errorf("saturated passive budget = %d, want %d", got, barrierSpinMaxPassive)
+	}
+	if got := b.spinBudget(true); got != barrierSpinMaxActive {
+		t.Errorf("saturated active budget = %d, want %d", got, barrierSpinMaxActive)
+	}
+	b.spinEWMA.Store(1)
+	for _, active := range []bool{false, true} {
+		if got := b.spinBudget(active); got != barrierSpinMin {
+			t.Errorf("tiny-EWMA budget (active=%v) = %d, want %d", active, got, barrierSpinMin)
+		}
+	}
+	// observeSpins caps one observation at the active ceiling, so a single
+	// pathological epoch cannot blow the EWMA past recovery.
+	b.spinEWMA.Store(barrierSpinInit)
+	b.observeSpins(1 << 40)
+	if got := b.spinEWMA.Load(); got > barrierSpinInit/4*3+barrierSpinMaxActive/4+1 {
+		t.Errorf("EWMA after capped observation = %d, want <= %d",
+			got, barrierSpinInit/4*3+barrierSpinMaxActive/4+1)
+	}
+}
+
+// TestRandomizedTourExactlyOnce is the determinism check behind the
+// randomized near-first raid tour: producers on every rank of a wide team
+// buffer tasks while several identity-less raiders (Team.StealBufferedTask,
+// whose tour start comes from the team's splitmix seed) claim concurrently.
+// Randomizing where each tour begins must change only the visit order —
+// every buffered task still surfaces exactly once, and the tour must still
+// reach all ranks' rings.
+func TestRandomizedTourExactlyOnce(t *testing.T) {
+	const (
+		producers = 8
+		perRank   = 200
+		raiders   = 3
+		limit     = 32
+		deadline  = 10 * time.Second
+	)
+	team, tcs := raidTeam(producers)
+	total := int32(producers * perRank)
+	var seen [producers * perRank]atomic.Int32
+	var claimed atomic.Int32
+
+	var wg sync.WaitGroup
+	for rank := 0; rank < producers; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tc := tcs[rank]
+			for i := 0; i < perRank; {
+				if tc.BufferedTasks() >= limit-1 {
+					runtime.Gosched()
+					continue
+				}
+				tag := rank*perRank + i
+				node := PrepareTask(tc, func(*TC) { seen[tag].Add(1) })
+				tc.BufferTask(node, limit)
+				i++
+			}
+		}()
+	}
+	start := time.Now()
+	for r := 0; r < raiders; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Identity-less consumer: a fresh TC per claim would be the GLTO
+			// engine's shape; the no-arg Team entry point draws its tour
+			// start from the team seed instead of a rank rotor.
+			sink := NewTC(team, 0, nil, nil, nil)
+			for claimed.Load() < total {
+				if node := team.StealBufferedTask(); node != nil {
+					ExecTask(sink, node)
+					claimed.Add(1)
+					continue
+				}
+				if time.Since(start) > deadline {
+					t.Errorf("raiders claimed %d of %d buffered tasks", claimed.Load(), total)
+					return
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for tag := range seen {
+		if got := seen[tag].Load(); got != 1 {
+			t.Fatalf("task %d executed %d times, want exactly once", tag, got)
+		}
+	}
+	if n := team.BufferedTaskCount(); n != 0 {
+		t.Fatalf("BufferedTaskCount = %d after drain, want 0", n)
+	}
+}

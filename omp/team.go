@@ -66,6 +66,13 @@ type Team struct {
 	// points (the consumer-visible half of the paper's Fig. 14 analysis).
 	rings ringSet
 
+	// tourSeed feeds the splitmix-mixed random tour starts of identity-less
+	// raiders (Team.StealBufferedTask): a plain counter whose mixed value
+	// picks the directory the next tour begins at, so concurrent raiders
+	// with no rank of their own spread over the producers instead of all
+	// starting at rank 0. Raiders with an identity use the TC's rotor.
+	tourSeed atomic.Uint64
+
 	critMu sync.Mutex
 	crit   map[string]*sync.Mutex
 
@@ -396,13 +403,31 @@ func (t *Team) enlistRing(r *taskRing, rank int) { t.rings.add(r, rank) }
 // waiting for the producer's next scheduling point. The claimed node is
 // ready for ExecTask/ExecTaskOn on any team thread.
 //
-// The tour starts at rank 0; engines with a consumer identity should prefer
-// TC.StealBufferedTask (per-consumer rotor) or StealBufferedTaskFrom so
-// concurrent raiders spread over the producers instead of convoying on the
-// lowest published rank.
+// The tour starts at a splitmix-randomized rank (see tourSeed); engines
+// with a consumer identity should prefer TC.StealBufferedTask (per-consumer
+// rotor, which parks on a productive producer) or StealBufferedTaskFrom.
+// Either way concurrent raiders spread over the producers instead of
+// convoying on the lowest published rank.
 func (t *Team) StealBufferedTask() *TaskNode {
-	node, _ := t.stealBuffered(0)
+	if t.rings.resident.Load() <= 0 {
+		return nil // keep the empty fast path one load, no RMW on the seed
+	}
+	start := int(mix64(t.tourSeed.Add(1)) % uint64(t.Size))
+	node, _ := t.stealBuffered(start)
 	return node
+}
+
+// mix64 is the splitmix64 finalizer: a cheap stateless mixer turning a
+// counter into a well-distributed pseudo-random value, so tour starts need
+// no math/rand (and no locked rand state) on the raid hot path.
+func mix64(z uint64) uint64 {
+	z *= 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
 }
 
 // StealBufferedTaskFrom is StealBufferedTask with the directory tour
@@ -415,9 +440,14 @@ func (t *Team) StealBufferedTaskFrom(start int) *TaskNode {
 
 // stealBuffered tours the per-rank ring directories from start and claims
 // the first available task, reporting the rank it was found at so
-// per-consumer rotors can stick with a productive producer. Lock-free on
-// the steady-state path; the spill list's mutex is touched only when a
-// directory overflowed this region.
+// per-consumer rotors can stick with a productive producer. The tour is
+// near-first: after start itself, directories are visited in order of
+// increasing rank distance (start+1, start-1, start+2, ...), so a raider
+// whose start encodes its own locality (a TC rotor, GLTO's stream rank)
+// reaches nearby producers before far ones and concurrent raiders with
+// different starts diverge immediately instead of converging on one victim.
+// Lock-free on the steady-state path; the spill list's mutex is touched
+// only when a directory overflowed this region.
 func (t *Team) stealBuffered(start int) (*TaskNode, int) {
 	rs := &t.rings
 	if rs.resident.Load() <= 0 {
@@ -428,11 +458,18 @@ func (t *Team) stealBuffered(start int) (*TaskNode, int) {
 		if start < 0 {
 			start = 0
 		}
-		for i := 0; i < n; i++ {
-			at := (start + i) % n
-			d := &(*dp)[at]
-			for j := range d.slot {
-				r := d.slot[j].Load()
+		for k := 0; k < n; k++ {
+			// Signed alternation: offsets 0, +1, -1, +2, -2, ... visit each
+			// of the n directories exactly once (for even n the antipode
+			// +n/2 lands on the final, odd k).
+			d := (k + 1) / 2
+			if k%2 == 0 {
+				d = -d
+			}
+			at := ((start+d)%n + n) % n
+			dir := &(*dp)[at]
+			for j := range dir.slot {
+				r := dir.slot[j].Load()
 				if r == nil {
 					break // slots fill densely; nil ends the published prefix
 				}
@@ -604,26 +641,164 @@ func (ct *claimTable) reset() {
 // pick up the producer's tasks while parked at the single construct's
 // barrier.
 //
-// The two words are padded apart: arrivals hammer arrived with RMWs while
-// every waiter spins loading epoch, and sharing a cache line between them
-// made each arrival invalidate every spinner. Waiters use a bounded pure
-// spin on the epoch word before each round of task raids and engine idles
-// (see barrierSpin), so a short barrier costs a handful of loads instead of
-// a task-queue inspection per iteration, and a long one degrades to the
-// engine's wait policy exactly as before.
+// The arrival and epoch words are padded apart: arrivals hammer arrived with
+// RMWs while every waiter spins loading epoch, and sharing a cache line
+// between them made each arrival invalidate every spinner. Two refinements
+// over the fixed-budget flat barrier the seed shipped:
+//
+//   - Adaptive spinning. The pure-spin budget a waiter burns between
+//     task-raid/idle rounds is no longer a constant: each waiter reports how
+//     many spin iterations its release actually took, an EWMA of those
+//     observations (spinEWMA) tracks the team's typical arrival-to-release
+//     window, and the next waiter budgets twice the EWMA — clamped by the
+//     team's OMP_WAIT_POLICY (see spinBudget). Short barriers converge to a
+//     handful of loads before the first task raid; long ones stop wasting
+//     the clamp's worth of spins and reach the engine's Idle (which yields,
+//     and on GLTO is what lets queued task ULTs run) promptly.
+//   - A combining tree for wide teams. Above barrierTreeThreshold ranks,
+//     WaitTC switches to a two-level barrier: ranks arrive at their group's
+//     counter (groups of barrierGroupArity, each on its own pair of padded
+//     cache lines), the last arriver of a group combines one arrival at the
+//     root, and the release fans out group by group — so at width w the
+//     spinners split across ⌈w/arity⌉ epoch words instead of all hammering
+//     one, and each release store invalidates at most arity spinners.
+//
+// Both the flat epoch word and the per-group epochs are monotonic and
+// self-rearming: counters are reset (before any epoch bump — see waitTree)
+// by each release, so the barrier needs no reset across descriptor recycles
+// and a recycled team of a different width simply reuses whatever group
+// prefix it needs.
 type BarrierState struct {
+	arrived atomic.Int64
+	_       [56]byte
+	epoch   atomic.Uint64
+	_       [56]byte
+	// spinEWMA is the adaptive spin state: a racy (atomic but unfenced
+	// read-modify-write) exponentially weighted moving average of observed
+	// arrival-to-release spin counts. Zero means "no observation yet", which
+	// spinBudget treats as barrierSpinInit. Lossy concurrent updates only
+	// make the average favour recent observations harder, which is fine.
+	spinEWMA atomic.Int64
+	_        [56]byte
+	// groups is the lazily built group array of the combining tree, sized to
+	// ⌈size/arity⌉ on first wide use and grown (never shrunk) by CAS. All
+	// members of one barrier agree on the group count, and growth only
+	// happens while no release is in flight, so every participant of a given
+	// barrier resolves the same array.
+	groups atomic.Pointer[[]barrierGroup]
+}
+
+// barrierGroup is one leaf of the combining tree: an arrival counter and an
+// epoch word for up to barrierGroupArity ranks, padded like the root pair so
+// one group's arrivals do not invalidate another group's spinners.
+type barrierGroup struct {
 	arrived atomic.Int64
 	_       [56]byte
 	epoch   atomic.Uint64
 	_       [56]byte
 }
 
-// barrierSpin is the bounded budget of pure epoch-word spins a waiter burns
-// between task-raid/idle rounds. Large enough to ride out another member's
-// arrival-to-release window without touching shared scheduling structures,
-// small enough that a waiter reaches the engine's Idle (which yields or
-// parks, and on GLTO is what lets queued task ULTs run) promptly.
-const barrierSpin = 32
+const (
+	// barrierGroupArity is the rank capacity of one tree-barrier group: at
+	// most this many waiters ever spin on one epoch word.
+	barrierGroupArity = 8
+	// barrierSpinInit seeds the adaptive budget before any observation: the
+	// seed's fixed budget, so unmeasured barriers behave exactly as before.
+	barrierSpinInit = 32
+	// barrierSpinMin floors the budget so a noisy EWMA cannot turn the
+	// barrier into a pure yield loop.
+	barrierSpinMin = 8
+	// barrierSpinMaxPassive caps the budget under OMP_WAIT_POLICY=passive:
+	// waiters should release the processor quickly (§VI-A: spinning
+	// consumers aggravate contention for task parallelism).
+	barrierSpinMaxPassive = 64
+	// barrierSpinMaxActive caps the budget under OMP_WAIT_POLICY=active,
+	// where the user asked waiters to burn cycles for wake-up latency.
+	barrierSpinMaxActive = 4096
+)
+
+// barrierTreeCfg overrides the width threshold above which WaitTC uses the
+// combining tree (0 = the default, barrierGroupArity). Settable only through
+// SetBarrierTreeThreshold.
+var barrierTreeCfg atomic.Int32
+
+func barrierTreeThreshold() int {
+	if v := barrierTreeCfg.Load(); v > 0 {
+		return int(v)
+	}
+	return barrierGroupArity
+}
+
+// SetBarrierTreeThreshold overrides the team width above which WaitTC uses
+// the combining tree barrier instead of the flat epoch word; n <= 0 restores
+// the default (barrierGroupArity). It exists for benchmarks and tests that
+// compare the two shapes (the bench-diff width sweep forces the flat path at
+// width 32 with a huge threshold); call it only while no region is running.
+func SetBarrierTreeThreshold(n int) {
+	if n <= 0 {
+		n = 0
+	}
+	barrierTreeCfg.Store(int32(n))
+}
+
+// spinBudget returns the pure-spin budget for one wait: twice the observed
+// EWMA (so typical jitter around the average still releases within the spin
+// phase), clamped to the wait policy's band.
+func (b *BarrierState) spinBudget(active bool) int64 {
+	e := b.spinEWMA.Load()
+	if e == 0 {
+		e = barrierSpinInit
+	}
+	budget := 2 * e
+	max := int64(barrierSpinMaxPassive)
+	if active {
+		max = barrierSpinMaxActive
+	}
+	if budget > max {
+		budget = max
+	}
+	if budget < barrierSpinMin {
+		budget = barrierSpinMin
+	}
+	return budget
+}
+
+// observeSpins folds one waiter's pure-spin count (task/idle time excluded —
+// the budget models the release latency, not the work done while waiting)
+// into the EWMA with weight 1/4.
+func (b *BarrierState) observeSpins(total int64) {
+	if total > barrierSpinMaxActive {
+		total = barrierSpinMaxActive
+	}
+	e := b.spinEWMA.Load()
+	if e == 0 {
+		e = barrierSpinInit
+	}
+	b.spinEWMA.Store((3*e + total) / 4)
+}
+
+// groupsFor returns a group array of at least n entries, installing or
+// growing it by CAS. Safe to race: losers reload the winner's array, and all
+// participants of one barrier call with the same n before any of them can
+// arrive, so a barrier never straddles two arrays. Epochs are carried over
+// on growth to stay monotonic across recycles.
+func (b *BarrierState) groupsFor(n int) []barrierGroup {
+	for {
+		gp := b.groups.Load()
+		if gp != nil && len(*gp) >= n {
+			return *gp
+		}
+		fresh := make([]barrierGroup, n)
+		if gp != nil {
+			for i := range *gp {
+				fresh[i].epoch.Store((*gp)[i].epoch.Load())
+			}
+		}
+		if b.groups.CompareAndSwap(gp, &fresh) {
+			return fresh
+		}
+	}
+}
 
 // Wait blocks until all size participants have arrived and, if tasks is
 // non-nil, until it has drained to zero. While waiting, tryTask (if non-nil)
@@ -631,6 +806,10 @@ const barrierSpin = 32
 // (spin hint, cooperative yield, ...).
 //
 // The last arriver performs the release; everyone else helps with tasks.
+// Wait always uses the flat arrival word with the passive spin clamp — it
+// has neither a rank (which the tree's group assignment needs) nor a wait
+// policy. Engine barriers go through WaitTC, which has both; do not mix Wait
+// and WaitTC on one BarrierState for teams wider than the tree threshold.
 func (b *BarrierState) Wait(size int, tasks *atomic.Int64, tryTask func() bool, idle func()) {
 	epoch := b.epoch.Load()
 	if b.arrived.Add(1) == int64(size) {
@@ -644,10 +823,12 @@ func (b *BarrierState) Wait(size int, tasks *atomic.Int64, tryTask func() bool, 
 		b.epoch.Add(1)
 		return
 	}
-	spins := 0
+	budget := b.spinBudget(false)
+	spins, total := int64(0), int64(0)
 	for b.epoch.Load() == epoch {
-		if spins < barrierSpin {
+		if spins < budget {
 			spins++
+			total++
 			continue
 		}
 		spins = 0
@@ -655,6 +836,7 @@ func (b *BarrierState) Wait(size int, tasks *atomic.Int64, tryTask func() bool, 
 			idle()
 		}
 	}
+	b.observeSpins(total)
 }
 
 // WaitTC is Wait specialized for an engine's BarrierWait: it drives the
@@ -665,8 +847,16 @@ func (b *BarrierState) Wait(size int, tasks *atomic.Int64, tryTask func() bool, 
 // deques, and GLTO (whose dispatched task ULTs run under the stream
 // scheduler between yields) still raids the overflow rings inline. Pass
 // false only for an engine whose TryRunTask must never run at a barrier.
+//
+// The spin budget adapts to the team's observed release latency under the
+// clamp of the team's OMP_WAIT_POLICY, and teams wider than the tree
+// threshold arrive through the combining tree (see BarrierState).
 func (b *BarrierState) WaitTC(tc *TC, runTasks bool) {
 	team := tc.team
+	if team.Size > barrierTreeThreshold() {
+		b.waitTree(tc, runTasks)
+		return
+	}
 	epoch := b.epoch.Load()
 	if b.arrived.Add(1) == int64(team.Size) {
 		for team.Tasks.Load() > 0 {
@@ -678,10 +868,12 @@ func (b *BarrierState) WaitTC(tc *TC, runTasks bool) {
 		b.epoch.Add(1)
 		return
 	}
-	spins := 0
+	budget := b.spinBudget(team.Cfg.WaitPolicy == ActiveWait)
+	spins, total := int64(0), int64(0)
 	for b.epoch.Load() == epoch {
-		if spins < barrierSpin {
+		if spins < budget {
 			spins++
+			total++
 			continue
 		}
 		spins = 0
@@ -689,4 +881,65 @@ func (b *BarrierState) WaitTC(tc *TC, runTasks bool) {
 			tc.ops.Idle(tc)
 		}
 	}
+	b.observeSpins(total)
+}
+
+// waitTree is the wide-team arrival path: rank-assigned groups combine
+// arrivals toward the root counter, and every waiter spins on its own
+// group's epoch word only.
+//
+// Release ordering is the one subtlety: the last arriver resets every
+// arrival counter BEFORE bumping any epoch. A released member can re-enter
+// the next barrier while slower members of other groups are still spinning
+// on the previous epoch value, and its arrival must land on a counter that
+// has already been reset; a spinner from the previous epoch that misses an
+// intermediate value simply observes epoch != snapshot one bump later
+// (epochs only move forward, and waiters compare for inequality).
+func (b *BarrierState) waitTree(tc *TC, runTasks bool) {
+	team := tc.team
+	size := team.Size
+	ngroups := (size + barrierGroupArity - 1) / barrierGroupArity
+	groups := b.groupsFor(ngroups)
+	gi := tc.num / barrierGroupArity
+	g := &groups[gi]
+	gsize := size - gi*barrierGroupArity
+	if gsize > barrierGroupArity {
+		gsize = barrierGroupArity
+	}
+	epoch := g.epoch.Load()
+	if g.arrived.Add(1) == int64(gsize) {
+		// Last of the group: combine one arrival at the root.
+		if b.arrived.Add(1) == int64(ngroups) {
+			// Last arriver of the whole team: drain the region's tasks, then
+			// reset all counters and fan the release out over the groups.
+			for team.Tasks.Load() > 0 {
+				if !runTasks || !tc.ops.TryRunTask(tc) {
+					tc.ops.Idle(tc)
+				}
+			}
+			b.arrived.Store(0)
+			for i := 0; i < ngroups; i++ {
+				groups[i].arrived.Store(0)
+			}
+			b.epoch.Add(1) // keep the flat word monotonic alongside the tree
+			for i := 0; i < ngroups; i++ {
+				groups[i].epoch.Add(1)
+			}
+			return
+		}
+	}
+	budget := b.spinBudget(team.Cfg.WaitPolicy == ActiveWait)
+	spins, total := int64(0), int64(0)
+	for g.epoch.Load() == epoch {
+		if spins < budget {
+			spins++
+			total++
+			continue
+		}
+		spins = 0
+		if !runTasks || !tc.ops.TryRunTask(tc) {
+			tc.ops.Idle(tc)
+		}
+	}
+	b.observeSpins(total)
 }
