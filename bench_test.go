@@ -15,6 +15,7 @@ import (
 	"repro/glt/qth/feb"
 	"repro/internal/cg"
 	"repro/internal/cloverleaf"
+	"repro/internal/dataflow"
 	"repro/internal/harness"
 	"repro/internal/pthread"
 	"repro/internal/uts"
@@ -477,6 +478,44 @@ func BenchmarkTaskSpawn(b *testing.B) {
 				run()
 			}
 			b.ReportMetric(tasks, "tasks/op")
+		})
+	}
+}
+
+// BenchmarkDepWavefront: the dependence subsystem's end-to-end cost — one
+// sparse triangular solve per op, scheduled purely by depend clauses: a
+// single producer registers the chunk DAG (address-map lookups + lock-free
+// edge adds), parked tasks release through EngineOps.ReleaseTask as
+// predecessors drop their last reference, and released tasks flow through
+// the ordinary queue/ring/steal fabric. The problem shape is fixed (4000
+// rows, 50-row chunks) so the series tracks subsystem overhead, not kernel
+// FLOPS; releases/op confirms the DAG actually parked (≈ chunks-1 when the
+// producer outruns the consumers). BENCH_dep_wavefront.json records the
+// trajectory via the bench-diff harness.
+func BenchmarkDepWavefront(b *testing.B) {
+	w := dataflow.NewWavefront(4000, 50, 7)
+	variants := []harness.Variant{
+		{Label: "GCC", Runtime: "gomp"},
+		{Label: "Intel", Runtime: "iomp"},
+		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+		{Label: "GLTO(WS)", Runtime: "glto", Backend: "ws"},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.Label, func(b *testing.B) {
+			rt := newRT(b, v, nil)
+			run := func() { w.SolveTasks(rt, benchThreads) }
+			for i := 0; i < 3; i++ {
+				run() // warm descriptor pools, trackers, unit caches
+			}
+			rt.ResetStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(rt.Stats().DepReleases)/float64(b.N), "releases/op")
 		})
 	}
 }

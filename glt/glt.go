@@ -296,6 +296,16 @@ func (rt *Runtime) SpawnDetachedTasklet(target int, fn Func) {
 	rt.spawnDetached(-1, target, fn, true)
 }
 
+// SpawnDetachedArg is SpawnDetached with a payload (recovered in the body via
+// Ctx.Arg) and no originating stream: the descriptor comes from the shared
+// free list, so it is safe to call from any goroutine, including ones that
+// are not executing on a GLT stream at all (GLTO's dependence release fires
+// from whichever thread drops a task's last reference). tasklet selects the
+// stackless kind.
+func (rt *Runtime) SpawnDetachedArg(target int, fn Func, arg any, tasklet bool) {
+	rt.spawnDetachedArg(-1, target, fn, arg, tasklet)
+}
+
 func (rt *Runtime) spawnDetached(from, target int, fn Func, tasklet bool) {
 	rt.spawnDetachedArg(from, target, fn, nil, tasklet)
 }

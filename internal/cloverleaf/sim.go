@@ -194,6 +194,13 @@ func (serialOps) BarrierWait(tc *omp.TC) {
 	team.Bar.Wait(1, &team.Tasks, nil, func() {})
 }
 func (serialOps) SpawnTask(tc *omp.TC, node *omp.TaskNode) { omp.ExecTask(tc, node) }
+
+// ReleaseTask can never fire under serial execution (every task completes at
+// its spawn site, so no dependence ever defers); run the task inline on the
+// team's rank-0 context if it somehow does.
+func (serialOps) ReleaseTask(team *omp.Team, node *omp.TaskNode) {
+	omp.ExecTaskOn(team, 0, serialOps{}, nil, node)
+}
 func (serialOps) FlushTasks(tc *omp.TC)                    {}
 func (serialOps) Taskwait(tc *omp.TC)                      {}
 func (serialOps) TryRunTask(tc *omp.TC) bool               { return false }

@@ -366,6 +366,8 @@ func (rt *Runtime) Stats() omp.Stats {
 		TaskFlushes:           rt.flushes.Load(),
 		TasksStolen:           gs.Migrations + rt.stolen.Load(),
 		TasksStolenFromBuffer: rt.bufStolen.Load(),
+		TasksWithDeps:         rt.TasksWithDeps(),
+		DepReleases:           rt.DepReleases(),
 	}
 }
 
@@ -379,6 +381,7 @@ func (rt *Runtime) ResetStats() {
 	rt.flushes.Store(0)
 	rt.stolen.Store(0)
 	rt.bufStolen.Store(0)
+	rt.ResetDepStats()
 	rt.g.ResetStats()
 }
 
@@ -529,6 +532,23 @@ func (e *engine) FlushTasks(tc *omp.TC) {
 	clear(nodes)
 	fb.targets, fb.args = targets[:0], args[:0]
 	e.rt.flushBufs.Put(fb)
+}
+
+// ReleaseTask dispatches a task whose last dependence was just satisfied as
+// a detached GLT unit carrying the node as its payload (the shared taskBody
+// recovers it via Ctx.Arg). The releaser may be any goroutine — a worker
+// mid-Release, or a stream scheduler — so the spawn takes the no-origin path
+// through the shared descriptor free list; the unit targets the creator's
+// stream (round-robin for single/master spawners, mirroring taskTarget) and
+// from there obeys the policy's ordinary steal/migration rules.
+func (e *engine) ReleaseTask(team *omp.Team, node *omp.TaskNode) {
+	e.rt.tasks.Add(1)
+	e.rt.ults.Add(1)
+	target := node.CreatedBy % e.rt.g.NumThreads()
+	if node.InSingleMaster {
+		target = int(e.rt.rr.Add(1)-1) % e.rt.g.NumThreads()
+	}
+	e.rt.g.SpawnDetachedArg(target, e.rt.taskBody, node, e.rt.cfg.Tasklets)
 }
 
 // TryRunTask raids the team's producer-side overflow rings and executes one

@@ -1,0 +1,387 @@
+// Package dataflow implements the dependence-driven workload family of the
+// task-dependence subsystem (omp.In/Out/InOut): kernels whose parallelism a
+// flat task pool cannot express because the legal schedule is a DAG, not a
+// bag.
+//
+// Two workloads are provided, each with a serial oracle:
+//
+//   - Cholesky: a right-looking tiled dense Cholesky factorization. Each
+//     tile kernel (POTRF, TRSM, SYRK, GEMM) becomes one task whose depend
+//     clauses name the tiles it reads and writes, so the runtime discovers
+//     the classic factorization DAG — a shrinking trailing-matrix wavefront
+//     with O(nt²) width — from pairwise clauses alone. This is the blocked
+//     solver shape of the sparse/real-time literature (PIQP's KKT
+//     factorizations, imuQP's active-set updates) that motivates depend
+//     clauses in the first place.
+//
+//   - Wavefront: a sparse lower-triangular solve (forward substitution)
+//     over row chunks. Chunk c reads the solution entries its rows
+//     reference in earlier chunks (In) and produces its own (Out); the
+//     matrix's sparsity pattern *is* the dependence graph, and the runtime
+//     executes its antichains — the wavefronts — in parallel.
+//
+// Both parallel drivers are constructed to be bitwise-reproducible against
+// their serial oracle: every floating-point accumulation happens inside one
+// task in a fixed order, and tasks touching the same data are ordered by
+// dependences in creation order, which matches the serial loop nest. Tests
+// therefore compare results with ==, not a tolerance — any scheduling bug
+// that lets a task run early shows up as a hard mismatch.
+package dataflow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+	"repro/omp"
+)
+
+// ---------------------------------------------------------------------------
+// Tiled dense Cholesky.
+
+// Cholesky is a blocked Cholesky problem: an SPD matrix held as a lower
+// triangle of b×b tiles.
+type Cholesky struct {
+	// N is the matrix dimension, B the tile size; N must be a multiple of B.
+	N, B int
+	// NT is the tile grid dimension (N/B).
+	NT int
+	// A holds the input tiles: A[i*NT+j] is block (i,j), row-major b×b,
+	// allocated for i >= j only (the factorization never reads the strict
+	// upper triangle).
+	A [][]float64
+}
+
+// NewCholesky builds an nt×nt tile grid of b×b tiles over a synthetic dense
+// SPD matrix (sparse.GenDenseSPD), deterministic in seed.
+func NewCholesky(nt, b int, seed uint64) *Cholesky {
+	n := nt * b
+	dense := sparse.GenDenseSPD(n, seed)
+	c := &Cholesky{N: n, B: b, NT: nt, A: make([][]float64, nt*nt)}
+	for i := 0; i < nt; i++ {
+		for j := 0; j <= i; j++ {
+			t := make([]float64, b*b)
+			for r := 0; r < b; r++ {
+				copy(t[r*b:(r+1)*b], dense[(i*b+r)*n+j*b:(i*b+r)*n+(j+1)*b])
+			}
+			c.A[i*nt+j] = t
+		}
+	}
+	return c
+}
+
+// clone copies the tile grid so a factorization never destroys the input.
+func (c *Cholesky) clone() [][]float64 {
+	t := make([][]float64, len(c.A))
+	for i, src := range c.A {
+		if src != nil {
+			t[i] = append([]float64(nil), src...)
+		}
+	}
+	return t
+}
+
+// potrf factors tile a in place: a = L·Lᵀ, lower triangle, unblocked.
+func potrf(a []float64, b int) {
+	for j := 0; j < b; j++ {
+		d := a[j*b+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*b+k] * a[j*b+k]
+		}
+		d = math.Sqrt(d)
+		a[j*b+j] = d
+		for i := j + 1; i < b; i++ {
+			s := a[i*b+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*b+k] * a[j*b+k]
+			}
+			a[i*b+j] = s / d
+		}
+	}
+}
+
+// trsm solves a·Lᵀ = a in place against the factored diagonal tile l:
+// the panel update of the sub-diagonal tiles.
+func trsm(l, a []float64, b int) {
+	for r := 0; r < b; r++ {
+		for j := 0; j < b; j++ {
+			s := a[r*b+j]
+			for k := 0; k < j; k++ {
+				s -= a[r*b+k] * l[j*b+k]
+			}
+			a[r*b+j] = s / l[j*b+j]
+		}
+	}
+}
+
+// syrk updates a diagonal tile: c -= a·aᵀ, lower triangle only.
+func syrk(a, c []float64, b int) {
+	for i := 0; i < b; i++ {
+		for j := 0; j <= i; j++ {
+			s := c[i*b+j]
+			for k := 0; k < b; k++ {
+				s -= a[i*b+k] * a[j*b+k]
+			}
+			c[i*b+j] = s
+		}
+	}
+}
+
+// gemm updates an off-diagonal tile: c -= a·btᵀ.
+func gemm(a, bt, c []float64, b int) {
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := c[i*b+j]
+			for k := 0; k < b; k++ {
+				s -= a[i*b+k] * bt[j*b+k]
+			}
+			c[i*b+j] = s
+		}
+	}
+}
+
+// FactorSerial runs the right-looking tiled factorization on one goroutine
+// and returns the factor tiles (L in the lower triangle). It is the oracle:
+// the task driver must reproduce it bitwise.
+func (c *Cholesky) FactorSerial() [][]float64 {
+	t := c.clone()
+	nt, b := c.NT, c.B
+	for k := 0; k < nt; k++ {
+		potrf(t[k*nt+k], b)
+		for i := k + 1; i < nt; i++ {
+			trsm(t[k*nt+k], t[i*nt+k], b)
+		}
+		for i := k + 1; i < nt; i++ {
+			syrk(t[i*nt+k], t[i*nt+i], b)
+			for j := k + 1; j < i; j++ {
+				gemm(t[i*nt+k], t[j*nt+k], t[i*nt+j], b)
+			}
+		}
+	}
+	return t
+}
+
+// FactorTasks runs the same factorization as a task DAG on rt: one task per
+// tile kernel, ordered only by In/InOut clauses on the tile slots. A single
+// thread creates all O(nt³) tasks in the serial loop order (one dependence
+// domain); the depend clauses let every kernel start the moment its operand
+// tiles are final, so independent panels of the trailing matrix factor
+// concurrently.
+func (c *Cholesky) FactorTasks(rt omp.Runtime, threads int) [][]float64 {
+	t := c.clone()
+	nt, b := c.NT, c.B
+	rt.ParallelN(threads, func(tc *omp.TC) {
+		tc.Single(func() {
+			for k := 0; k < nt; k++ {
+				kk := &t[k*nt+k]
+				tc.Task(func(*omp.TC) { potrf(*kk, b) }, omp.InOut(kk))
+				for i := k + 1; i < nt; i++ {
+					ik := &t[i*nt+k]
+					tc.Task(func(*omp.TC) { trsm(*kk, *ik, b) },
+						omp.In(kk), omp.InOut(ik))
+				}
+				for i := k + 1; i < nt; i++ {
+					ik := &t[i*nt+k]
+					ii := &t[i*nt+i]
+					tc.Task(func(*omp.TC) { syrk(*ik, *ii, b) },
+						omp.In(ik), omp.InOut(ii))
+					for j := k + 1; j < i; j++ {
+						jk := &t[j*nt+k]
+						ij := &t[i*nt+j]
+						tc.Task(func(*omp.TC) { gemm(*ik, *jk, *ij, b) },
+							omp.In(ik, jk), omp.InOut(ij))
+					}
+				}
+			}
+		})
+		// The region's end barrier drains the DAG: parked tasks are counted
+		// in the team's task counter from creation, so no explicit taskwait
+		// is needed.
+	})
+	return t
+}
+
+// CholeskyNumTasks reports the DAG size of an nt-tile factorization: nt
+// POTRF, nt(nt-1)/2 each TRSM and SYRK, and nt(nt-1)(nt-2)/6 GEMM.
+func CholeskyNumTasks(nt int) int {
+	return nt + nt*(nt-1) + nt*(nt-1)*(nt-2)/6
+}
+
+// Verify checks that tiles is a correct factor of c's input: it rebuilds
+// L·Lᵀ from the lower-triangle tiles and compares against the original
+// matrix within a norm-scaled tolerance. This validates the oracle itself;
+// driver-vs-oracle comparison is exact and done by the caller.
+func (c *Cholesky) Verify(tiles [][]float64) error {
+	nt, b := c.NT, c.B
+	lEntry := func(i, j int) float64 {
+		if j > i {
+			return 0
+		}
+		ti, tj := i/b, j/b
+		if ti == tj && j%b > i%b {
+			return 0
+		}
+		return tiles[ti*nt+tj][(i%b)*b+j%b]
+	}
+	aEntry := func(i, j int) float64 {
+		if j > i {
+			i, j = j, i
+		}
+		return c.A[(i/b)*nt+j/b][(i%b)*b+j%b]
+	}
+	for i := 0; i < c.N; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += lEntry(i, k) * lEntry(j, k)
+			}
+			want := aEntry(i, j)
+			scale := math.Abs(want) + 1
+			if math.Abs(s-want) > 1e-9*scale {
+				return fmt.Errorf("cholesky: (L·Lᵀ)[%d,%d] = %v, want %v", i, j, s, want)
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Dependence-driven wavefront: sparse lower-triangular solve.
+
+// Wavefront is a sparse forward-substitution problem L·x = b over row
+// chunks, with the chunk-level dependence graph precomputed from the
+// sparsity pattern.
+type Wavefront struct {
+	// L is the lower-triangular operator (diagonal included, nonzero by
+	// construction).
+	L *sparse.CSR
+	// B is the right-hand side, chosen so the exact solution is all ones.
+	B []float64
+	// Chunk is the rows-per-task granularity.
+	Chunk int
+	// preds[c] lists the earlier chunks whose solution entries chunk c's
+	// rows reference — c's In set; c itself is its Out.
+	preds [][]int
+}
+
+// NewWavefront builds a wavefront problem over the lower triangle of the
+// synthetic SPD operator (sparse.GenSPD with the CG workload's shape),
+// deterministic in seed.
+func NewWavefront(n, chunk int, seed uint64) *Wavefront {
+	if chunk <= 0 {
+		chunk = 64
+	}
+	m := sparse.GenSPD(n, 24, 256, seed)
+	l := m.Lower()
+	// b = L·1 makes the exact solution the all-ones vector.
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := make([]float64, n)
+	l.Mul(ones, b)
+	w := &Wavefront{L: l, B: b, Chunk: chunk}
+	nc := (n + chunk - 1) / chunk
+	w.preds = make([][]int, nc)
+	seen := make([]int, nc) // seen[p] == c+1 ⇒ p already recorded for c
+	for c := 0; c < nc; c++ {
+		lo, hi := c*chunk, min((c+1)*chunk, n)
+		for i := lo; i < hi; i++ {
+			for k := l.RowPtr[i]; k < l.RowPtr[i+1]; k++ {
+				j := int(l.ColIdx[k])
+				if j >= lo {
+					break // within-chunk (and diagonal) columns: no edge
+				}
+				p := j / chunk
+				if seen[p] != c+1 {
+					seen[p] = c + 1
+					w.preds[c] = append(w.preds[c], p)
+				}
+			}
+		}
+	}
+	return w
+}
+
+// NumChunks reports the task count of one solve.
+func (w *Wavefront) NumChunks() int { return len(w.preds) }
+
+// DepEdges reports the total chunk-level dependence edge count — the
+// number of In clauses the task driver issues.
+func (w *Wavefront) DepEdges() int {
+	n := 0
+	for _, p := range w.preds {
+		n += len(p)
+	}
+	return n
+}
+
+// solveRows runs forward substitution over rows [lo,hi), reading earlier x
+// entries and writing its own. Accumulation is in column order — the same
+// order for the serial oracle and the task driver.
+func (w *Wavefront) solveRows(lo, hi int, x []float64) {
+	l := w.L
+	for i := lo; i < hi; i++ {
+		s := w.B[i]
+		var diag float64
+		for k := l.RowPtr[i]; k < l.RowPtr[i+1]; k++ {
+			j := int(l.ColIdx[k])
+			if j == i {
+				diag = l.Values[k]
+				break
+			}
+			s -= l.Values[k] * x[j]
+		}
+		x[i] = s / diag
+	}
+}
+
+// SolveSerial runs forward substitution on one goroutine — the oracle.
+func (w *Wavefront) SolveSerial() []float64 {
+	x := make([]float64, w.L.N)
+	w.solveRows(0, w.L.N, x)
+	return x
+}
+
+// SolveTasks runs the chunk-level dependence-driven solve on rt: one task
+// per row chunk, In on every earlier chunk its rows read, Out on itself.
+// The producer emits chunks in row order; the runtime schedules each
+// wavefront (the antichains of the chunk DAG) in parallel as predecessors
+// release.
+func (w *Wavefront) SolveTasks(rt omp.Runtime, threads int) []float64 {
+	n := w.L.N
+	x := make([]float64, n)
+	// tok[c] is chunk c's dependence address: one byte per chunk, so the
+	// depend clauses name stable, distinct addresses without touching x.
+	tok := make([]byte, len(w.preds))
+	rt.ParallelN(threads, func(tc *omp.TC) {
+		tc.Single(func() {
+			for c := range w.preds {
+				lo, hi := c*w.Chunk, min((c+1)*w.Chunk, n)
+				opts := make([]omp.TaskOpt, 0, 2)
+				if ps := w.preds[c]; len(ps) > 0 {
+					addrs := make([]any, len(ps))
+					for i, p := range ps {
+						addrs[i] = &tok[p]
+					}
+					opts = append(opts, omp.In(addrs...))
+				}
+				opts = append(opts, omp.Out(&tok[c]))
+				tc.Task(func(*omp.TC) { w.solveRows(lo, hi, x) }, opts...)
+			}
+		})
+	})
+	return x
+}
+
+// Verify checks x against the known all-ones exact solution within a
+// tolerance scaled by the operator's conditioning slack. Tests additionally
+// compare the task solve against SolveSerial bitwise.
+func (w *Wavefront) Verify(x []float64) error {
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-8 {
+			return fmt.Errorf("wavefront: x[%d] = %v, want 1", i, v)
+		}
+	}
+	return nil
+}

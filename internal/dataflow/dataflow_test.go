@@ -1,0 +1,108 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/omp"
+	"repro/openmp"
+)
+
+// backends is the four-runtime matrix every dataflow workload must match
+// its serial oracle on (the acceptance matrix of the dependence subsystem).
+var backends = []struct {
+	label, rtName, backend string
+}{
+	{"gomp", "gomp", ""},
+	{"iomp", "iomp", ""},
+	{"glto-abt", "glto", "abt"},
+	{"glto-ws", "glto", "ws"},
+}
+
+func eachBackend(t *testing.T, fn func(t *testing.T, rt omp.Runtime)) {
+	for _, b := range backends {
+		t.Run(b.label, func(t *testing.T) {
+			rt, err := openmp.New(b.rtName, omp.Config{
+				NumThreads: 4, Backend: b.backend, Nested: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Shutdown()
+			fn(t, rt)
+		})
+	}
+}
+
+func TestCholeskySerialOracle(t *testing.T) {
+	c := NewCholesky(6, 16, 1)
+	if err := c.Verify(c.FactorSerial()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyTasksMatchSerial(t *testing.T) {
+	c := NewCholesky(8, 12, 3)
+	want := c.FactorSerial()
+	eachBackend(t, func(t *testing.T, rt omp.Runtime) {
+		got := c.FactorTasks(rt, 4)
+		for idx, tile := range want {
+			if tile == nil {
+				continue
+			}
+			for e, v := range tile {
+				if got[idx][e] != v {
+					t.Fatalf("tile %d entry %d: got %v, want %v (bitwise mismatch)",
+						idx, e, got[idx][e], v)
+				}
+			}
+		}
+		s := rt.Stats()
+		if want := int64(CholeskyNumTasks(c.NT)); s.TasksWithDeps < want {
+			t.Errorf("TasksWithDeps = %d, want at least %d", s.TasksWithDeps, want)
+		}
+	})
+}
+
+func TestWavefrontSerialOracle(t *testing.T) {
+	w := NewWavefront(2000, 64, 1)
+	if err := w.Verify(w.SolveSerial()); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumChunks() < 2 || w.DepEdges() == 0 {
+		t.Fatalf("degenerate wavefront: %d chunks, %d edges", w.NumChunks(), w.DepEdges())
+	}
+}
+
+func TestWavefrontTasksMatchSerial(t *testing.T) {
+	w := NewWavefront(3000, 50, 7)
+	want := w.SolveSerial()
+	eachBackend(t, func(t *testing.T, rt omp.Runtime) {
+		got := w.SolveTasks(rt, 4)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("x[%d]: got %v, want %v (bitwise mismatch)", i, got[i], want[i])
+			}
+		}
+		if err := w.Verify(got); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+// TestWavefrontDepReleasesCounted checks the accounting satellite end to
+// end: a chunk chain with real edges must report both counters through the
+// runtime's Stats.
+func TestWavefrontDepReleasesCounted(t *testing.T) {
+	w := NewWavefront(2000, 64, 9)
+	eachBackend(t, func(t *testing.T, rt omp.Runtime) {
+		rt.ResetStats()
+		w.SolveTasks(rt, 4)
+		s := rt.Stats()
+		if s.TasksWithDeps < int64(w.NumChunks()) {
+			t.Errorf("TasksWithDeps = %d, want at least %d", s.TasksWithDeps, w.NumChunks())
+		}
+		if s.DepReleases == 0 {
+			t.Error("DepReleases = 0: no task was ever parked and released")
+		}
+	})
+}

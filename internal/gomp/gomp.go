@@ -116,6 +116,8 @@ func (rt *Runtime) Stats() omp.Stats {
 		TaskFlushes:           rt.flushes.Load(),
 		TasksStolen:           rt.stolen.Load(),
 		TasksStolenFromBuffer: rt.bufStolen.Load(),
+		TasksWithDeps:         rt.TasksWithDeps(),
+		DepReleases:           rt.DepReleases(),
 	}
 }
 
@@ -130,6 +132,7 @@ func (rt *Runtime) ResetStats() {
 	rt.flushes.Store(0)
 	rt.stolen.Store(0)
 	rt.bufStolen.Store(0)
+	rt.ResetDepStats()
 }
 
 // engine implements omp.EngineOps for the GNU-like runtime. One instance per
@@ -199,6 +202,20 @@ func (e *engine) FlushTasks(tc *omp.TC) {
 	// The queue owns the nodes now; clear the TC's pooled buffer slots so
 	// they do not retain finished tasks.
 	clear(nodes)
+}
+
+// ReleaseTask enqueues a task whose last dependence was just satisfied by a
+// predecessor's completion. The releaser may be any thread of the team (or a
+// thread with no TC at all, if the last reference was dropped by a stealer's
+// Release), so the task goes straight to the shared team queue — the one
+// structure every member polls — rather than through any producer-side
+// buffer.
+func (e *engine) ReleaseTask(team *omp.Team, node *omp.TaskNode) {
+	e.rt.tasksQueued.Add(1)
+	ts := e.tasksOf(team)
+	ts.mu.Lock()
+	ts.q = append(ts.q, node)
+	ts.mu.Unlock()
 }
 
 func (e *engine) tryRunTask(tc *omp.TC) bool {

@@ -1,7 +1,7 @@
 // bench-diff is the trajectory-tracking harness mode (ROADMAP item 5,
-// minimal version): it re-runs the four tracked microbenchmarks —
-// RegionRespawn, TaskSpawn, ConsumerContention and Barrier, the same shapes
-// as their testing.B counterparts in bench_test.go — appends a
+// minimal version): it re-runs the five tracked microbenchmarks —
+// RegionRespawn, TaskSpawn, ConsumerContention, Barrier and DepWavefront,
+// the same shapes as their testing.B counterparts in bench_test.go — appends a
 // {commit, host, results} point to the per-benchmark BENCH_*.json
 // trajectory files, and exits non-zero when any series regressed by more
 // than 25% against the last recorded point taken on the same host shape
@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dataflow"
 	"repro/omp"
 )
 
@@ -127,6 +128,33 @@ func benchTaskSpawn(cfg Config, reps int) (map[string]benchSeries, error) {
 		}
 		out[v.Label] = benchSeries{"ns_per_op": medianNsPerOp(reps, iters, run)}
 		rt.Shutdown()
+	}
+	return out, nil
+}
+
+// benchDepWavefront mirrors BenchmarkDepWavefront: one dependence-driven
+// sparse triangular solve per op — the chunk DAG discovered from depend
+// clauses, parked tasks released through EngineOps.ReleaseTask — at a fixed
+// problem shape so the series tracks dependence-subsystem overhead, not
+// kernel FLOPS.
+func benchDepWavefront(cfg Config, reps int) (map[string]benchSeries, error) {
+	iters := scaledIters(cfg, 100, 3)
+	w := dataflow.NewWavefront(4000, 50, 7)
+	out := map[string]benchSeries{}
+	for _, v := range benchDiffVariants {
+		rt, err := v.New(4, nil)
+		if err != nil {
+			return nil, err
+		}
+		run := func() { w.SolveTasks(rt, 4) }
+		for i := 0; i < 3; i++ {
+			run() // warm descriptor pools, trackers, unit caches
+		}
+		rt.ResetStats()
+		ns := medianNsPerOp(reps, iters, run)
+		rel := float64(rt.Stats().DepReleases) / float64(reps*iters)
+		rt.Shutdown()
+		out[v.Label] = benchSeries{"ns_per_op": ns, "releases_per_op": rel}
 	}
 	return out, nil
 }
@@ -310,6 +338,7 @@ func runBenchDiff(cfg Config) error {
 		{"task_spawn", benchTaskSpawn},
 		{"consumer_contention", benchConsumerContention},
 		{"barrier", benchBarrier},
+		{"dep_wavefront", benchDepWavefront},
 	}
 	commit := benchDiffCommit()
 	host := benchDiffHost()

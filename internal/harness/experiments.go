@@ -10,6 +10,7 @@ import (
 	_ "repro/glt/backends"
 	"repro/internal/cg"
 	"repro/internal/cloverleaf"
+	"repro/internal/dataflow"
 	"repro/internal/uts"
 	"repro/internal/validation"
 	"repro/omp"
@@ -197,7 +198,7 @@ func init() {
 			}
 			const outer = 100
 			tbl := NewTable(fmt.Sprintf("Nested thread accounting, OMP_NUM_THREADS=%d, outer=%d", n, outer),
-				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused", "StolenUnits", "Allocs/Region", "Allocs/Task", "BufferSteals"})
+				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused", "StolenUnits", "Allocs/Region", "Allocs/Task", "BufferSteals", "TasksWithDeps", "DepReleases"})
 			// The paper's Table II lists GCC, Intel and GLTO once (the GLT
 			// backend does not change the thread/ULT accounting); this report
 			// keeps one GLTO row per backend so the scheduling-engine
@@ -223,6 +224,14 @@ func init() {
 				// The task storm above is what exercises the overflow rings:
 				// how many of its tasks idle consumers claimed mid-burst.
 				tbl.Set(label, "BufferSteals", fmt.Sprint(rt.Stats().TasksStolenFromBuffer))
+				// A small dependence-driven wavefront exercises the depend
+				// accounting: tasks created with depend clauses, and how many
+				// of them a predecessor's completion had to release.
+				rt.ResetStats()
+				dataflow.NewWavefront(2000, 64, 7).SolveTasks(rt, min(n, 8))
+				ds := rt.Stats()
+				tbl.Set(label, "TasksWithDeps", fmt.Sprint(ds.TasksWithDeps))
+				tbl.Set(label, "DepReleases", fmt.Sprint(ds.DepReleases))
 				if v.Runtime == "glto" {
 					tbl.Set(label, "CreatedThreads", fmt.Sprint(n))
 					tbl.Set(label, "ReusedThreads", "0")
@@ -329,6 +338,69 @@ func init() {
 			}
 			tbl.Render(cfg.Out)
 			steals.Render(cfg.Out)
+			return nil
+		},
+	})
+
+	register(Experiment{
+		ID:    "dataflow",
+		Title: "Task dependences: tiled Cholesky and sparse triangular wavefront vs. serial",
+		Run: func(cfg Config) error {
+			cfg = cfg.withDefaults()
+			reps := repsOr(cfg, 3)
+			variants := []Variant{
+				{"GCC", "gomp", ""},
+				{"Intel", "iomp", ""},
+				{"GLTO(ABT)", "glto", "abt"},
+				{"GLTO(WS)", "glto", "ws"},
+			}
+			labels := append([]string{"Serial"}, variantLabels(variants)...)
+
+			nt := scaleInt(14, cfg.Scale, 4)
+			tile := 32
+			chol := dataflow.NewCholesky(nt, tile, 1)
+			cholTbl := NewTable(fmt.Sprintf("Tiled Cholesky %d×%d (%d×%d tiles, %d tasks), %d reps",
+				chol.N, chol.N, nt, nt, dataflow.CholeskyNumTasks(nt), reps), "threads", labels)
+
+			rows := scaleInt(14878, cfg.Scale, 1500)
+			chunk := 64
+			wave := dataflow.NewWavefront(rows, chunk, 7)
+			waveTbl := NewTable(fmt.Sprintf("Dependence wavefront: %d-row triangular solve (%d chunks, %d edges), %d reps",
+				rows, wave.NumChunks(), wave.DepEdges(), reps), "threads", labels)
+			relTbl := NewTable("Dependence releases per wavefront solve (parked tasks a predecessor freed)",
+				"threads", variantLabels(variants))
+
+			serialChol := Measure(reps, func() { chol.FactorSerial() })
+			serialWave := Measure(reps, func() { wave.SolveSerial() })
+			oracle := wave.SolveSerial()
+			for _, n := range cfg.Threads {
+				cholTbl.Set(fmt.Sprint(n), "Serial", serialChol.String())
+				waveTbl.Set(fmt.Sprint(n), "Serial", serialWave.String())
+				for _, v := range variants {
+					rt, err := v.New(n, nil)
+					if err != nil {
+						return err
+					}
+					chol.FactorTasks(rt, n) // warm descriptor pools and rings
+					s := Measure(reps, func() { chol.FactorTasks(rt, n) })
+					cholTbl.Set(fmt.Sprint(n), v.Label, s.String())
+					got := wave.SolveTasks(rt, n) // warm-up doubling as oracle check
+					for i := range oracle {
+						if got[i] != oracle[i] {
+							rt.Shutdown()
+							return fmt.Errorf("dataflow: %s wavefront diverged from serial at x[%d]", v.Label, i)
+						}
+					}
+					rt.ResetStats()
+					s = Measure(reps, func() { wave.SolveTasks(rt, n) })
+					waveTbl.Set(fmt.Sprint(n), v.Label, s.String())
+					relTbl.Set(fmt.Sprint(n), v.Label, fmt.Sprint(rt.Stats().DepReleases/int64(reps)))
+					rt.Shutdown()
+				}
+			}
+			cholTbl.Render(cfg.Out)
+			waveTbl.Render(cfg.Out)
+			relTbl.Render(cfg.Out)
 			return nil
 		},
 	})

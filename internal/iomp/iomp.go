@@ -140,6 +140,8 @@ func (rt *Runtime) Stats() omp.Stats {
 		TasksStolen:           rt.stolen.Load(),
 		TasksStolenFromBuffer: rt.bufStolen.Load(),
 		StealAttempts:         rt.stealAttempts.Load(),
+		TasksWithDeps:         rt.TasksWithDeps(),
+		DepReleases:           rt.DepReleases(),
 	}
 }
 
@@ -156,6 +158,7 @@ func (rt *Runtime) ResetStats() {
 	rt.stolen.Store(0)
 	rt.bufStolen.Store(0)
 	rt.stealAttempts.Store(0)
+	rt.ResetDepStats()
 }
 
 // nestedWorker is a parked OS thread cached for nested-team reuse.
@@ -303,6 +306,22 @@ func (e *engine) FlushTasks(tc *omp.TC) {
 	// The deque owns the nodes now; clear the TC's pooled buffer slots so
 	// they do not retain finished tasks.
 	clear(nodes)
+}
+
+// ReleaseTask enqueues a task whose last dependence was just satisfied.
+// The releaser may be any thread (possibly without a TC), so the task is
+// appended to its *creator's* deque — preserving the per-thread-queue
+// discipline and making the released task visible to the creator's LIFO pop
+// and everyone else's FIFO steal. The cut-off is deliberately not applied:
+// the releaser cannot execute the task inline (it may be running unrelated
+// code mid-Release), and a released task has already paid its deferral.
+func (e *engine) ReleaseTask(team *omp.Team, node *omp.TaskNode) {
+	e.rt.tasksQueued.Add(1)
+	d := &e.dequesOf(team)[node.CreatedBy%team.Size]
+	d.mu.Lock()
+	d.q = append(d.q, node)
+	d.n.Store(int64(len(d.q)))
+	d.mu.Unlock()
 }
 
 // tryRunTask pops the newest task from the caller's own deque (LIFO for

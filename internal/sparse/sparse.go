@@ -204,3 +204,51 @@ func Axpy(lo, hi int, a float64, x, y []float64) {
 
 // Norm2 returns the Euclidean norm of x.
 func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Lower extracts the lower triangle of m, diagonal included, as a new CSR —
+// the operator of a forward-substitution triangular solve. Column indices
+// stay sorted (they are a sorted prefix of each source row), so per-row
+// accumulation order is identical between a serial sweep and any solver that
+// processes rows whole.
+func (m *CSR) Lower() *CSR {
+	l := &CSR{N: m.N, RowPtr: make([]int32, m.N+1)}
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if int(m.ColIdx[k]) > i {
+				break
+			}
+			l.ColIdx = append(l.ColIdx, m.ColIdx[k])
+			l.Values = append(l.Values, m.Values[k])
+		}
+		l.RowPtr[i+1] = int32(len(l.Values))
+	}
+	return l
+}
+
+// GenDenseSPD builds an n×n dense symmetric positive definite matrix in
+// row-major order: random symmetric off-diagonals with each diagonal raised
+// above its row's absolute sum (strict dominance, hence SPD), deterministic
+// in seed. It is the input generator of the blocked-Cholesky dataflow
+// workload, where the matrix is small and dense by construction (tiles must
+// be full for the POTRF/TRSM/SYRK/GEMM kernels to have uniform cost).
+func GenDenseSPD(n int, seed uint64) []float64 {
+	rng := splitmix64(seed)
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			v := rng.float() - 0.5
+			a[i*n+j] = v
+			a[j*n+i] = v
+		}
+	}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				sum += math.Abs(a[i*n+j])
+			}
+		}
+		a[i*n+i] = sum + 1
+	}
+	return a
+}

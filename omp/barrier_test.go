@@ -22,6 +22,7 @@ type barrierOps struct{}
 
 func (barrierOps) BarrierWait(tc *TC)            { tc.Team().Bar.WaitTC(tc, true) }
 func (barrierOps) SpawnTask(tc *TC, n *TaskNode) { ExecTask(tc, n) }
+func (barrierOps) ReleaseTask(*Team, *TaskNode)  {}
 func (barrierOps) FlushTasks(*TC)                {}
 func (barrierOps) Taskwait(*TC)                  {}
 func (barrierOps) Taskyield(*TC)                 {}

@@ -1,0 +1,155 @@
+package omp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDependReleaseVsRecycling is the white-box stress for the dependence
+// release path: dependence chains and fans execute on a multi-rank team
+// whose task descriptors recycle aggressively across repeated team
+// generations, so successor releases (fired by whichever rank drops a
+// predecessor's last reference) race descriptor recycling, new-edge
+// registration against just-released nodes, and the next region's reuse of
+// the same slots. Run under -race, it certifies the seal/generation
+// discipline of addDepEdge/releaseSuccessors; the assertions certify the
+// ordering it must produce:
+//
+//   - every chain executes strictly in creation order (the InOut chain);
+//   - a fan's join task runs only after all its In-predecessors;
+//   - parked tasks never leak: every task runs exactly once per region.
+func TestDependReleaseVsRecycling(t *testing.T) {
+	const (
+		regions = 40
+		ranks   = 4
+		chains  = 6
+		depth   = 10
+		fanIn   = 8
+	)
+	e := &recycleEngine{}
+	var violations, ran atomic.Int64
+	var toks [chains]int
+	var fanTok [fanIn]int
+	body := func(tc *TC) {
+		if tc.ThreadNum() == 0 {
+			prog := make([]atomic.Int64, chains)
+			// Interleave the chains so consecutive links of one chain are
+			// created far apart, with fillers in between — maximal overlap
+			// between releases, recycling and fresh registration.
+			for d := 0; d < depth; d++ {
+				d := d
+				for c := 0; c < chains; c++ {
+					c := c
+					tc.Task(func(*TC) {
+						ran.Add(1)
+						if !prog[c].CompareAndSwap(int64(d), int64(d+1)) {
+							violations.Add(1)
+						}
+					}, InOut(&toks[c]))
+					tc.Task(func(*TC) { ran.Add(1) }) // depend-free filler
+				}
+			}
+			// Fan-in: N writers on distinct addresses, one join reading all.
+			var wrote atomic.Int64
+			for i := 0; i < fanIn; i++ {
+				tc.Task(func(*TC) {
+					ran.Add(1)
+					wrote.Add(1)
+				}, Out(&fanTok[i]))
+			}
+			addrs := make([]any, fanIn)
+			for i := range addrs {
+				addrs[i] = &fanTok[i]
+			}
+			tc.Task(func(*TC) {
+				ran.Add(1)
+				if wrote.Load() != fanIn {
+					violations.Add(1)
+				}
+			}, In(addrs...))
+			tc.Taskwait()
+			for c := 0; c < chains; c++ {
+				if prog[c].Load() != depth {
+					violations.Add(1)
+				}
+			}
+		} else {
+			// The other ranks consume: they execute released and stolen
+			// tasks, so predecessors' last references drop on foreign ranks
+			// and the release walk runs concurrently with rank 0's
+			// registration.
+			for i := 0; i < 200; i++ {
+				if !e.TryRunTask(tc) {
+					runtime.Gosched()
+				}
+			}
+		}
+	}
+	const perRegion = chains*depth*2 + fanIn + 1
+	team := NewTeam(ranks, 0, Config{NumThreads: ranks, TaskBuffer: 4}.WithDefaults(), body)
+	for r := 0; r < regions; r++ {
+		if r > 0 {
+			team.prepare(ranks, 0, team.Cfg, body)
+		}
+		var wg sync.WaitGroup
+		for rank := 0; rank < ranks; rank++ {
+			rank := rank
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				team.Run(rank, e, nil)
+			}()
+		}
+		wg.Wait()
+	}
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("%d dependence-order violations across recycled team generations", n)
+	}
+	if got, want := ran.Load(), int64(regions*perRegion); got != want {
+		t.Fatalf("ran %d tasks, want %d (parked task leaked or double-ran)", got, want)
+	}
+}
+
+// TestDepEdgeAgainstRecycledNode pins the generation check directly: an edge
+// added with a stale (node, generation) pair — the map's view of a
+// predecessor that already completed and recycled — must refuse to commit,
+// reporting the dependence satisfied.
+func TestDepEdgeAgainstRecycledNode(t *testing.T) {
+	e := &recycleEngine{}
+	var staleCommitted atomic.Bool
+	body := func(tc *TC) {
+		if tc.ThreadNum() != 0 {
+			return
+		}
+		x := new(int)
+		// First task: recorded as x's last writer, completes, recycles.
+		tc.Task(func(*TC) {}, Out(x))
+		tc.Taskwait()
+		// The tracker still holds the (node, gen) pair recorded above; its
+		// node has been released (generation bumped) and possibly reissued.
+		// A dependent task must treat the recorded predecessor as satisfied
+		// and run immediately rather than park forever.
+		done := false
+		tc.Task(func(*TC) { done = true }, In(x))
+		tc.Taskwait()
+		if !done {
+			staleCommitted.Store(true)
+		}
+	}
+	team := NewTeam(2, 0, Config{NumThreads: 2, TaskBuffer: 4}.WithDefaults(), body)
+	var wg sync.WaitGroup
+	for rank := 0; rank < 2; rank++ {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			team.Run(rank, e, nil)
+		}()
+	}
+	wg.Wait()
+	if staleCommitted.Load() {
+		t.Fatal("an edge against a recycled predecessor parked its successor forever")
+	}
+}

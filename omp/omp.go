@@ -138,6 +138,13 @@ type Frontend struct {
 	// so the front end owns the counter; runtimes fold SerializedRegions()
 	// into their Stats.
 	serialized atomic.Int64
+	// tasksWithDeps and depReleases are the dependence-subsystem counters
+	// (see depend.go). Like serialization, dependences are decided entirely
+	// in the shared construct code, so the front end owns the counters —
+	// credited through Team.owner — and runtimes fold the accessors into
+	// their Stats.
+	tasksWithDeps atomic.Int64
+	depReleases   atomic.Int64
 }
 
 // NewFrontend builds a front end over eng with the given configuration
@@ -187,12 +194,16 @@ func (f *Frontend) Shutdown() { f.eng.Shutdown() }
 func (f *Frontend) Stats() Stats {
 	s := f.eng.Stats()
 	s.SerializedRegions = f.serialized.Load()
+	s.TasksWithDeps = f.tasksWithDeps.Load()
+	s.DepReleases = f.depReleases.Load()
 	return s
 }
 
 // ResetStats zeroes the engine's accounting counters and the front end's.
 func (f *Frontend) ResetStats() {
 	f.serialized.Store(0)
+	f.tasksWithDeps.Store(0)
+	f.depReleases.Store(0)
 	f.eng.ResetStats()
 }
 
@@ -204,6 +215,22 @@ func (f *Frontend) SerializedRegions() int64 { return f.serialized.Load() }
 // ResetSerializedRegions zeroes the serialized-region counter; for runtimes
 // whose ResetStats shadows the Frontend's.
 func (f *Frontend) ResetSerializedRegions() { f.serialized.Store(0) }
+
+// TasksWithDeps reports how many explicit tasks carried depend clauses.
+// Runtimes that shadow Stats with engine-side counters read it through their
+// embedded Frontend.
+func (f *Frontend) TasksWithDeps() int64 { return f.tasksWithDeps.Load() }
+
+// DepReleases reports how many parked tasks were released into the engine by
+// a predecessor's completion.
+func (f *Frontend) DepReleases() int64 { return f.depReleases.Load() }
+
+// ResetDepStats zeroes the dependence counters; for runtimes whose
+// ResetStats shadows the Frontend's.
+func (f *Frontend) ResetDepStats() {
+	f.tasksWithDeps.Store(0)
+	f.depReleases.Store(0)
+}
 
 // getTeam fetches a recycled descriptor (or builds one) and prepares it for
 // a region. Nested regions reach it through Team.newNested.
@@ -267,6 +294,15 @@ type Stats struct {
 	// submission episodes (each covering one or more tasks). Zero when
 	// batching is disabled (Config.TaskBuffer < 0 or PerUnitDispatch).
 	TaskFlushes int64
+	// TasksWithDeps counts explicit tasks created with at least one depend
+	// clause (In/Out/InOut), i.e. tasks that went through dependence
+	// registration.
+	TasksWithDeps int64
+	// DepReleases counts parked tasks handed to the engine by a
+	// predecessor's last-ref drop (EngineOps.ReleaseTask) — dependence-graph
+	// edges that actually deferred execution, as opposed to dependences that
+	// were already satisfied at creation.
+	DepReleases int64
 }
 
 // QueuedTaskPercent reports the share of explicit tasks that went through a

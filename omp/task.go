@@ -66,6 +66,22 @@ type TaskNode struct {
 	CreatedBy int
 	StartedBy atomic.Int32
 	ResumedBy atomic.Int32
+
+	// Dependence state (see depend.go). depWants is the depend-clause list
+	// recorded by the In/Out/InOut options and consumed at registration;
+	// depActive marks an incarnation that was registered in a dependence
+	// domain, so Release performs the successor walk. ops is the engine the
+	// task was created under, kept only for dep-active nodes so a releaser
+	// with no TC can re-queue a parked successor. preds counts unsatisfied
+	// predecessors plus the creation guard; succState/succInline/succSpill
+	// are the sealed, generation-stamped successor list.
+	depWants   []depWant
+	depActive  bool
+	ops        EngineOps
+	preds      atomic.Int32
+	succState  atomic.Uint64
+	succInline [depInlineSuccs]atomic.Pointer[TaskNode]
+	succSpill  atomic.Pointer[[]atomic.Pointer[TaskNode]]
 }
 
 // newTaskNode links a fresh node under parent and pre-sets the bookkeeping
@@ -95,6 +111,20 @@ func (n *TaskNode) reset(createdBy int) {
 	n.CreatedBy = createdBy
 	n.StartedBy.Store(-1)
 	n.ResumedBy.Store(-1)
+	n.depActive = false
+	n.ops = nil
+	n.preds.Store(0)
+	if len(n.depWants) > 0 {
+		// Normally consumed by registration; cleared here so a node prepared
+		// with depend options but dispatched by a caller that bypassed
+		// tc.Task cannot leak user addresses into its next incarnation.
+		clear(n.depWants)
+		n.depWants = n.depWants[:0]
+	}
+	// succState/succInline/succSpill deliberately survive: the release walk
+	// retired them (and bumped the dependence generation), and resetting the
+	// generation here would let a stale producer's edge-add CAS succeed
+	// against a reincarnation.
 }
 
 // rearm resets a pooled implicit-task node for its next region (Team.Run).
@@ -125,6 +155,15 @@ func (n *TaskNode) Retain() { n.refs.Add(1) }
 func (n *TaskNode) Release() {
 	if n.refs.Add(-1) != 0 {
 		return
+	}
+	if n.depActive {
+		// The last-ref drop is the dependence-release point: seal the
+		// successor list and hand every successor whose final predecessor
+		// this was to its engine — before the descriptor can recycle, so a
+		// successor never observes its predecessor's next incarnation.
+		n.releaseSuccessors()
+		n.depActive = false
+		n.ops = nil
 	}
 	s := n.slot
 	if s == nil {

@@ -46,6 +46,12 @@ func (e *recycleEngine) FlushTasks(tc *TC) {
 	clear(nodes)
 }
 
+func (e *recycleEngine) ReleaseTask(team *Team, node *TaskNode) {
+	e.mu.Lock()
+	e.q = append(e.q, node)
+	e.mu.Unlock()
+}
+
 func (e *recycleEngine) TryRunTask(tc *TC) bool {
 	e.mu.Lock()
 	var node *TaskNode

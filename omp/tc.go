@@ -44,6 +44,13 @@ type TC struct {
 	// Single-threaded like the rest of the TC, so no atomics needed.
 	raidRotor int
 
+	// deps is this context's dependence domain: the address→version map the
+	// depend clauses of tasks created here resolve against (see depend.go).
+	// Allocated on first dependent task, retained across rearms (the map is
+	// cleared, its storage reused), and only ever touched by the owning
+	// thread.
+	deps *depTracker
+
 	// ring is the producer-side overflow ring: deferred tasks accumulate
 	// here and are handed to the engine in one FlushTasks call at OpenMP
 	// task scheduling points (barriers, taskwait, taskyield, taskgroup end)
@@ -90,6 +97,17 @@ type EngineOps interface {
 	// It returns after the inner region's implicit barrier. The front end
 	// builds and recycles t; engines only place its members on threads.
 	Nested(tc *TC, t *Team)
+	// ReleaseTask makes a dependence-parked task runnable: node was built by
+	// PrepareTask but never handed to SpawnTask because predecessors were
+	// outstanding, and the last of them has now completed. It is called by
+	// whichever thread drops the predecessor's final reference — possibly
+	// with no thread context of its own — so engines must route the node
+	// into a structure reachable without a TC: the shared team queue, the
+	// creator's deque (node.CreatedBy), a detached work unit. The released
+	// task then executes through the engine's normal dequeue paths
+	// (ExecTask/ExecTaskOn), which settle the same completion bookkeeping as
+	// any queued task.
+	ReleaseTask(team *Team, node *TaskNode)
 	// TryRunTask executes one queued task of the team if the engine's
 	// tasking structures hold one, reporting whether it did. All engines can
 	// at minimum raid the team's overflow rings (Team.StealBufferedTask) —
@@ -130,6 +148,9 @@ func (tc *TC) rearm(team *Team, num int, ops EngineOps, ectx any, node *TaskNode
 	tc.curOrdered = nil
 	tc.group = nil
 	tc.raidRotor = num
+	if tc.deps != nil {
+		tc.deps.reset()
+	}
 }
 
 // rearmTask resets the TC paired with a pooled explicit-task node for one
@@ -393,8 +414,16 @@ func (tc *TC) Critical(name string, body func()) {
 // may claim them before the next scheduling point; undeferred tasks (final,
 // if(0), cut-off overflow) always execute inline at this call, before it
 // returns.
+// Tasks carrying depend clauses (the In/Out/InOut options) are ordered
+// against previously created sibling tasks first: a task with unsatisfied
+// predecessors parks until the last of them completes, then flows into the
+// same engine fabric (see depend.go).
 func (tc *TC) Task(fn func(*TC), opts ...TaskOpt) {
 	node := PrepareTask(tc, fn, opts...)
+	if len(node.depWants) != 0 {
+		tc.spawnWithDeps(node)
+		return
+	}
 	tc.ops.SpawnTask(tc, node)
 }
 
