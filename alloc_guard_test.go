@@ -10,6 +10,7 @@ package repro_test
 import (
 	"testing"
 
+	"repro/glt/trace"
 	"repro/internal/harness"
 	"repro/omp"
 )
@@ -98,6 +99,68 @@ func TestTaskSpawnAllocCeiling(t *testing.T) {
 			if perTask > taskSpawnAllocCeiling {
 				t.Errorf("%s task spawn allocates %.3f per task, ceiling %.1f",
 					v.Label, perTask, taskSpawnAllocCeiling)
+			}
+		})
+	}
+}
+
+// TestAllocCeilingsWithTracingEnabled re-runs both steady-state guards with
+// the full observability stack live — a FlightTracer feeding a flight
+// recorder and the latency histograms — and holds them to the SAME ceilings.
+// This is the tentpole's allocation contract: every hook stores duration
+// stamps in the pooled descriptors it instruments and emits into
+// fixed-capacity rings, so turning tracing on must not add a single
+// steady-state allocation per region or per task.
+func TestAllocCeilingsWithTracingEnabled(t *testing.T) {
+	rec := trace.Start(benchThreads, 1<<10)
+	defer trace.Stop()
+	met := &trace.Metrics{}
+	prev := omp.SetTracer(omp.NewFlightTracer(rec, met))
+	defer omp.SetTracer(prev)
+
+	const tasks = 64
+	for _, v := range []harness.Variant{
+		{Label: "GCC", Runtime: "gomp"},
+		{Label: "Intel", Runtime: "iomp"},
+		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+		{Label: "GLTO(WS)", Runtime: "glto", Backend: "ws"},
+	} {
+		v := v
+		t.Run(v.Label, func(t *testing.T) {
+			rt, err := v.New(benchThreads, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Shutdown()
+
+			region := func() { rt.ParallelN(benchThreads, emptyTaskBody) }
+			for i := 0; i < 50; i++ {
+				region()
+			}
+			if got := testing.AllocsPerRun(100, region); got > regionAllocCeiling {
+				t.Errorf("%s traced respawn allocates %.2f/region, ceiling %.1f",
+					v.Label, got, regionAllocCeiling)
+			}
+
+			storm := func() {
+				rt.ParallelN(benchThreads, func(tc *omp.TC) {
+					tc.Single(func() {
+						for i := 0; i < tasks; i++ {
+							tc.Task(emptyTaskBody)
+						}
+					})
+				})
+			}
+			for i := 0; i < 20; i++ {
+				storm()
+			}
+			got := testing.AllocsPerRun(30, storm)
+			if perTask := got / tasks; perTask > taskSpawnAllocCeiling {
+				t.Errorf("%s traced task spawn allocates %.3f per task, ceiling %.1f",
+					v.Label, perTask, taskSpawnAllocCeiling)
+			}
+			if rec.Dropped() == 0 && met.Assign.Count() == 0 {
+				t.Error("tracing was supposedly enabled but no samples landed")
 			}
 		})
 	}

@@ -12,6 +12,7 @@ import (
 
 	"repro/glt"
 	_ "repro/glt/backends"
+	"repro/glt/trace"
 	"repro/glt/qth/feb"
 	"repro/internal/cg"
 	"repro/internal/cloverleaf"
@@ -656,6 +657,59 @@ func BenchmarkBarrier(b *testing.B) {
 			v := v
 			b.Run("w32-flat/"+v.Label, func(b *testing.B) {
 				runBarrierBench(b, v, 32, barriers)
+			})
+		}
+	}
+}
+
+// BenchmarkTraceOverhead: the cost of observability — one region with an
+// explicit barrier and a 32-task single-producer burst per op, measured
+// with tracing fully off (the hooks' one-atomic-load fast path) and with
+// the whole stack live (FlightTracer feeding a flight recorder and the
+// latency histograms). The enabled/disabled ratio is the number the
+// flight-recorder design is accountable to; BENCH_trace_overhead.json
+// records both series per commit via the bench-diff harness.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const tasks = 32
+	variants := []harness.Variant{
+		{Label: "GCC", Runtime: "gomp"},
+		{Label: "Intel", Runtime: "iomp"},
+		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+		{Label: "GLTO(WS)", Runtime: "glto", Backend: "ws"},
+	}
+	for _, mode := range []string{"disabled", "enabled"} {
+		mode := mode
+		for _, v := range variants {
+			v := v
+			b.Run(v.Label+"/"+mode, func(b *testing.B) {
+				rt := newRT(b, v, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+				if mode == "enabled" {
+					rec := trace.Start(benchThreads, 1<<12)
+					met := &trace.Metrics{}
+					prev := omp.SetTracer(omp.NewFlightTracer(rec, met))
+					b.Cleanup(func() {
+						omp.SetTracer(prev)
+						trace.Stop()
+					})
+				}
+				run := func() {
+					rt.ParallelN(benchThreads, func(tc *omp.TC) {
+						tc.Barrier()
+						tc.Single(func() {
+							for k := 0; k < tasks; k++ {
+								tc.Task(benchTaskBody)
+							}
+						})
+					})
+				}
+				for i := 0; i < 10; i++ {
+					run()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					run()
+				}
 			})
 		}
 	}

@@ -1,0 +1,147 @@
+// Command glto-trace runs a small OpenMP workload with the flight recorder
+// enabled and exports the captured events as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Alongside the
+// trace it prints the latency-histogram summary (barrier wait, task queue
+// residency, dep release→start, steal-tour length, and the Fig. 7
+// assignment/execution split) to stderr.
+//
+// Usage:
+//
+//	glto-trace -runtime glto -backend ws -threads 4 -workload tasks -o trace.json
+//
+// Workloads:
+//
+//	regions  fork/join regions with a fixed busy-work body (default)
+//	tasks    a single-producer deferred-task storm per region
+//	deps     a diamond task-dependence chain per region
+//	mix      all three, back to back
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/glt/trace"
+	"repro/internal/harness"
+	"repro/omp"
+)
+
+func main() {
+	var (
+		rtName   = flag.String("runtime", "glto", "runtime: gomp, iomp, glto")
+		backend  = flag.String("backend", "ws", "GLT backend for glto: abt, qth, mth, ws")
+		threads  = flag.Int("threads", 4, "team size")
+		workload = flag.String("workload", "regions", "workload: regions, tasks, deps, mix")
+		regions  = flag.Int("regions", 50, "region repetitions")
+		ring     = flag.Int("ring", 1<<14, "per-stream ring capacity (events)")
+		out      = flag.String("o", "trace.json", "output file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	run, ok := workloads[*workload]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (regions, tasks, deps, mix)\n", *workload)
+		os.Exit(2)
+	}
+
+	v := harness.Variant{Label: *rtName, Runtime: *rtName, Backend: *backend}
+	rt, err := v.New(*threads, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "runtime setup: %v\n", err)
+		os.Exit(1)
+	}
+	defer rt.Shutdown()
+
+	// Warm the descriptor pools before arming the recorder, so the trace
+	// shows steady-state behaviour instead of first-region pool growth.
+	for i := 0; i < 5; i++ {
+		run(rt, *threads)
+	}
+
+	rec := trace.Start(*threads, *ring)
+	met := &trace.Metrics{}
+	omp.SetTracer(omp.NewFlightTracer(rec, met))
+	for i := 0; i < *regions; i++ {
+		run(rt, *threads)
+	}
+	omp.SetTracer(nil)
+	trace.Stop()
+
+	events, dropped := rec.Drain()
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteChrome(w, events); err != nil {
+		fmt.Fprintf(os.Stderr, "write trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "%d events captured, %d dropped (ring %d/stream)\n",
+		len(events), dropped, *ring)
+	met.Report(os.Stderr)
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %s — load it at ui.perfetto.dev\n", *out)
+	}
+}
+
+// workloads are deliberately tiny: enough scheduling traffic to light up
+// every event kind without swamping the rings.
+var workloads = map[string]func(rt omp.Runtime, threads int){
+	"regions": runRegions,
+	"tasks":   runTasks,
+	"deps":    runDeps,
+	"mix": func(rt omp.Runtime, threads int) {
+		runRegions(rt, threads)
+		runTasks(rt, threads)
+		runDeps(rt, threads)
+	},
+}
+
+// spin burns a bounded amount of CPU so slices are visible at µs scale.
+func spin(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i * i
+	}
+	return s
+}
+
+var sink int
+
+func runRegions(rt omp.Runtime, threads int) {
+	rt.ParallelN(threads, func(tc *omp.TC) {
+		sink += spin(20_000)
+		tc.Barrier()
+		sink += spin(10_000)
+	})
+}
+
+func runTasks(rt omp.Runtime, threads int) {
+	rt.ParallelN(threads, func(tc *omp.TC) {
+		tc.Single(func() {
+			for i := 0; i < 8*threads; i++ {
+				tc.Task(func(*omp.TC) { sink += spin(5_000) })
+			}
+		})
+	})
+}
+
+func runDeps(rt omp.Runtime, threads int) {
+	rt.ParallelN(threads, func(tc *omp.TC) {
+		tc.Single(func() {
+			var a, b, c int
+			tc.Task(func(*omp.TC) { sink += spin(5_000) }, omp.Out(&a))
+			tc.Task(func(*omp.TC) { sink += spin(5_000) }, omp.In(&a), omp.Out(&b))
+			tc.Task(func(*omp.TC) { sink += spin(5_000) }, omp.In(&a), omp.Out(&c))
+			tc.Task(func(*omp.TC) { sink += spin(2_000) }, omp.In(&b), omp.In(&c))
+		})
+	})
+}

@@ -3,6 +3,8 @@ package glt
 import (
 	"runtime"
 	"time"
+
+	"repro/glt/trace"
 )
 
 // Thread is an execution stream: a worker goroutine pinned to an OS thread
@@ -54,7 +56,9 @@ func (t *Thread) loop() {
 			// capability let an idle stream raid half of a loaded peer's run
 			// instead of parking (see glt.Stealer).
 			if st := t.rt.stealer; st != nil {
+				trace.Emit(t.rank, trace.KindStealAttempt, 0)
 				if u := st.StealHalf(t.rank); u != nil {
+					trace.Emit(t.rank, trace.KindStealHit, 0)
 					t.stats.idleSteals.Add(1)
 					idleSpins = 0
 					t.exec(u)
@@ -71,7 +75,9 @@ func (t *Thread) loop() {
 				continue
 			}
 			t.stats.parks.Add(1)
+			trace.Emit(t.rank, trace.KindPark, 0)
 			t.park.parkTimeout(200 * time.Microsecond)
+			trace.Emit(t.rank, trace.KindUnpark, 0)
 			idleSpins = 0
 			continue
 		}
@@ -84,10 +90,15 @@ func (t *Thread) loop() {
 // drops its lifetime reference; for detached units that is the last one, so
 // the descriptor recycles right here, on the stream that ran it.
 func (t *Thread) exec(u *Unit) {
+	// Unit start/end bracket one execution slice on this stream: a whole
+	// tasklet run, or a ULT dispatch up to its next yield. Disabled cost is
+	// one atomic load per emit.
+	trace.Emit(t.rank, trace.KindUnitStart, uint64(u.tag))
 	if u.tasklet {
 		u.ctx.w = t
 		u.fn(&u.ctx)
 		t.stats.taskletsRun.Add(1)
+		trace.Emit(t.rank, trace.KindUnitEnd, uint64(u.tag))
 		u.complete()
 		u.unrefOn(t.rank)
 		return
@@ -100,6 +111,7 @@ func (t *Thread) exec(u *Unit) {
 	u.ctx.w = t // happens-before the ULT observes it via the sched gate
 	u.sched.signal()
 	u.yield.wait()
+	trace.Emit(t.rank, trace.KindUnitEnd, uint64(u.tag))
 	if u.fnDone.Load() {
 		t.stats.ultsCompleted.Add(1)
 		u.complete()

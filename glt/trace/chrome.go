@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: drained flight-recorder events rendered as the
+// JSON array format Perfetto (ui.perfetto.dev) and chrome://tracing load
+// directly. One track per stream: glt scheduler events go to process 0
+// ("glt streams", tid = execution-stream rank) and omp construct events to
+// process 1 ("omp", tid = team rank), so the two layers' brackets nest
+// within their own identity space even when ULTs migrate between streams.
+//
+// Bracket kinds map to B/E duration events (Perfetto auto-closes unmatched
+// brackets, which overflow-dropped partners can produce); point kinds map to
+// instants.
+
+const (
+	chromePidGLT = 0
+	chromePidOMP = 1
+)
+
+// chromeSlice maps a bracket-opening kind to its closing kind and name.
+var chromeSlices = map[Kind]struct {
+	end  Kind
+	name string
+}{
+	KindUnitStart:    {KindUnitEnd, "unit"},
+	KindPark:         {KindUnpark, "park"},
+	KindMemberStart:  {KindMemberEnd, "member"},
+	KindTaskStart:    {KindTaskEnd, "task"},
+	KindBarrierEnter: {KindBarrierExit, "barrier"},
+}
+
+// chromeEnds is the closing-kind reverse index.
+var chromeEnds = func() map[Kind]string {
+	m := map[Kind]string{}
+	for _, s := range chromeSlices {
+		m[s.end] = s.name
+	}
+	return m
+}()
+
+func chromePid(k Kind) int {
+	if k >= KindRegionBegin {
+		return chromePidOMP
+	}
+	return chromePidGLT
+}
+
+// WriteChrome writes events (as returned by Recorder.Drain) to w in Chrome
+// trace-event JSON array format. Timestamps are rebased to the earliest
+// event and converted to microseconds, the unit the format specifies.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("[\n")
+
+	// Track-name metadata: one entry per (pid, tid) pair that appears.
+	type track struct {
+		pid, tid int
+	}
+	seen := map[track]bool{}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	meta := func(pid, tid int) {
+		t := track{pid, tid}
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		layer, kind := "glt", "stream"
+		if pid == chromePidOMP {
+			layer, kind = "omp", "rank"
+		}
+		emit(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":"%s"}}`, pid, layer)
+		emit(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"%s %d"}}`, pid, tid, kind, tid)
+	}
+
+	var base int64
+	if len(events) > 0 {
+		base = events[0].TS
+	}
+	for _, ev := range events {
+		pid, tid := chromePid(ev.Kind), int(ev.Stream)
+		meta(pid, tid)
+		ts := float64(ev.TS-base) / 1e3
+		if s, ok := chromeSlices[ev.Kind]; ok {
+			emit(`{"ph":"B","name":"%s","pid":%d,"tid":%d,"ts":%.3f,"args":{"arg":%d}}`,
+				s.name, pid, tid, ts, ev.Arg)
+			continue
+		}
+		if name, ok := chromeEnds[ev.Kind]; ok {
+			emit(`{"ph":"E","name":"%s","pid":%d,"tid":%d,"ts":%.3f}`, name, pid, tid, ts)
+			continue
+		}
+		emit(`{"ph":"i","s":"t","name":"%s","pid":%d,"tid":%d,"ts":%.3f,"args":{"arg":%d}}`,
+			ev.Kind, pid, tid, ts, ev.Arg)
+	}
+	bw.WriteString("\n]\n")
+	return bw.Flush()
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Hist is a mergeable fixed-64-bucket log2 latency histogram: bucket b
+// counts observations v with 2^b <= v < 2^(b+1) (v < 1 lands in bucket 0).
+// Observations, merges and reads are all concurrent-safe and allocation-free,
+// so hot paths can feed one directly; sum, count and an exact maximum ride
+// along so Mean and Max need no bucket interpolation.
+//
+// The zero value is ready to use.
+type Hist struct {
+	counts [64]atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+	n      atomic.Uint64
+}
+
+// Observe records one value (negative values clamp to zero — a clock read
+// racing a tracer install can produce one; it is an empty-duration sample,
+// not an error).
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count reports the number of observations.
+func (h *Hist) Count() uint64 { return h.n.Load() }
+
+// Sum reports the observation total.
+func (h *Hist) Sum() int64 { return h.sum.Load() }
+
+// Max reports the largest observation (0 when empty).
+func (h *Hist) Max() int64 { return h.max.Load() }
+
+// Mean reports the average observation (0 when empty).
+func (h *Hist) Mean() float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the upper
+// edge of the first bucket whose cumulative count reaches q of the total,
+// clamped by the exact maximum. Bucket resolution is a factor of two, which
+// is the right grain for tail inspection (p99 at 2x resolution still
+// separates a microsecond path from a millisecond one).
+func (h *Hist) Quantile(q float64) int64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	want := uint64(q * float64(n))
+	if want < 1 {
+		want = 1
+	}
+	var cum uint64
+	for b := 0; b < len(h.counts); b++ {
+		cum += h.counts[b].Load()
+		if cum >= want {
+			upper := int64(1)<<uint(b+1) - 1
+			if m := h.max.Load(); upper > m {
+				upper = m
+			}
+			return upper
+		}
+	}
+	return h.max.Load()
+}
+
+// P50, P99 and P999 are the quantiles the roadmap's tail-latency items score
+// on.
+func (h *Hist) P50() int64  { return h.Quantile(0.50) }
+func (h *Hist) P99() int64  { return h.Quantile(0.99) }
+func (h *Hist) P999() int64 { return h.Quantile(0.999) }
+
+// Merge folds o's observations into h (o keeps its counts). Bucket counts,
+// sums and counts add; the maximum takes the larger.
+func (h *Hist) Merge(o *Hist) {
+	for b := range h.counts {
+		if c := o.counts[b].Load(); c != 0 {
+			h.counts[b].Add(c)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+	h.n.Add(o.n.Load())
+	for {
+		m, om := h.max.Load(), o.max.Load()
+		if om <= m || h.max.CompareAndSwap(m, om) {
+			return
+		}
+	}
+}
+
+// Reset zeroes the histogram. Not atomic against concurrent Observe; quiesce
+// first (the harness resets between measurement phases).
+func (h *Hist) Reset() {
+	for b := range h.counts {
+		h.counts[b].Store(0)
+	}
+	h.sum.Store(0)
+	h.max.Store(0)
+	h.n.Store(0)
+}
+
+// Summary renders count/p50/p99/p999/max with the given unit formatter.
+func (h *Hist) Summary(unit func(int64) string) string {
+	return fmt.Sprintf("n=%d p50=%s p99=%s p999=%s max=%s",
+		h.Count(), unit(h.P50()), unit(h.P99()), unit(h.P999()), unit(h.Max()))
+}
+
+// Nanos formats a nanosecond value for Summary output.
+func Nanos(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+// Plain formats a dimensionless value (tour lengths) for Summary output.
+func Plain(v int64) string { return fmt.Sprintf("%d", v) }
+
+// Metrics is the standard latency-histogram set omp.FlightTracer maintains:
+// the distributions the paper's introspection figures are built from.
+// Durations are in nanoseconds on the trace clock; StealTour counts queues
+// visited. The zero value is ready to use.
+type Metrics struct {
+	// BarrierWait is each thread's wait at a team barrier
+	// (BarrierEnter→BarrierExit, including the task drain the barrier
+	// implies).
+	BarrierWait Hist
+	// TaskQueue is explicit-task queue residency: TaskCreate→TaskStart.
+	TaskQueue Hist
+	// DepRelease is the release→start latency of dependence-parked tasks:
+	// how long a task released by its final predecessor waits before a
+	// thread picks it up.
+	DepRelease Hist
+	// StealTour is the length (queues visited) of buffered-task steal
+	// tours.
+	StealTour Hist
+	// Assign is the paper's Fig. 7 "work assignment step": region dispatch
+	// (RegionBegin) → member body start, per member, top-level regions
+	// only.
+	Assign Hist
+	// Exec is each member's region-body execution time
+	// (MemberStart→MemberEnd, excluding the implicit barrier).
+	Exec Hist
+}
+
+// Reset zeroes every histogram. Quiesce first.
+func (m *Metrics) Reset() {
+	m.BarrierWait.Reset()
+	m.TaskQueue.Reset()
+	m.DepRelease.Reset()
+	m.StealTour.Reset()
+	m.Assign.Reset()
+	m.Exec.Reset()
+}
+
+// Merge folds o into m, histogram by histogram.
+func (m *Metrics) Merge(o *Metrics) {
+	m.BarrierWait.Merge(&o.BarrierWait)
+	m.TaskQueue.Merge(&o.TaskQueue)
+	m.DepRelease.Merge(&o.DepRelease)
+	m.StealTour.Merge(&o.StealTour)
+	m.Assign.Merge(&o.Assign)
+	m.Exec.Merge(&o.Exec)
+}
+
+// Report writes a human-readable summary of every non-empty histogram.
+func (m *Metrics) Report(w io.Writer) {
+	rows := []struct {
+		name string
+		h    *Hist
+		unit func(int64) string
+	}{
+		{"assign (dispatch→member start)", &m.Assign, Nanos},
+		{"exec (member body)", &m.Exec, Nanos},
+		{"barrier wait", &m.BarrierWait, Nanos},
+		{"task queue residency", &m.TaskQueue, Nanos},
+		{"dep release→start", &m.DepRelease, Nanos},
+		{"steal-tour length", &m.StealTour, Plain},
+	}
+	for _, r := range rows {
+		if r.h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-32s %s\n", r.name, r.h.Summary(r.unit))
+	}
+}

@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRingOverflowDeterministic pins the flight-recorder overflow contract:
+// writing N > capacity events keeps exactly the newest capacity records, and
+// the drop count is exactly N - capacity — deterministic for a given event
+// sequence, not "roughly the oldest".
+func TestRingOverflowDeterministic(t *testing.T) {
+	const capacity, n = 64, 1000
+	r := NewRecorder(1, capacity)
+	for i := 0; i < n; i++ {
+		r.EmitAt(int64(i), 0, KindTaskCreate, uint64(i))
+	}
+	events, dropped := r.Drain()
+	if dropped != n-capacity {
+		t.Errorf("dropped = %d, want %d", dropped, n-capacity)
+	}
+	if got := r.Dropped(); got != n-capacity {
+		t.Errorf("Dropped() = %d, want %d", got, n-capacity)
+	}
+	if len(events) != capacity {
+		t.Fatalf("drained %d events, want %d", len(events), capacity)
+	}
+	// The survivors are exactly the newest `capacity` events, in order.
+	for i, ev := range events {
+		if want := uint64(n - capacity + i); ev.Arg != want {
+			t.Fatalf("event %d: arg %d, want %d (oldest-drop violated)", i, ev.Arg, want)
+		}
+	}
+}
+
+// TestRingNoOverflowKeepsAll is the complementary case: under capacity,
+// nothing drops and every event survives in emit order.
+func TestRingNoOverflowKeepsAll(t *testing.T) {
+	r := NewRecorder(1, 128)
+	for i := 0; i < 100; i++ {
+		r.EmitAt(int64(i), 0, KindPark, uint64(i))
+	}
+	events, dropped := r.Drain()
+	if dropped != 0 {
+		t.Errorf("dropped = %d, want 0", dropped)
+	}
+	if len(events) != 100 {
+		t.Fatalf("drained %d events, want 100", len(events))
+	}
+}
+
+// TestRingConcurrentDrain races writers that overflow the rings many times
+// over against a collector draining mid-flight. Run under -race (the CI glt
+// race step covers this package). Every drained event must be whole — a
+// (kind, arg) pair the writer actually emitted — and the final quiesced
+// drain must still satisfy the deterministic overflow contract.
+func TestRingConcurrentDrain(t *testing.T) {
+	const streams, capacity, perWriter = 4, 64, 20000
+	r := NewRecorder(streams, capacity)
+	var writers, collector sync.WaitGroup
+	stop := make(chan struct{})
+
+	for s := 0; s < streams; s++ {
+		writers.Add(1)
+		go func(s int) {
+			defer writers.Done()
+			for i := 0; i < perWriter; i++ {
+				// Arg encodes (stream, i) so the collector can check
+				// integrity of whatever snapshot it catches.
+				r.Emit(s, KindTaskCreate, uint64(s)<<32|uint64(i))
+			}
+		}(s)
+	}
+	collector.Add(1)
+	go func() {
+		defer collector.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			events, _ := r.Drain()
+			for _, ev := range events {
+				if ev.Kind != KindTaskCreate {
+					t.Errorf("torn event: kind %v", ev.Kind)
+					return
+				}
+				if s := ev.Arg >> 32; s != uint64(ev.Stream) {
+					t.Errorf("torn event: stream %d carries arg tagged %d", ev.Stream, s)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	collector.Wait()
+
+	events, dropped := r.Drain()
+	if want := uint64(streams * (perWriter - capacity)); dropped != want {
+		t.Errorf("dropped = %d, want %d", dropped, want)
+	}
+	if want := streams * capacity; len(events) != want {
+		t.Errorf("quiesced drain kept %d events, want %d", len(events), want)
+	}
+}
+
+// TestGlobalGate pins the one-atomic-load disabled contract's semantics:
+// Emit without a recorder is a no-op, Start installs, Stop uninstalls and
+// returns the recorder still drainable.
+func TestGlobalGate(t *testing.T) {
+	if Enabled() {
+		t.Fatal("tracing enabled at test start")
+	}
+	Emit(0, KindPark, 0) // must not panic
+	r := Start(2, 64)
+	if !Enabled() || Active() != r {
+		t.Fatal("Start did not install the recorder")
+	}
+	Emit(1, KindUnpark, 7)
+	got := Stop()
+	if got != r || Enabled() {
+		t.Fatal("Stop did not uninstall the recorder")
+	}
+	events, _ := r.Drain()
+	if len(events) != 1 || events[0].Kind != KindUnpark || events[0].Stream != 1 || events[0].Arg != 7 {
+		t.Fatalf("drained %+v, want the one emitted unpark", events)
+	}
+}
+
+// TestEmitAllocFree asserts the enabled emit path allocates nothing — the
+// property that lets the 0 allocs/op region/task guards hold with tracing
+// on.
+func TestEmitAllocFree(t *testing.T) {
+	r := Start(1, 256)
+	defer Stop()
+	_ = r
+	if avg := testing.AllocsPerRun(1000, func() { Emit(0, KindTaskCreate, 1) }); avg != 0 {
+		t.Errorf("enabled Emit allocates %.2f/op, want 0", avg)
+	}
+	Stop()
+	if avg := testing.AllocsPerRun(1000, func() { Emit(0, KindTaskCreate, 1) }); avg != 0 {
+		t.Errorf("disabled Emit allocates %.2f/op, want 0", avg)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1000 {
+		t.Errorf("max = %d, want 1000", h.Max())
+	}
+	if got := h.Mean(); got != 500.5 {
+		t.Errorf("mean = %v, want 500.5", got)
+	}
+	// log2 buckets: the p50 upper bound must bracket the true median within
+	// its power-of-two bucket, and quantiles must be monotone.
+	p50, p99, p999 := h.P50(), h.P99(), h.P999()
+	if p50 < 500 || p50 > 1023 {
+		t.Errorf("p50 = %d, want within [500,1023]", p50)
+	}
+	if p99 < p50 || p999 < p99 || h.Max() < p999 {
+		t.Errorf("quantiles not monotone: p50=%d p99=%d p999=%d max=%d", p50, p99, p999, h.Max())
+	}
+	var o Hist
+	o.Observe(5000)
+	h.Merge(&o)
+	if h.Count() != 1001 || h.Max() != 5000 {
+		t.Errorf("merge: count=%d max=%d, want 1001/5000", h.Count(), h.Max())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.P99() != 0 {
+		t.Errorf("reset left data behind")
+	}
+}
+
+// TestWriteChromeValidJSON pins the export format: the output is a valid
+// JSON array whose entries carry the fields Perfetto requires, with bracket
+// kinds as B/E pairs and one thread track per stream.
+func TestWriteChromeValidJSON(t *testing.T) {
+	r := NewRecorder(2, 64)
+	r.EmitAt(1000, 0, KindUnitStart, 3)
+	r.EmitAt(1500, 1, KindTaskCreate, 0)
+	r.EmitAt(2000, 0, KindUnitEnd, 0)
+	r.EmitAt(2500, 1, KindBarrierEnter, 0)
+	r.EmitAt(3000, 1, KindBarrierExit, 0)
+	events, _ := r.Drain()
+
+	var sb strings.Builder
+	if err := WriteChrome(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &arr); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	var b, e, i, m int
+	for _, entry := range arr {
+		ph, _ := entry["ph"].(string)
+		switch ph {
+		case "B":
+			b++
+		case "E":
+			e++
+		case "i":
+			i++
+		case "M":
+			m++
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+		if _, ok := entry["pid"]; !ok {
+			t.Errorf("entry missing pid: %v", entry)
+		}
+	}
+	if b != 2 || e != 2 || i != 1 || m == 0 {
+		t.Errorf("phases B=%d E=%d i=%d M=%d, want 2/2/1/>0", b, e, i, m)
+	}
+}

@@ -67,6 +67,7 @@ import (
 	"sync/atomic"
 
 	"repro/glt"
+	"repro/glt/trace"
 )
 
 func init() {
@@ -278,6 +279,7 @@ type stream struct {
 	d       deque
 	box     inbox
 	scratch []*glt.Unit // drainBox staging; retained so steady-state drains allocate nothing
+	rank    int         // own rank, for trace emission (set once in Setup)
 	rng     uint64
 	pops    uint64
 	stole   atomic.Uint64 // units stolen by this rank (read by StealsObserved)
@@ -305,6 +307,7 @@ func (s *stream) drainBox() bool {
 		return false
 	}
 	s.d.pushBottomAll(s.scratch)
+	trace.Emit(s.rank, trace.KindInboxDrain, uint64(len(s.scratch)))
 	clear(s.scratch)
 	s.scratch = s.scratch[:0]
 	return true
@@ -483,6 +486,7 @@ func (p *policy) Setup(nthreads int, shared bool) {
 	}
 	p.streams = make([]stream, nthreads)
 	for i := range p.streams {
+		p.streams[i].rank = i
 		p.streams[i].d.init()
 		p.streams[i].box.init()
 		// Distinct splitmix streams per rank: the counter seeds differ by a
@@ -619,9 +623,11 @@ func (p *policy) steal(self int, half bool) *glt.Unit {
 		}
 		v := &p.streams[at]
 		if u := p.raidDeque(s, v, half); u != nil {
+			trace.Emit(self, trace.KindRaid, uint64(at))
 			return u
 		}
 		if u := p.raidInbox(s, v, half); u != nil {
+			trace.Emit(self, trace.KindRaid, uint64(at))
 			return u
 		}
 	}

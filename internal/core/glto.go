@@ -41,6 +41,7 @@ import (
 
 	"repro/glt"
 	_ "repro/glt/backends"
+	"repro/glt/trace"
 	"repro/omp"
 )
 
@@ -295,6 +296,11 @@ func (rt *Runtime) drainBufferedTask(rank int) bool {
 	if node == nil {
 		return false
 	}
+	// The rescue is a raid on the producer's overflow ring; stamp it on the
+	// idle stream's timeline with the raided producer as the victim. (The
+	// omp-level steal-tour hook already fired inside the team's directory
+	// tour; this is the glt-side view of the same event.)
+	trace.Emit(rank, trace.KindRaid, uint64(node.CreatedBy))
 	rt.bufStolen.Add(1)
 	rt.ults.Add(1)
 	rt.g.SpawnDetachedFrom(rank, rank, rt.taskBody, node, rt.cfg.Tasklets)

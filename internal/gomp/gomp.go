@@ -236,6 +236,7 @@ func (e *engine) tryRunTask(tc *omp.TC) bool {
 		e.rt.bufStolen.Add(1)
 		if node.CreatedBy != tc.ThreadNum() {
 			e.rt.stolen.Add(1)
+			omp.TraceStealTour(tc.Team(), 1, true)
 		}
 		omp.ExecTask(tc, node)
 		return true
@@ -247,6 +248,10 @@ func (e *engine) tryRunTask(tc *omp.TC) bool {
 	ts.mu.Unlock()
 	if node.CreatedBy != tc.ThreadNum() {
 		e.rt.stolen.Add(1)
+		// A foreign pop from the single shared queue is gomp's whole
+		// "steal": a degenerate one-stop tour, which is exactly how Fig. 7
+		// accounts the centralized-queue runtime's work distribution.
+		omp.TraceStealTour(tc.Team(), 1, true)
 	}
 	omp.ExecTask(tc, node)
 	return true

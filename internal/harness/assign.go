@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/glt/trace"
+	"repro/omp"
+)
+
+// The assign experiment is the observability-stack reproduction of Fig. 7:
+// instead of timing empty regions from outside (experiment fig7), it
+// installs a FlightTracer and measures, from inside the runtime, how each
+// region's wall-clock splits between work ASSIGNMENT (the fork-side
+// dispatch latency, RegionBegin→MemberStart per member) and work EXECUTION
+// (MemberStart→MemberEnd). The paper's Fig. 7 argument — that the
+// pthread-based runtimes pay a growing dispatch cost as threads are added
+// while the LWT-based ones keep it flat — falls out as the assignment
+// fraction per runtime × thread count.
+func init() {
+	register(Experiment{
+		ID:    "assign",
+		Title: "Fig. 7 breakdown: work-assignment vs execution fraction per region (flight-recorder histograms)",
+		Run:   runAssign,
+	})
+}
+
+// assignSpin is the fixed busy-work member body: large enough that the
+// execution side is non-trivial at every thread count, small enough that
+// the dispatch side stays visible in the fraction.
+func assignSpin() int {
+	s := 0
+	for i := 0; i < 50_000; i++ {
+		s += i * i
+	}
+	return s
+}
+
+var assignSink int
+
+func runAssign(cfg Config) error {
+	cfg = cfg.withDefaults()
+	regions := scaledIters(cfg, 200, 20)
+	labels := variantLabels(benchDiffVariants)
+	frac := NewTable(fmt.Sprintf("Assignment fraction %% of (assign+exec), %d regions, busy-work body", regions),
+		"threads", labels)
+	p99 := NewTable("Assignment latency p99 (dispatch→member start)", "threads", labels)
+
+	met := &trace.Metrics{}
+	prev := omp.SetTracer(omp.NewFlightTracer(nil, met))
+	defer omp.SetTracer(prev)
+
+	for _, n := range cfg.Threads {
+		for _, v := range benchDiffVariants {
+			rt, err := v.New(n, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+			if err != nil {
+				return err
+			}
+			body := func(tc *omp.TC) { assignSink += assignSpin() }
+			for i := 0; i < 5; i++ {
+				rt.ParallelN(n, body) // warm pools before measuring dispatch
+			}
+			met.Reset()
+			for i := 0; i < regions; i++ {
+				rt.ParallelN(n, body)
+			}
+			rt.Shutdown()
+			a, e := met.Assign.Mean(), met.Exec.Mean()
+			if a+e > 0 {
+				frac.Set(fmt.Sprint(n), v.Label, fmt.Sprintf("%5.2f%%", 100*a/(a+e)))
+			}
+			p99.Set(fmt.Sprint(n), v.Label,
+				time.Duration(met.Assign.P99()).Round(100*time.Nanosecond).String())
+		}
+	}
+	frac.Render(cfg.Out)
+	p99.Render(cfg.Out)
+	return nil
+}

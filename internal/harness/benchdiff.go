@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/glt/trace"
 	"repro/internal/dataflow"
 	"repro/omp"
 )
@@ -339,6 +340,7 @@ func runBenchDiff(cfg Config) error {
 		{"consumer_contention", benchConsumerContention},
 		{"barrier", benchBarrier},
 		{"dep_wavefront", benchDepWavefront},
+		{"trace_overhead", benchTraceOverhead},
 	}
 	commit := benchDiffCommit()
 	host := benchDiffHost()
@@ -376,4 +378,50 @@ func runBenchDiff(cfg Config) error {
 			len(allRegressions), 100*(benchDiffTolerance-1), strings.Join(allRegressions, "\n  "))
 	}
 	return nil
+}
+
+// benchTraceOverhead mirrors BenchmarkTraceOverhead: one region with an
+// explicit barrier and a 32-task burst per op, with tracing off (the
+// disabled hooks' one-atomic-load fast path) and with the full stack live
+// (FlightTracer → flight-recorder rings + latency histograms). Both series
+// are tracked, so the trajectory shows the instrumented runtimes' baseline
+// AND what observability costs on top of it.
+func benchTraceOverhead(cfg Config, reps int) (map[string]benchSeries, error) {
+	const tasks = 32
+	iters := scaledIters(cfg, 300, 10)
+	body := func(*omp.TC) {}
+	out := map[string]benchSeries{}
+	for _, mode := range []string{"disabled", "enabled"} {
+		for _, v := range benchDiffVariants {
+			rt, err := v.New(4, func(c *omp.Config) { c.WaitPolicy = omp.ActiveWait })
+			if err != nil {
+				return nil, err
+			}
+			if mode == "enabled" {
+				rec := trace.Start(4, 1<<12)
+				met := &trace.Metrics{}
+				omp.SetTracer(omp.NewFlightTracer(rec, met))
+			}
+			run := func() {
+				rt.ParallelN(4, func(tc *omp.TC) {
+					tc.Barrier()
+					tc.Single(func() {
+						for k := 0; k < tasks; k++ {
+							tc.Task(body)
+						}
+					})
+				})
+			}
+			for i := 0; i < 10; i++ {
+				run()
+			}
+			out[v.Label+"/"+mode] = benchSeries{"ns_per_op": medianNsPerOp(reps, iters, run)}
+			if mode == "enabled" {
+				omp.SetTracer(nil)
+				trace.Stop()
+			}
+			rt.Shutdown()
+		}
+	}
+	return out, nil
 }

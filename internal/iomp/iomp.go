@@ -363,6 +363,8 @@ func (e *engine) tryRunTask(tc *omp.TC) bool {
 			v.n.Store(int64(len(v.q)))
 			v.mu.Unlock()
 			e.rt.stolen.Add(1)
+			// i deques probed on this alternation tour before one paid off.
+			omp.TraceStealTour(tc.Team(), i, true)
 			omp.ExecTask(tc, node)
 			return true
 		}
@@ -378,9 +380,13 @@ func (e *engine) tryRunTask(tc *omp.TC) bool {
 		e.rt.bufStolen.Add(1)
 		if node.CreatedBy != tc.ThreadNum() {
 			e.rt.stolen.Add(1)
+			omp.TraceStealTour(tc.Team(), size, true)
 		}
 		omp.ExecTask(tc, node)
 		return true
+	}
+	if size > 1 {
+		omp.TraceStealTour(tc.Team(), size-1, false)
 	}
 	return false
 }

@@ -1,0 +1,72 @@
+package validation
+
+import (
+	"os"
+	"testing"
+
+	"repro/glt/trace"
+	"repro/omp"
+	"repro/openmp"
+)
+
+// TestTraceEnabledSuite runs the full validation suite with the complete
+// observability stack live — flight-recorder rings armed, a FlightTracer
+// feeding the latency histograms — and holds every runtime to the same
+// pass thresholds as the untraced expectation table. This is the
+// correctness half of the tracing contract: instrumentation that perturbs
+// scheduling (a hook taking a lock, a stamp racing a descriptor recycle)
+// shows up here as conformance failures, and the suite doubles as the
+// -race exercise of concurrent emit against the rings in CI
+// (GLT_BACKEND=ws go test -race -run TestTraceEnabledSuite).
+func TestTraceEnabledSuite(t *testing.T) {
+	type variant struct {
+		name, rtName, backend string
+		threshold             int
+	}
+	variants := []variant{
+		{"gomp", "gomp", "", 115},
+		{"iomp", "iomp", "", 115},
+		{"glto-abt", "glto", "abt", 118},
+		{"glto-ws", "glto", "ws", 119},
+	}
+	// GLT_BACKEND narrows the run to one GLTO backend (the CI race step
+	// uses ws), matching TestEnvBackendSuite's environment contract.
+	if backend := os.Getenv("GLT_BACKEND"); backend != "" {
+		variants = []variant{{"glto-" + backend, "glto", backend, 118}}
+	}
+
+	rec := trace.Start(4, 1<<12)
+	defer trace.Stop()
+	met := &trace.Metrics{}
+	prev := omp.SetTracer(omp.NewFlightTracer(rec, met))
+	defer omp.SetTracer(prev)
+
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			rt, err := openmp.New(v.rtName, omp.Config{
+				NumThreads: 4, Backend: v.backend, Nested: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Shutdown()
+			rep := RunSuite(rt, 4)
+			t.Logf("%s traced: %d/%d passed; failed: %v",
+				v.name, rep.Passed(), len(rep.Outcomes), rep.FailedNames())
+			if rep.Passed() < v.threshold {
+				t.Errorf("traced suite passed %d, expected at least %d (tracing must not perturb conformance)",
+					rep.Passed(), v.threshold)
+			}
+		})
+	}
+
+	// The stack must actually have been live: the suite's regions and tasks
+	// land in the histograms and rings.
+	if met.Assign.Count() == 0 || met.BarrierWait.Count() == 0 {
+		t.Error("histograms empty after a traced suite run")
+	}
+	events, _ := rec.Drain()
+	if len(events) == 0 {
+		t.Error("flight recorder captured no events during a traced suite run")
+	}
+}

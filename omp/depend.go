@@ -200,6 +200,10 @@ func (n *TaskNode) releaseSuccessors() {
 			if o := team.owner; o != nil {
 				o.depReleases.Add(1)
 			}
+			// The release stamp must land before ReleaseTask requeues the
+			// node: the executing thread reads it at TaskStart through the
+			// queue's happens-before edge.
+			emitTrace(func(tr Tracer) { tr.DepRelease(team, s) })
 			s.ops.ReleaseTask(team, s)
 		}
 	}

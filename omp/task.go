@@ -82,6 +82,15 @@ type TaskNode struct {
 	succState  atomic.Uint64
 	succInline [depInlineSuccs]atomic.Pointer[TaskNode]
 	succSpill  atomic.Pointer[[]atomic.Pointer[TaskNode]]
+
+	// traceCreate and traceRelease are flight-recorder stamps: FlightTracer
+	// writes the trace clock at TaskCreate / DepRelease and reads it back at
+	// TaskStart for the queue-residency and release→start histograms. Plain
+	// fields: the writes ride the same happens-before edges as the node
+	// itself (queue push→pop, release→requeue), and they are only touched
+	// under an installed tracer.
+	traceCreate  int64
+	traceRelease int64
 }
 
 // newTaskNode links a fresh node under parent and pre-sets the bookkeeping
@@ -114,6 +123,8 @@ func (n *TaskNode) reset(createdBy int) {
 	n.depActive = false
 	n.ops = nil
 	n.preds.Store(0)
+	n.traceCreate = 0
+	n.traceRelease = 0
 	if len(n.depWants) > 0 {
 		// Normally consumed by registration; cleared here so a node prepared
 		// with depend options but dispatched by a caller that bypassed
@@ -202,6 +213,7 @@ func If(cond bool) TaskOpt { return func(n *TaskNode) { n.Undeferred = !cond } }
 // body buffered are flushed before the node is marked finished.
 func ExecTask(tc *TC, node *TaskNode) {
 	node.StartedBy.CompareAndSwap(-1, int32(tc.num))
+	emitTrace(func(tr Tracer) { tr.TaskStart(tc.team, node) })
 	ttc := taskContext(node, tc.team, tc.num, tc.ops, tc.ectx)
 	node.Fn(ttc)
 	ttc.flushPending()
@@ -215,6 +227,7 @@ func ExecTask(tc *TC, node *TaskNode) {
 // bookkeeping.
 func ExecTaskOn(team *Team, num int, ops EngineOps, ectx any, node *TaskNode) {
 	node.StartedBy.CompareAndSwap(-1, int32(num))
+	emitTrace(func(tr Tracer) { tr.TaskStart(team, node) })
 	ttc := taskContext(node, team, num, ops, ectx)
 	node.Fn(ttc)
 	ttc.flushPending()
@@ -247,6 +260,11 @@ func taskContext(node *TaskNode, team *Team, num int, ops EngineOps, ectx any) *
 // the region's end barrier release and the team descriptor recycle — a slot
 // returned after that could race the next region's pool reset.
 func FinishTask(team *Team, node *TaskNode) {
+	// TaskEnd fires before any reference drops: the node is still whole for
+	// the tracer (Release may recycle it, and the tracer contract lets
+	// implementations read node fields without a Retain inside the
+	// callback).
+	emitTrace(func(tr Tracer) { tr.TaskEnd(team, node) })
 	if p := node.parent; p != nil {
 		p.children.Add(-1)
 		p.Release()
@@ -257,7 +275,6 @@ func FinishTask(team *Team, node *TaskNode) {
 		g.count.Add(-1)
 	}
 	team.Tasks.Add(-1)
-	emitTrace(func(tr Tracer) { tr.TaskEnd(team) })
 }
 
 // PrepareTask builds the TaskNode for a tc.Task call — drawn from the team's

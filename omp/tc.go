@@ -51,6 +51,13 @@ type TC struct {
 	// thread.
 	deps *depTracker
 
+	// traceMember and traceBarrier are flight-recorder stamps: FlightTracer
+	// writes the trace clock at MemberStart / BarrierEnter and reads it back
+	// at the paired MemberEnd / BarrierExit. Single-threaded like the rest
+	// of the TC, and only touched under an installed tracer.
+	traceMember  int64
+	traceBarrier int64
+
 	// ring is the producer-side overflow ring: deferred tasks accumulate
 	// here and are handed to the engine in one FlushTasks call at OpenMP
 	// task scheduling points (barriers, taskwait, taskyield, taskgroup end)
@@ -352,9 +359,9 @@ func (tc *TC) flushPending() {
 // queued tasks.
 func (tc *TC) Barrier() {
 	tc.flushPending()
-	emitTrace(func(tr Tracer) { tr.BarrierEnter(tc.team) })
+	emitTrace(func(tr Tracer) { tr.BarrierEnter(tc) })
 	tc.ops.BarrierWait(tc)
-	emitTrace(func(tr Tracer) { tr.BarrierExit(tc.team) })
+	emitTrace(func(tr Tracer) { tr.BarrierExit(tc) })
 }
 
 // Master runs body on thread 0 only, with no implied barrier

@@ -93,6 +93,13 @@ type Team struct {
 	// task nodes, (re)initialized by Run.
 	tcs   []TC
 	nodes []TaskNode
+	// traceBegin is the flight-recorder dispatch stamp: FlightTracer's
+	// RegionBegin (fired in prepare, before any member is dispatched)
+	// writes the trace clock here, and each member's MemberStart measures
+	// its work-assignment latency against it. Plain field: the engine
+	// dispatch orders the write before every member's read, and it is only
+	// written under an installed tracer.
+	traceBegin int64
 	// owner is the Frontend whose pool this descriptor belongs to; nil for
 	// hand-built teams (NewTeam), which are simply garbage collected.
 	owner *Frontend
@@ -151,7 +158,9 @@ func (t *Team) Run(rank int, ops EngineOps, ectx any) {
 	node.rearm(rank)
 	tc := &t.tcs[rank]
 	tc.rearm(t, rank, ops, ectx, node)
+	emitTrace(func(tr Tracer) { tr.MemberStart(tc) })
 	t.body(tc)
+	emitTrace(func(tr Tracer) { tr.MemberEnd(tc) })
 	tc.Barrier() // the implicit barrier ending the region
 	if t.ends.Add(-1) == 0 {
 		// Last member out of the implicit barrier: the region is over.
@@ -453,6 +462,11 @@ func (t *Team) stealBuffered(start int) (*TaskNode, int) {
 	if rs.resident.Load() <= 0 {
 		return nil, start // nothing ring-resident anywhere: one atomic load
 	}
+	// visited counts the directories this tour actually probed, reported to
+	// the tracer's steal-tour hook. Tours that never start (the one-load
+	// empty fast path above) report nothing, so idle spinners do not flood
+	// the tracer with zero-length tours.
+	visited := 0
 	if dp := rs.dirs.Load(); dp != nil {
 		n := len(*dp)
 		if start < 0 {
@@ -468,12 +482,14 @@ func (t *Team) stealBuffered(start int) (*TaskNode, int) {
 			}
 			at := ((start+d)%n + n) % n
 			dir := &(*dp)[at]
+			visited++
 			for j := range dir.slot {
 				r := dir.slot[j].Load()
 				if r == nil {
 					break // slots fill densely; nil ends the published prefix
 				}
 				if node := r.claim(); node != nil {
+					emitTrace(func(tr Tracer) { tr.StealTour(t, visited, true) })
 					return node, at
 				}
 			}
@@ -484,11 +500,13 @@ func (t *Team) stealBuffered(start int) (*TaskNode, int) {
 		for _, r := range rs.spill {
 			if node := r.claim(); node != nil {
 				rs.spillMu.Unlock()
+				emitTrace(func(tr Tracer) { tr.StealTour(t, visited+1, true) })
 				return node, start
 			}
 		}
 		rs.spillMu.Unlock()
 	}
+	emitTrace(func(tr Tracer) { tr.StealTour(t, visited, false) })
 	return nil, start
 }
 

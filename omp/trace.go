@@ -10,28 +10,54 @@ import "sync/atomic"
 // work assignment step inside the OpenMP runtime".
 //
 // The tracer is global and off by default; the hooks cost one atomic load
-// when disabled.
+// when disabled. FlightTracer (flight.go) is the ready-made implementation
+// that records events into the glt/trace flight recorder and feeds the
+// latency histograms the harness's Fig. 7 breakdown is computed from;
+// CountingTracer is the counting reference implementation.
 
 // Tracer receives runtime events. Implementations must be safe for
 // concurrent use from every team thread; hot paths call them.
 type Tracer interface {
-	// RegionBegin fires when a team is formed, before any member runs.
+	// RegionBegin fires when a team is formed (Frontend prepare), before
+	// any member is dispatched — the start of the runtime's work-assignment
+	// step for the region.
 	RegionBegin(team *Team)
 	// RegionEnd fires after the region's implicit barrier releases, once
 	// per team, on the member that completed it last.
 	RegionEnd(team *Team)
+	// MemberStart fires when a team member begins executing the region
+	// body: RegionBegin→MemberStart is that member's work-assignment
+	// latency (paper Fig. 7).
+	MemberStart(tc *TC)
+	// MemberEnd fires when a member's region body returns, before the
+	// implicit barrier: MemberStart→MemberEnd is the member's useful
+	// execution time.
+	MemberEnd(tc *TC)
 	// TaskCreate fires when an explicit task is created (before deferral
 	// policy applies). Task descriptors are pooled: a tracer that keeps node
 	// past the callback must Retain it (and Release it later), or the
 	// runtime may recycle it for a new task the moment the old one finishes
 	// (observable via TaskNode.Generation).
 	TaskCreate(team *Team, node *TaskNode)
-	// TaskEnd fires when an explicit task's body has completed.
-	TaskEnd(team *Team)
+	// TaskStart fires when a thread begins executing an explicit task's
+	// body: TaskCreate→TaskStart is the task's queue residency.
+	TaskStart(team *Team, node *TaskNode)
+	// TaskEnd fires when an explicit task's body has completed, before the
+	// completion bookkeeping releases the descriptor.
+	TaskEnd(team *Team, node *TaskNode)
+	// DepRelease fires when a dependence-parked task is handed to the
+	// engine by its final predecessor's completion (the ReleaseTask path).
+	DepRelease(team *Team, node *TaskNode)
+	// StealTour fires when a consumer completes a tour over buffered-task
+	// queues (the team's overflow-ring directories, an engine's deques):
+	// visited is the number of queues probed, found whether the tour
+	// claimed a task.
+	StealTour(team *Team, visited int, found bool)
 	// BarrierEnter and BarrierExit bracket each thread's wait at any team
-	// barrier (explicit, work-sharing, or region-end).
-	BarrierEnter(team *Team)
-	BarrierExit(team *Team)
+	// barrier (explicit, work-sharing, or region-end), including the task
+	// drain the barrier implies.
+	BarrierEnter(tc *TC)
+	BarrierExit(tc *TC)
 }
 
 var activeTracer atomic.Pointer[Tracer]
@@ -60,17 +86,32 @@ func emitTrace(f func(Tracer)) {
 	}
 }
 
+// TraceStealTour reports a completed steal tour to the active tracer; a
+// no-op (one atomic load) when tracing is off. Exported for runtime engines,
+// whose deque tours live outside this package; the shared overflow-ring
+// tour (Team.StealBufferedTask) reports itself.
+func TraceStealTour(team *Team, visited int, found bool) {
+	emitTrace(func(tr Tracer) { tr.StealTour(team, visited, found) })
+}
+
 // CountingTracer is a ready-made Tracer that counts events, usable as a
 // cheap profiler and as the reference implementation. Every RegionBegin is
 // paired by exactly one RegionEnd (fired by the last member out of the
-// region's implicit barrier), so Regions == RegionEnds once all regions a
-// program started have completed.
+// region's implicit barrier), and every BarrierEnter by exactly one
+// BarrierExit, so Regions == RegionEnds and Barriers == BarrierExits once
+// all regions a program started have completed.
 type CountingTracer struct {
-	Regions    atomic.Int64
-	RegionEnds atomic.Int64
-	Tasks      atomic.Int64
-	TaskEnds   atomic.Int64
-	Barriers   atomic.Int64
+	Regions      atomic.Int64
+	RegionEnds   atomic.Int64
+	Members      atomic.Int64
+	MemberEnds   atomic.Int64
+	Tasks        atomic.Int64
+	TaskStarts   atomic.Int64
+	TaskEnds     atomic.Int64
+	DepReleases  atomic.Int64
+	StealTours   atomic.Int64
+	Barriers     atomic.Int64
+	BarrierExits atomic.Int64
 }
 
 // RegionBegin implements Tracer.
@@ -79,14 +120,30 @@ func (c *CountingTracer) RegionBegin(*Team) { c.Regions.Add(1) }
 // RegionEnd implements Tracer.
 func (c *CountingTracer) RegionEnd(*Team) { c.RegionEnds.Add(1) }
 
+// MemberStart implements Tracer.
+func (c *CountingTracer) MemberStart(*TC) { c.Members.Add(1) }
+
+// MemberEnd implements Tracer.
+func (c *CountingTracer) MemberEnd(*TC) { c.MemberEnds.Add(1) }
+
 // TaskCreate implements Tracer.
 func (c *CountingTracer) TaskCreate(*Team, *TaskNode) { c.Tasks.Add(1) }
 
+// TaskStart implements Tracer.
+func (c *CountingTracer) TaskStart(*Team, *TaskNode) { c.TaskStarts.Add(1) }
+
 // TaskEnd implements Tracer.
-func (c *CountingTracer) TaskEnd(*Team) { c.TaskEnds.Add(1) }
+func (c *CountingTracer) TaskEnd(*Team, *TaskNode) { c.TaskEnds.Add(1) }
+
+// DepRelease implements Tracer.
+func (c *CountingTracer) DepRelease(*Team, *TaskNode) { c.DepReleases.Add(1) }
+
+// StealTour implements Tracer.
+func (c *CountingTracer) StealTour(*Team, int, bool) { c.StealTours.Add(1) }
 
 // BarrierEnter implements Tracer.
-func (c *CountingTracer) BarrierEnter(*Team) { c.Barriers.Add(1) }
+func (c *CountingTracer) BarrierEnter(*TC) { c.Barriers.Add(1) }
 
-// BarrierExit implements Tracer.
-func (c *CountingTracer) BarrierExit(*Team) {}
+// BarrierExit implements Tracer. (It was a silent no-op before the pairing
+// contract was pinned; every enter is now matched by a counted exit.)
+func (c *CountingTracer) BarrierExit(*TC) { c.BarrierExits.Add(1) }

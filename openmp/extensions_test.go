@@ -192,3 +192,61 @@ func TestTracerRegionBeginEndPairing(t *testing.T) {
 		}
 	})
 }
+
+// TestTracerBarrierPairing pins the BarrierExit contract (the hook was a
+// silent no-op in CountingTracer before the flight recorder landed): after
+// a runtime quiesces, every BarrierEnter the tracer observed — explicit
+// barriers, construct-implied ones, and the region-end implicit barrier —
+// has been paired by exactly one BarrierExit, on all four runtimes.
+func TestTracerBarrierPairing(t *testing.T) {
+	forEachRuntime(t, func(t *testing.T, rt omp.Runtime) {
+		tr := &omp.CountingTracer{}
+		prev := omp.SetTracer(tr)
+		defer omp.SetTracer(prev)
+		for i := 0; i < 3; i++ {
+			rt.Parallel(func(tc *omp.TC) {
+				tc.Barrier()
+				tc.Single(func() {
+					for j := 0; j < 8; j++ {
+						tc.Task(func(*omp.TC) {})
+					}
+				})
+				tc.Barrier()
+			})
+		}
+		omp.SetTracer(prev)
+		enters, exits := tr.Barriers.Load(), tr.BarrierExits.Load()
+		if enters == 0 {
+			t.Fatal("tracer saw no BarrierEnter events")
+		}
+		if enters != exits {
+			t.Errorf("BarrierEnter/BarrierExit unpaired: %d enters, %d exits", enters, exits)
+		}
+	})
+}
+
+// TestTracerMemberAndStartPairing covers the hooks added alongside the
+// flight recorder: every member dispatch is bracketed by MemberStart and
+// MemberEnd, and every created task that ran observed TaskStart as well as
+// TaskEnd.
+func TestTracerMemberAndStartPairing(t *testing.T) {
+	forEachRuntime(t, func(t *testing.T, rt omp.Runtime) {
+		tr := &omp.CountingTracer{}
+		prev := omp.SetTracer(tr)
+		defer omp.SetTracer(prev)
+		rt.Parallel(func(tc *omp.TC) {
+			tc.Single(func() {
+				for j := 0; j < 10; j++ {
+					tc.Task(func(*omp.TC) {})
+				}
+			})
+		})
+		omp.SetTracer(prev)
+		if ms, me := tr.Members.Load(), tr.MemberEnds.Load(); ms != 4 || me != 4 {
+			t.Errorf("member brackets: %d starts, %d ends, want 4/4", ms, me)
+		}
+		if ts, te := tr.TaskStarts.Load(), tr.TaskEnds.Load(); ts != 10 || te != 10 {
+			t.Errorf("task brackets: %d starts, %d ends, want 10/10", ts, te)
+		}
+	})
+}
