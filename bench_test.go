@@ -12,8 +12,8 @@ import (
 
 	"repro/glt"
 	_ "repro/glt/backends"
-	"repro/glt/trace"
 	"repro/glt/qth/feb"
+	"repro/glt/trace"
 	"repro/internal/cg"
 	"repro/internal/cloverleaf"
 	"repro/internal/dataflow"
@@ -506,6 +506,43 @@ func BenchmarkDepWavefront(b *testing.B) {
 		b.Run(v.Label, func(b *testing.B) {
 			rt := newRT(b, v, nil)
 			run := func() { w.SolveTasks(rt, benchThreads) }
+			for i := 0; i < 3; i++ {
+				run() // warm descriptor pools, trackers, unit caches
+			}
+			rt.ResetStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(rt.Stats().DepReleases)/float64(b.N), "releases/op")
+		})
+	}
+}
+
+// BenchmarkDepCholesky: the dependence subsystem under a real DAG — one
+// tiled Cholesky factorization per op on a fixed 8×8 tile grid of 24×24
+// tiles, expressed purely through depend clauses with the critical-path
+// priorities (potrf > trsm > syrk/gemm). Unlike the wavefront's near-linear
+// chain this DAG has wide fan-out (one POTRF releases a panel of TRSMs) and
+// fan-in (each GEMM joins two inputs), so it exercises the best-successor
+// selection and the hot/chained dispatch split rather than pure chain
+// latency. BENCH_dep_cholesky.json records the trajectory via the bench-diff
+// harness.
+func BenchmarkDepCholesky(b *testing.B) {
+	c := dataflow.NewCholesky(8, 24, 1)
+	variants := []harness.Variant{
+		{Label: "GCC", Runtime: "gomp"},
+		{Label: "Intel", Runtime: "iomp"},
+		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+		{Label: "GLTO(WS)", Runtime: "glto", Backend: "ws"},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.Label, func(b *testing.B) {
+			rt := newRT(b, v, nil)
+			run := func() { c.FactorTasks(rt, benchThreads) }
 			for i := 0; i < 3; i++ {
 				run() // warm descriptor pools, trackers, unit caches
 			}

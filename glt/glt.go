@@ -345,6 +345,21 @@ func (rt *Runtime) SpawnDetachedFrom(from, target int, fn Func, arg any, tasklet
 	rt.spawnDetachedArg(from, target, fn, arg, tasklet)
 }
 
+// SpawnDetachedOn is the rank-targeted hot spawn: one fire-and-forget unit
+// carrying arg, created from stream from's unlocked descriptor cache and
+// dispatched to target — typically from == target, placing released work on
+// the stream whose caches its inputs are hot in. The caller must be
+// executing ON stream from: inside one of its units or on its scheduler
+// goroutine. That contract holds for GLTO's dependence releases because the
+// token-handoff model gives a ULT running on stream from exclusive use of
+// from's owner-side structures until it yields, and the release fires inside
+// the finishing task's body extent. Counted in Stats.LocalSpawns.
+func (rt *Runtime) SpawnDetachedOn(from, target int, fn Func, arg any, tasklet bool) {
+	from %= len(rt.threads)
+	rt.threads[from].stats.localSpawns.Add(1)
+	rt.spawnDetachedArg(from, target, fn, arg, tasklet)
+}
+
 // SpawnDetachedBatch creates len(targets) fire-and-forget units sharing one
 // body under a single scheduling synchronization episode: descriptors leave
 // the free list in one batch and the policy receives one PushBatch. Unit i

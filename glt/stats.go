@@ -35,6 +35,11 @@ type Stats struct {
 	// of some producer's overflow ring of buffered OpenMP tasks. Always zero
 	// when no hook is registered.
 	BufferSteals int64
+	// LocalSpawns counts rank-targeted hot spawns (SpawnDetachedOn): units
+	// created through a stream's own descriptor cache and aimed back at a
+	// chosen stream — for GLTO, dependence-released tasks placed on their
+	// releaser's stream instead of their creator's.
+	LocalSpawns int64
 	// BatchPushes counts batch dispatch episodes: each SpawnTeam/SpawnBatch
 	// that reached Policy.PushBatch contributes one, however many units it
 	// carried. Zero under Config.PerUnitDispatch.
@@ -54,6 +59,7 @@ func (s *Stats) add(o Stats) {
 	s.Parks += o.Parks
 	s.IdleSteals += o.IdleSteals
 	s.BufferSteals += o.BufferSteals
+	s.LocalSpawns += o.LocalSpawns
 }
 
 // threadStats are the per-stream counters. Only the owning stream increments
@@ -70,6 +76,7 @@ type threadStats struct {
 	parks         atomic.Int64
 	idleSteals    atomic.Int64
 	bufferSteals  atomic.Int64
+	localSpawns   atomic.Int64
 	_             [64]byte
 }
 
@@ -84,6 +91,7 @@ func (t *threadStats) snapshot() Stats {
 		Parks:         t.parks.Load(),
 		IdleSteals:    t.idleSteals.Load(),
 		BufferSteals:  t.bufferSteals.Load(),
+		LocalSpawns:   t.localSpawns.Load(),
 	}
 }
 
@@ -97,6 +105,7 @@ func (t *threadStats) reset() {
 	t.parks.Store(0)
 	t.idleSteals.Store(0)
 	t.bufferSteals.Store(0)
+	t.localSpawns.Store(0)
 }
 
 // counter is a shared monotonically increasing counter.

@@ -103,6 +103,11 @@ const (
 // task; the low bits carry the number of queues visited.
 const TourFoundBit = uint64(1) << 63
 
+// DepPathShift positions the dispatch-path code (omp.DepPath: fallback,
+// local, chained) in a KindDepRelease event's Arg; the low 32 bits carry the
+// task descriptor's generation.
+const DepPathShift = 32
+
 var kindNames = [numKinds]string{
 	KindNone:         "none",
 	KindUnitStart:    "unit_start",

@@ -198,14 +198,14 @@ func (serialOps) SpawnTask(tc *omp.TC, node *omp.TaskNode) { omp.ExecTask(tc, no
 // ReleaseTask can never fire under serial execution (every task completes at
 // its spawn site, so no dependence ever defers); run the task inline on the
 // team's rank-0 context if it somehow does.
-func (serialOps) ReleaseTask(team *omp.Team, node *omp.TaskNode) {
+func (serialOps) ReleaseTask(team *omp.Team, node *omp.TaskNode, _ int, _ any) {
 	omp.ExecTaskOn(team, 0, serialOps{}, nil, node)
 }
-func (serialOps) FlushTasks(tc *omp.TC)                    {}
-func (serialOps) Taskwait(tc *omp.TC)                      {}
-func (serialOps) TryRunTask(tc *omp.TC) bool               { return false }
-func (serialOps) Taskyield(tc *omp.TC)                     {}
-func (serialOps) Idle(tc *omp.TC)                          {}
+func (serialOps) FlushTasks(tc *omp.TC)      {}
+func (serialOps) Taskwait(tc *omp.TC)        {}
+func (serialOps) TryRunTask(tc *omp.TC) bool { return false }
+func (serialOps) Taskyield(tc *omp.TC)       {}
+func (serialOps) Idle(tc *omp.TC)            {}
 func (s serialOps) Nested(tc *omp.TC, team *omp.Team) {
 	// serialRT serializes every inner region (Nested=false in its Config),
 	// so an active nested team can only be size 1: run it inline.

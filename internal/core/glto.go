@@ -374,6 +374,8 @@ func (rt *Runtime) Stats() omp.Stats {
 		TasksStolenFromBuffer: rt.bufStolen.Load(),
 		TasksWithDeps:         rt.TasksWithDeps(),
 		DepReleases:           rt.DepReleases(),
+		TasksChained:          rt.TasksChained(),
+		LocalReleases:         rt.LocalReleases(),
 	}
 }
 
@@ -542,17 +544,40 @@ func (e *engine) FlushTasks(tc *omp.TC) {
 
 // ReleaseTask dispatches a task whose last dependence was just satisfied as
 // a detached GLT unit carrying the node as its payload (the shared taskBody
-// recovers it via Ctx.Arg). The releaser may be any goroutine — a worker
-// mid-Release, or a stream scheduler — so the spawn takes the no-origin path
-// through the shared descriptor free list; the unit targets the creator's
-// stream (round-robin for single/master spawners, mirroring taskTarget) and
-// from there obeys the policy's ordinary steal/migration rules.
-func (e *engine) ReleaseTask(team *omp.Team, node *omp.TaskNode) {
+// recovers it via Ctx.Arg). With a hot releaser its ectx is the ULT context
+// it is executing under, naming the true stream — the team rank alone would
+// not (stolen and nested tasks run off-rank) — so the spawn goes through
+// SpawnDetachedOn: the unit comes from the releasing stream's unlocked
+// descriptor cache and is aimed back at that stream, where the successor's
+// inputs were just written. The token-handoff model makes that safe: a ULT
+// running on a stream has exclusive use of its owner-side caches until it
+// yields, and the release fires inside the finishing task's body extent.
+// Without a hot context (hot < 0: the last reference was dropped by a
+// goroutine with no stream — a tracer's deferred Release, glt's ReleaseAll)
+// the spawn takes the no-origin path through the shared descriptor free
+// list and the unit targets the creator's stream (round-robin for
+// single/master spawners, mirroring taskTarget); either way it obeys the
+// policy's ordinary steal/migration rules from there.
+func (e *engine) ReleaseTask(team *omp.Team, node *omp.TaskNode, hot int, ectx any) {
 	e.rt.tasks.Add(1)
 	e.rt.ults.Add(1)
-	target := node.CreatedBy % e.rt.g.NumThreads()
+	streams := e.rt.g.NumThreads()
+	if hot >= 0 {
+		if c, ok := ectx.(*glt.Ctx); ok && c != nil {
+			s := c.Rank()
+			e.rt.g.SpawnDetachedOn(s, s, e.rt.taskBody, node, e.rt.cfg.Tasklets)
+			return
+		}
+		// Hot rank but no stream context (an implicit task run without a ULT,
+		// e.g. the no-ctx nested path): target the releaser's nominal stream
+		// through the shared free list — still a locality hint, minus the
+		// cache-local descriptor.
+		e.rt.g.SpawnDetachedArg(hot%streams, e.rt.taskBody, node, e.rt.cfg.Tasklets)
+		return
+	}
+	target := node.CreatedBy % streams
 	if node.InSingleMaster {
-		target = int(e.rt.rr.Add(1)-1) % e.rt.g.NumThreads()
+		target = int(e.rt.rr.Add(1)-1) % streams
 	}
 	e.rt.g.SpawnDetachedArg(target, e.rt.taskBody, node, e.rt.cfg.Tasklets)
 }

@@ -170,26 +170,33 @@ func (c *Cholesky) FactorSerial() [][]float64 {
 func (c *Cholesky) FactorTasks(rt omp.Runtime, threads int) [][]float64 {
 	t := c.clone()
 	nt, b := c.NT, c.B
+	// Priorities steer scheduling toward the critical path — the POTRF of
+	// panel k gates the whole trailing submatrix, TRSMs gate their rows,
+	// SYRK/GEMM updates are the bulk work — so ring drains and dependence
+	// releases prefer panel-advancing kernels when several are ready. The
+	// hints change execution order, never the dataflow: the bitwise-vs-serial
+	// validation runs with them on.
 	rt.ParallelN(threads, func(tc *omp.TC) {
 		tc.Single(func() {
 			for k := 0; k < nt; k++ {
 				kk := &t[k*nt+k]
-				tc.Task(func(*omp.TC) { potrf(*kk, b) }, omp.InOut(kk))
+				tc.Task(func(*omp.TC) { potrf(*kk, b) },
+					omp.InOut(kk), omp.Priority(3))
 				for i := k + 1; i < nt; i++ {
 					ik := &t[i*nt+k]
 					tc.Task(func(*omp.TC) { trsm(*kk, *ik, b) },
-						omp.In(kk), omp.InOut(ik))
+						omp.In(kk), omp.InOut(ik), omp.Priority(2))
 				}
 				for i := k + 1; i < nt; i++ {
 					ik := &t[i*nt+k]
 					ii := &t[i*nt+i]
 					tc.Task(func(*omp.TC) { syrk(*ik, *ii, b) },
-						omp.In(ik), omp.InOut(ii))
+						omp.In(ik), omp.InOut(ii), omp.Priority(1))
 					for j := k + 1; j < i; j++ {
 						jk := &t[j*nt+k]
 						ij := &t[i*nt+j]
 						tc.Task(func(*omp.TC) { gemm(*ik, *jk, *ij, b) },
-							omp.In(ik, jk), omp.InOut(ij))
+							omp.In(ik, jk), omp.InOut(ij), omp.Priority(1))
 					}
 				}
 			}

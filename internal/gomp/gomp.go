@@ -118,6 +118,8 @@ func (rt *Runtime) Stats() omp.Stats {
 		TasksStolenFromBuffer: rt.bufStolen.Load(),
 		TasksWithDeps:         rt.TasksWithDeps(),
 		DepReleases:           rt.DepReleases(),
+		TasksChained:          rt.TasksChained(),
+		LocalReleases:         rt.LocalReleases(),
 	}
 }
 
@@ -146,9 +148,69 @@ type engine struct {
 // version implements a single shared task queue for all the threads"). It
 // survives team-descriptor recycling (the queue is drained at every region's
 // end barrier), so steady-state tasking reuses its backing array.
+//
+// The per-rank release slots bolt a locality fast path onto the centralized
+// design: a dependence release with a hot rank parks the successor in that
+// rank's mailbox, raided before the shared queue, so the releasing thread
+// picks its successor back up without touching the queue lock at all.
 type teamTasks struct {
 	mu sync.Mutex
 	q  []*omp.TaskNode
+	// rel is the per-rank release-slot directory, allocated on the first hot
+	// release and sized to the team at that moment; a later, larger team
+	// wraps (hot % len), which only blurs the locality hint — any member may
+	// claim any slot, own slot first. relCount gates the claim sweeps so
+	// dependence-free phases pay one atomic load.
+	rel      atomic.Pointer[[]relSlot]
+	relCount atomic.Int64
+}
+
+// relSlot is one rank's release mailbox, padded to a cache line so a
+// releaser's CAS does not false-share with its neighbours.
+type relSlot struct {
+	p atomic.Pointer[omp.TaskNode]
+	_ [56]byte
+}
+
+// slotsFor returns the release-slot directory, allocating it (sized to the
+// current team) on first use.
+func (ts *teamTasks) slotsFor(size int) []relSlot {
+	if p := ts.rel.Load(); p != nil {
+		return *p
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if p := ts.rel.Load(); p != nil {
+		return *p
+	}
+	s := make([]relSlot, size)
+	ts.rel.Store(&s)
+	return s
+}
+
+// claimRelease claims one parked-then-released task from the slot directory,
+// starting at rank num's own slot; with sweep false only that slot is
+// probed (the hot fast path), with sweep true the whole directory is toured
+// (the idle/barrier drain that keeps slotted work from stranding).
+func (ts *teamTasks) claimRelease(num int, sweep bool) *omp.TaskNode {
+	p := ts.rel.Load()
+	if p == nil {
+		return nil
+	}
+	slots := *p
+	n := len(slots)
+	limit := 1
+	if sweep {
+		limit = n
+	}
+	for i := 0; i < limit; i++ {
+		s := &slots[(num+i)%n]
+		if node := s.p.Load(); node != nil && s.p.CompareAndSwap(node, nil) {
+			ts.relCount.Add(-1)
+			return node
+		}
+	}
+	return nil
 }
 
 func newTeamTasks() any { return &teamTasks{} }
@@ -205,14 +267,23 @@ func (e *engine) FlushTasks(tc *omp.TC) {
 }
 
 // ReleaseTask enqueues a task whose last dependence was just satisfied by a
-// predecessor's completion. The releaser may be any thread of the team (or a
-// thread with no TC at all, if the last reference was dropped by a stealer's
-// Release), so the task goes straight to the shared team queue — the one
-// structure every member polls — rather than through any producer-side
-// buffer.
-func (e *engine) ReleaseTask(team *omp.Team, node *omp.TaskNode) {
+// predecessor's completion. With a hot rank the task is parked in that
+// rank's release slot — claimed by the releasing thread ahead of the shared
+// queue, no lock — falling back to the locked shared queue when the slot is
+// still occupied (the releaser is running ahead of its own consumption) or
+// when the releaser had no team context (hot < 0). Every member's
+// TryRunTask sweeps the slots once the queue runs dry, so a slotted task is
+// no less visible than a queued one.
+func (e *engine) ReleaseTask(team *omp.Team, node *omp.TaskNode, hot int, _ any) {
 	e.rt.tasksQueued.Add(1)
 	ts := e.tasksOf(team)
+	if hot >= 0 {
+		slots := ts.slotsFor(team.Size)
+		if s := &slots[hot%len(slots)]; s.p.CompareAndSwap(nil, node) {
+			ts.relCount.Add(1)
+			return
+		}
+	}
 	ts.mu.Lock()
 	ts.q = append(ts.q, node)
 	ts.mu.Unlock()
@@ -220,25 +291,37 @@ func (e *engine) ReleaseTask(team *omp.Team, node *omp.TaskNode) {
 
 func (e *engine) tryRunTask(tc *omp.TC) bool {
 	ts := e.tasksOf(tc.Team())
+	// Own release slot first: a successor the thread itself just released is
+	// the hottest work available, and claiming it is one CAS, no lock.
+	if ts.relCount.Load() > 0 {
+		if node := ts.claimRelease(tc.ThreadNum(), false); node != nil {
+			e.execPopped(tc, node)
+			return true
+		}
+	}
 	ts.mu.Lock()
 	if len(ts.q) == 0 {
 		ts.mu.Unlock()
-		// The shared queue is dry; raid the members' producer-side overflow
-		// rings so a burst buffered by a busy producer is picked up now
-		// rather than at the producer's next scheduling point. (The native
-		// runtime has no analogue — its producers hold the queue lock per
-		// task; the raid keeps the batched design's task *visibility* no
-		// worse than the paper's.) The rotor-seeded raid is lock-free.
+		// Queue dry: tour the other ranks' release slots so hot-parked work
+		// cannot strand behind an already-busy releaser...
+		if ts.relCount.Load() > 0 {
+			if node := ts.claimRelease(tc.ThreadNum(), true); node != nil {
+				e.execPopped(tc, node)
+				return true
+			}
+		}
+		// ...then raid the members' producer-side overflow rings so a burst
+		// buffered by a busy producer is picked up now rather than at the
+		// producer's next scheduling point. (The native runtime has no
+		// analogue — its producers hold the queue lock per task; the raid
+		// keeps the batched design's task *visibility* no worse than the
+		// paper's.) The rotor-seeded raid is lock-free.
 		node := tc.StealBufferedTask()
 		if node == nil {
 			return false
 		}
 		e.rt.bufStolen.Add(1)
-		if node.CreatedBy != tc.ThreadNum() {
-			e.rt.stolen.Add(1)
-			omp.TraceStealTour(tc.Team(), 1, true)
-		}
-		omp.ExecTask(tc, node)
+		e.execPopped(tc, node)
 		return true
 	}
 	node := ts.q[0]
@@ -246,15 +329,21 @@ func (e *engine) tryRunTask(tc *omp.TC) bool {
 	ts.q[len(ts.q)-1] = nil
 	ts.q = ts.q[:len(ts.q)-1]
 	ts.mu.Unlock()
+	e.execPopped(tc, node)
+	return true
+}
+
+// execPopped settles the steal accounting for a claimed task and runs it. A
+// foreign pop from the single shared queue (or a slot/ring claim of another
+// thread's task) is gomp's whole "steal": a degenerate one-stop tour, which
+// is exactly how Fig. 7 accounts the centralized-queue runtime's work
+// distribution.
+func (e *engine) execPopped(tc *omp.TC, node *omp.TaskNode) {
 	if node.CreatedBy != tc.ThreadNum() {
 		e.rt.stolen.Add(1)
-		// A foreign pop from the single shared queue is gomp's whole
-		// "steal": a degenerate one-stop tour, which is exactly how Fig. 7
-		// accounts the centralized-queue runtime's work distribution.
 		omp.TraceStealTour(tc.Team(), 1, true)
 	}
 	omp.ExecTask(tc, node)
-	return true
 }
 
 // TryRunTask exposes the shared-queue pop to construct-level waits.

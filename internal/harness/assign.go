@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/glt/trace"
+	"repro/internal/dataflow"
 	"repro/omp"
 )
 
@@ -75,5 +76,68 @@ func runAssign(cfg Config) error {
 	}
 	frac.Render(cfg.Out)
 	p99.Render(cfg.Out)
+	return runAssignDataflow(cfg, met)
+}
+
+// runAssignDataflow is the dependence-release analogue of the Fig. 7 split:
+// for dataflow workloads the runtime's "work assignment step" is the
+// release→start hand-off of each parked task, which the FlightTracer's
+// DepRelease histogram times and its path-tagged release events attribute.
+// The table compares chaining on (release-to-self + hot dispatch, the
+// default) against the pre-chaining release path (OMP_DEP_CHAIN off): the
+// assignment fraction is the share of total thread-time the DAG's tasks
+// spent between release and start, and Chained/Local split DepReleases by
+// which locality path fired — chained releases start inline, so their
+// samples land near zero and pull both the fraction and the p99 down.
+func runAssignDataflow(cfg Config, met *trace.Metrics) error {
+	iters := scaledIters(cfg, 30, 3)
+	const threads = 4
+	w := dataflow.NewWavefront(4000, 50, 7)
+	tbl := NewTable(fmt.Sprintf("Dataflow dep-release split: wavefront 4000×50, %d threads, %d solves", threads, iters),
+		"variant/chain", []string{"Assign%", "RelMean", "RelP99", "Chained%", "Local%", "Fallback%"})
+	modes := []struct {
+		name  string
+		depth int
+	}{
+		{"chain", omp.DefaultDepChain},
+		{"off", -1},
+	}
+	for _, v := range benchDiffVariants {
+		for _, m := range modes {
+			rt, err := v.New(threads, func(c *omp.Config) { c.DepChain = m.depth })
+			if err != nil {
+				return err
+			}
+			run := func() { w.SolveTasks(rt, threads) }
+			for i := 0; i < 3; i++ {
+				run()
+			}
+			rt.ResetStats()
+			met.Reset()
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				run()
+			}
+			wall := time.Since(start)
+			s := rt.Stats()
+			rt.Shutdown()
+			row := v.Label + "/" + m.name
+			if wall > 0 {
+				tbl.Set(row, "Assign%", fmt.Sprintf("%5.2f%%",
+					100*float64(met.DepRelease.Sum())/(float64(threads)*float64(wall.Nanoseconds()))))
+			}
+			tbl.Set(row, "RelMean", time.Duration(met.DepRelease.Mean()).Round(100*time.Nanosecond).String())
+			tbl.Set(row, "RelP99", time.Duration(met.DepRelease.P99()).Round(100*time.Nanosecond).String())
+			if s.DepReleases > 0 {
+				pct := func(n int64) string {
+					return fmt.Sprintf("%5.1f%%", 100*float64(n)/float64(s.DepReleases))
+				}
+				tbl.Set(row, "Chained%", pct(s.TasksChained))
+				tbl.Set(row, "Local%", pct(s.LocalReleases))
+				tbl.Set(row, "Fallback%", pct(s.DepReleases-s.TasksChained-s.LocalReleases))
+			}
+		}
+	}
+	tbl.Render(cfg.Out)
 	return nil
 }

@@ -160,6 +160,34 @@ func benchDepWavefront(cfg Config, reps int) (map[string]benchSeries, error) {
 	return out, nil
 }
 
+// benchDepCholesky mirrors BenchmarkDepCholesky: one tiled Cholesky
+// factorization per op on a fixed 8×8 tile grid of 24×24 tiles, driven
+// entirely by depend clauses with the critical-path priorities
+// (potrf > trsm > syrk/gemm). Against the wavefront's 1-to-2 release fan-out
+// this DAG releases through wide fan-in/fan-out joins, so the series tracks
+// the chained/hot dispatch paths under realistic dependence shapes.
+func benchDepCholesky(cfg Config, reps int) (map[string]benchSeries, error) {
+	iters := scaledIters(cfg, 20, 2)
+	c := dataflow.NewCholesky(8, 24, 1)
+	out := map[string]benchSeries{}
+	for _, v := range benchDiffVariants {
+		rt, err := v.New(4, nil)
+		if err != nil {
+			return nil, err
+		}
+		run := func() { c.FactorTasks(rt, 4) }
+		for i := 0; i < 3; i++ {
+			run() // warm descriptor pools, trackers, unit caches
+		}
+		rt.ResetStats()
+		ns := medianNsPerOp(reps, iters, run)
+		rel := float64(rt.Stats().DepReleases) / float64(reps*iters)
+		rt.Shutdown()
+		out[v.Label] = benchSeries{"ns_per_op": ns, "releases_per_op": rel}
+	}
+	return out, nil
+}
+
 // benchConsumerContention mirrors BenchmarkConsumerContention (and the
 // `contention` experiment): one producer's 192-task burst drained only by
 // the other 7 members raiding the overflow ring.
@@ -340,6 +368,7 @@ func runBenchDiff(cfg Config) error {
 		{"consumer_contention", benchConsumerContention},
 		{"barrier", benchBarrier},
 		{"dep_wavefront", benchDepWavefront},
+		{"dep_cholesky", benchDepCholesky},
 		{"trace_overhead", benchTraceOverhead},
 	}
 	commit := benchDiffCommit()

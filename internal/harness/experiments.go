@@ -198,7 +198,7 @@ func init() {
 			}
 			const outer = 100
 			tbl := NewTable(fmt.Sprintf("Nested thread accounting, OMP_NUM_THREADS=%d, outer=%d", n, outer),
-				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused", "StolenUnits", "Allocs/Region", "Allocs/Task", "BufferSteals", "TasksWithDeps", "DepReleases"})
+				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused", "StolenUnits", "Allocs/Region", "Allocs/Task", "BufferSteals", "TasksWithDeps", "DepReleases", "TasksChained", "LocalReleases"})
 			// The paper's Table II lists GCC, Intel and GLTO once (the GLT
 			// backend does not change the thread/ULT accounting); this report
 			// keeps one GLTO row per backend so the scheduling-engine
@@ -232,6 +232,8 @@ func init() {
 				ds := rt.Stats()
 				tbl.Set(label, "TasksWithDeps", fmt.Sprint(ds.TasksWithDeps))
 				tbl.Set(label, "DepReleases", fmt.Sprint(ds.DepReleases))
+				tbl.Set(label, "TasksChained", fmt.Sprint(ds.TasksChained))
+				tbl.Set(label, "LocalReleases", fmt.Sprint(ds.LocalReleases))
 				if v.Runtime == "glto" {
 					tbl.Set(label, "CreatedThreads", fmt.Sprint(n))
 					tbl.Set(label, "ReusedThreads", "0")

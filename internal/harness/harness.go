@@ -65,6 +65,10 @@ func (v Variant) New(threads int, mutate func(*omp.Config)) (omp.Runtime, error)
 	// per-unit work-assignment cost of Fig. 7 (GLTO_PER_UNIT_DISPATCH=1)
 	// against the default batched engine.
 	cfg.PerUnitDispatch = omp.PerUnitDispatchFromEnv()
+	// Likewise the release-to-self chain depth: OMP_DEP_CHAIN=0 turns
+	// locality-first dependence dispatch off, so benches and validation runs
+	// can compare against the pre-chaining release path.
+	cfg.DepChain = omp.DepChainFromEnv()
 	if mutate != nil {
 		mutate(&cfg)
 	}

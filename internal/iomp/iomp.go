@@ -142,6 +142,8 @@ func (rt *Runtime) Stats() omp.Stats {
 		StealAttempts:         rt.stealAttempts.Load(),
 		TasksWithDeps:         rt.TasksWithDeps(),
 		DepReleases:           rt.DepReleases(),
+		TasksChained:          rt.TasksChained(),
+		LocalReleases:         rt.LocalReleases(),
 	}
 }
 
@@ -308,16 +310,23 @@ func (e *engine) FlushTasks(tc *omp.TC) {
 	clear(nodes)
 }
 
-// ReleaseTask enqueues a task whose last dependence was just satisfied.
-// The releaser may be any thread (possibly without a TC), so the task is
-// appended to its *creator's* deque — preserving the per-thread-queue
-// discipline and making the released task visible to the creator's LIFO pop
-// and everyone else's FIFO steal. The cut-off is deliberately not applied:
-// the releaser cannot execute the task inline (it may be running unrelated
-// code mid-Release), and a released task has already paid its deferral.
-func (e *engine) ReleaseTask(team *omp.Team, node *omp.TaskNode) {
+// ReleaseTask enqueues a task whose last dependence was just satisfied. With
+// a hot rank the task is appended to the *releaser's* deque — the append end
+// is the LIFO own-pop end, so the releasing thread picks the successor up
+// next, right where its inputs were just written. Without one (hot < 0: the
+// last reference was dropped by a thread with no team context) it falls back
+// to the creator's deque, preserving the per-thread-queue discipline; either
+// way the task is visible to the owner's LIFO pop and everyone else's FIFO
+// steal. The cut-off is deliberately not applied: the releaser cannot
+// execute the task inline (it may be running unrelated code mid-Release),
+// and a released task has already paid its deferral.
+func (e *engine) ReleaseTask(team *omp.Team, node *omp.TaskNode, hot int, _ any) {
 	e.rt.tasksQueued.Add(1)
-	d := &e.dequesOf(team)[node.CreatedBy%team.Size]
+	at := node.CreatedBy
+	if hot >= 0 {
+		at = hot
+	}
+	d := &e.dequesOf(team)[at%team.Size]
 	d.mu.Lock()
 	d.q = append(d.q, node)
 	d.n.Store(int64(len(d.q)))

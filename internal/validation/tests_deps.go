@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/dataflow"
 	"repro/omp"
 )
 
@@ -231,6 +232,49 @@ func init() {
 		})
 		if got != 7 {
 			return fmt.Errorf("undeferred dependent task saw %d, want 7", got)
+		}
+		return nil
+	}, Normal)
+
+	addExt("omp_task_depend_cholesky_bitwise", "task depend", func(e *Env) error {
+		// End-to-end numerical witness for the locality-first release path:
+		// a tiled Cholesky whose task graph carries priorities (potrf >
+		// trsm > syrk/gemm) must produce the BITWISE-identical factor the
+		// serial loop nest produces, however releases were chained, hot-
+		// dispatched or queued. Each tile element is written by exactly one
+		// ordered task chain, so any reordering past a dependence edge
+		// changes an FP operand order and flips low bits — `==` on every
+		// element is the strongest possible order oracle.
+		ch := dataflow.NewCholesky(5, 8, 3)
+		want := ch.FactorSerial()
+		for rep := 0; rep < 3; rep++ {
+			got := ch.FactorTasks(e.RT, e.Threads)
+			for i := range want {
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						return fmt.Errorf("rep %d: L[%d][%d] = %x, want %x (bitwise)",
+							rep, i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		}
+		return nil
+	}, Normal)
+
+	addExt("omp_task_depend_wavefront_bitwise", "task depend", func(e *Env) error {
+		// Same discipline for the sparse triangular solve: row chunks form a
+		// wavefront DAG and every x[i] is a fixed-order dot product over
+		// earlier entries, so chaining or priority reordering that crossed
+		// an edge would perturb bits. Serial oracle, `==` per element.
+		w := dataflow.NewWavefront(600, 30, 11)
+		want := w.SolveSerial()
+		for rep := 0; rep < 3; rep++ {
+			got := w.SolveTasks(e.RT, e.Threads)
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("rep %d: x[%d] = %x, want %x (bitwise)", rep, i, got[i], want[i])
+				}
+			}
 		}
 		return nil
 	}, Normal)

@@ -20,15 +20,15 @@ import (
 // the pthread engines. No test below spawns explicit tasks.
 type barrierOps struct{}
 
-func (barrierOps) BarrierWait(tc *TC)            { tc.Team().Bar.WaitTC(tc, true) }
-func (barrierOps) SpawnTask(tc *TC, n *TaskNode) { ExecTask(tc, n) }
-func (barrierOps) ReleaseTask(*Team, *TaskNode)  {}
-func (barrierOps) FlushTasks(*TC)                {}
-func (barrierOps) Taskwait(*TC)                  {}
-func (barrierOps) Taskyield(*TC)                 {}
-func (barrierOps) Nested(*TC, *Team)             {}
-func (barrierOps) TryRunTask(*TC) bool           { return false }
-func (barrierOps) Idle(*TC)                      { runtime.Gosched() }
+func (barrierOps) BarrierWait(tc *TC)                     { tc.Team().Bar.WaitTC(tc, true) }
+func (barrierOps) SpawnTask(tc *TC, n *TaskNode)          { ExecTask(tc, n) }
+func (barrierOps) ReleaseTask(*Team, *TaskNode, int, any) {}
+func (barrierOps) FlushTasks(*TC)                         {}
+func (barrierOps) Taskwait(*TC)                           {}
+func (barrierOps) Taskyield(*TC)                          {}
+func (barrierOps) Nested(*TC, *Team)                      {}
+func (barrierOps) TryRunTask(*TC) bool                    { return false }
+func (barrierOps) Idle(*TC)                               { runtime.Gosched() }
 
 // runBarrierRegion drives one region of the given width through phases
 // explicit barriers, asserting after every barrier that no member was

@@ -124,6 +124,16 @@ type Config struct {
 	// work-assignment cost of Fig. 7. By default GLTO batches a region's
 	// team into one scheduling episode and recycles unit descriptors.
 	PerUnitDispatch bool
+
+	// DepChain bounds release-to-self chaining: when a finishing task's
+	// last-ref drop releases a ready successor, the releasing thread runs it
+	// inline — skipping enqueue/dequeue/wakeup — up to this many links deep
+	// before falling back to EngineOps.ReleaseTask (which keeps the tail of
+	// a long chain raidable and bounds stack growth). Zero means
+	// DefaultDepChain; a negative value disables chaining, restoring the
+	// every-release-is-a-queueing-event behaviour (OMP_DEP_CHAIN; 0 or any
+	// falsy spelling disables, a positive integer sets the depth).
+	DepChain int
 }
 
 // DefaultTaskCutoff is the Intel runtime's default task queue bound.
@@ -134,6 +144,13 @@ const DefaultTaskCutoff = 256
 // (Fig. 14's producer creates thousands of tasks), large enough to amortize
 // the engine's per-batch synchronization.
 const DefaultTaskBuffer = 64
+
+// DefaultDepChain is the default release-to-self chain depth: deep enough
+// that a dependence chain's links mostly run back to back on the cache that
+// just produced their inputs, shallow enough that the recursion stays within
+// a few stack frames and a long 1-wide chain periodically re-surfaces
+// through ReleaseTask where idle threads can claim it.
+const DefaultDepChain = 8
 
 // WithDefaults resolves zero fields to their defaults.
 func (c Config) WithDefaults() Config {
@@ -160,6 +177,18 @@ func (c Config) EffectiveTaskBuffer() int {
 		return DefaultTaskBuffer
 	}
 	return c.TaskBuffer
+}
+
+// EffectiveDepChain returns the release-to-self chain depth bound, or 0 when
+// chaining is disabled (negative DepChain).
+func (c Config) EffectiveDepChain() int {
+	if c.DepChain < 0 {
+		return 0
+	}
+	if c.DepChain == 0 {
+		return DefaultDepChain
+	}
+	return c.DepChain
 }
 
 // EffectiveCutoff returns the task cut-off bound, with negative meaning "no
@@ -231,7 +260,34 @@ func (c Config) FromEnv() Config {
 			c.TaskBuffer = v
 		}
 	}
+	if c.DepChain == 0 {
+		c.DepChain = DepChainFromEnv()
+	}
 	return c
+}
+
+// DepChainFromEnv parses OMP_DEP_CHAIN: a positive integer is the chain
+// depth, 0 or any falsy spelling ("0", "false", "no", "off") disables
+// chaining (returned as -1, Config.DepChain's disabled encoding), and unset
+// or any other value leaves the default (returned as 0). It exists for
+// callers like the figure harness that pin every other ICV deliberately and
+// must not consult the wider OMP_* environment through Config.FromEnv.
+func DepChainFromEnv() int {
+	v := strings.TrimSpace(os.Getenv("OMP_DEP_CHAIN"))
+	if v == "" {
+		return 0
+	}
+	if n, err := strconv.Atoi(v); err == nil {
+		if n <= 0 {
+			return -1
+		}
+		return n
+	}
+	switch strings.ToLower(v) {
+	case "false", "no", "off":
+		return -1
+	}
+	return 0
 }
 
 // PerUnitDispatchFromEnv reports whether GLTO_PER_UNIT_DISPATCH (or the

@@ -174,11 +174,24 @@ func addDepEdge(pred *TaskNode, predGen uint32, succ *TaskNode) bool {
 // themselves back), walks the committed prefix, and decrements each
 // successor's predecessor count; a successor reaching zero has no
 // outstanding predecessors and no creation guard — it was parked — and is
-// handed to the engine it was created under. Finally the incarnation is
-// retired: slots cleared, generation bumped, seal and count reset in one
-// store, so a producer still holding this (node, generation) pair in a map
-// can never commit an edge against the node's next life.
-func (n *TaskNode) releaseSuccessors() {
+// dispatched (see dispatchReleased and the chaining below). Finally the
+// incarnation is retired: slots cleared, generation bumped, seal and count
+// reset in one store, so a producer still holding this (node, generation)
+// pair in a map can never commit an edge against the node's next life.
+//
+// Dispatch is locality-first. The walk keeps a running best-priority ready
+// successor and dispatches the rest as they surface; at the end, if the
+// releaser has an execution context on the successor's team and chain budget
+// left (rc.depth < EffectiveDepChain), the best successor runs INLINE on the
+// releasing thread — the data its predecessor just wrote is still hot, and
+// the enqueue/dequeue/wakeup round trip is skipped entirely. A chain that
+// exhausts its budget (or a releaser with no context: a tracer's deferred
+// Release, glt's ReleaseAll) falls back to ReleaseTask, so the tail of a
+// long chain re-surfaces where TryRunTask and idle-drain can claim it.
+// Undeferred/final dependent tasks are unreachable here: their creation
+// guard keeps preds at 1, so the spin in spawnWithDeps — never this walk —
+// runs them.
+func (n *TaskNode) releaseSuccessors(rc *relCtx) {
 	var w uint64
 	for {
 		w = n.succState.Load()
@@ -188,6 +201,7 @@ func (n *TaskNode) releaseSuccessors() {
 	}
 	cnt := int(w & depCountMask)
 	sp := n.succSpill.Load()
+	var best *TaskNode
 	for i := 0; i < cnt; i++ {
 		var s *TaskNode
 		if i < depInlineSuccs {
@@ -196,17 +210,40 @@ func (n *TaskNode) releaseSuccessors() {
 			s = (*sp)[i-depInlineSuccs].Load()
 		}
 		if s.preds.Add(-1) == 0 {
-			team := s.team
-			if o := team.owner; o != nil {
-				o.depReleases.Add(1)
+			switch {
+			case best == nil:
+				best = s
+			case s.priority > best.priority:
+				dispatchReleased(best, rc)
+				best = s
+			default:
+				dispatchReleased(s, rc)
 			}
-			// The release stamp must land before ReleaseTask requeues the
-			// node: the executing thread reads it at TaskStart through the
-			// queue's happens-before edge.
-			emitTrace(func(tr Tracer) { tr.DepRelease(team, s) })
-			s.ops.ReleaseTask(team, s)
 		}
 	}
+	if best != nil {
+		if rc != nil && rc.team == best.team && rc.depth < best.team.Cfg.EffectiveDepChain() {
+			team := best.team
+			if o := team.owner; o != nil {
+				o.depReleases.Add(1)
+				o.tasksChained.Add(1)
+			}
+			emitTrace(func(tr Tracer) { tr.DepRelease(team, best, DepDispatchChained) })
+			// Retire this incarnation BEFORE running the successor: the
+			// inline execution can spawn, finish and recycle arbitrary tasks,
+			// and the walk already holds everything it needs.
+			n.retireSuccState(w, sp)
+			execChained(best, rc)
+			return
+		}
+		dispatchReleased(best, rc)
+	}
+	n.retireSuccState(w, sp)
+}
+
+// retireSuccState clears the successor slots and bumps the dependence
+// generation in one store, retiring the sealed incarnation.
+func (n *TaskNode) retireSuccState(w uint64, sp *[]atomic.Pointer[TaskNode]) {
 	for i := range n.succInline {
 		n.succInline[i].Store(nil)
 	}
@@ -214,6 +251,35 @@ func (n *TaskNode) releaseSuccessors() {
 		n.succSpill.Store(nil)
 	}
 	n.succState.Store((w>>depGenShift + 1) << depGenShift)
+}
+
+// dispatchReleased hands one released successor to its engine. With a
+// releaser context on the successor's team the hand-off is HOT: ReleaseTask
+// receives the releaser's team rank and routes the task to that rank's own
+// deque/stream/release-slot, so the successor is consumed where its inputs
+// were just written. Without one (rc nil, or a cross-team release) hot is -1
+// and the engine falls back to creator-side placement.
+func dispatchReleased(s *TaskNode, rc *relCtx) {
+	team := s.team
+	hot := -1
+	var ectx any
+	path := DepDispatchFallback
+	if rc != nil && rc.team == team {
+		hot = rc.num
+		ectx = rc.ectx
+		path = DepDispatchLocal
+	}
+	if o := team.owner; o != nil {
+		o.depReleases.Add(1)
+		if path == DepDispatchLocal {
+			o.localReleases.Add(1)
+		}
+	}
+	// The release stamp must land before ReleaseTask requeues the
+	// node: the executing thread reads it at TaskStart through the
+	// queue's happens-before edge.
+	emitTrace(func(tr Tracer) { tr.DepRelease(team, s, path) })
+	s.ops.ReleaseTask(team, s, hot, ectx)
 }
 
 // depTracker is one dependence domain: the address→version map of the tasks

@@ -114,12 +114,17 @@ func (f *FlightTracer) TaskEnd(t *Team, node *TaskNode) {
 }
 
 // DepRelease implements Tracer: it stamps the release time TaskStart
-// measures the release→start latency against.
-func (f *FlightTracer) DepRelease(t *Team, node *TaskNode) {
+// measures the release→start latency against, and packs the dispatch path
+// into the event arg (above DepPathShift) so cmd/glto-trace and `-exp
+// assign` can attribute which releases skipped the queues. Chained releases
+// start inline immediately after this hook, so their release→start samples
+// land near zero in Met.DepRelease with no extra plumbing.
+func (f *FlightTracer) DepRelease(t *Team, node *TaskNode, path DepPath) {
 	now := trace.Since()
 	node.traceRelease = now
 	if f.Rec != nil {
-		f.Rec.EmitAt(now, node.CreatedBy, trace.KindDepRelease, uint64(node.Generation()))
+		arg := uint64(path)<<trace.DepPathShift | uint64(node.Generation())&(1<<trace.DepPathShift-1)
+		f.Rec.EmitAt(now, node.CreatedBy, trace.KindDepRelease, arg)
 	}
 }
 

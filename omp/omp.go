@@ -145,6 +145,12 @@ type Frontend struct {
 	// their Stats.
 	tasksWithDeps atomic.Int64
 	depReleases   atomic.Int64
+	// tasksChained and localReleases break DepReleases down by dispatch
+	// path: chained = ran inline on the releasing thread, local = handed to
+	// the engine hot (routed to the releaser's rank). The remainder took the
+	// creator-side fallback.
+	tasksChained  atomic.Int64
+	localReleases atomic.Int64
 }
 
 // NewFrontend builds a front end over eng with the given configuration
@@ -196,6 +202,8 @@ func (f *Frontend) Stats() Stats {
 	s.SerializedRegions = f.serialized.Load()
 	s.TasksWithDeps = f.tasksWithDeps.Load()
 	s.DepReleases = f.depReleases.Load()
+	s.TasksChained = f.tasksChained.Load()
+	s.LocalReleases = f.localReleases.Load()
 	return s
 }
 
@@ -204,6 +212,8 @@ func (f *Frontend) ResetStats() {
 	f.serialized.Store(0)
 	f.tasksWithDeps.Store(0)
 	f.depReleases.Store(0)
+	f.tasksChained.Store(0)
+	f.localReleases.Store(0)
 	f.eng.ResetStats()
 }
 
@@ -225,11 +235,21 @@ func (f *Frontend) TasksWithDeps() int64 { return f.tasksWithDeps.Load() }
 // a predecessor's completion.
 func (f *Frontend) DepReleases() int64 { return f.depReleases.Load() }
 
+// TasksChained reports how many released tasks ran inline on the releasing
+// thread (the release-to-self chain path).
+func (f *Frontend) TasksChained() int64 { return f.tasksChained.Load() }
+
+// LocalReleases reports how many released tasks were handed to the engine
+// hot — routed to the releasing thread's own deque/stream/release-slot.
+func (f *Frontend) LocalReleases() int64 { return f.localReleases.Load() }
+
 // ResetDepStats zeroes the dependence counters; for runtimes whose
 // ResetStats shadows the Frontend's.
 func (f *Frontend) ResetDepStats() {
 	f.tasksWithDeps.Store(0)
 	f.depReleases.Store(0)
+	f.tasksChained.Store(0)
+	f.localReleases.Store(0)
 }
 
 // getTeam fetches a recycled descriptor (or builds one) and prepares it for
@@ -303,6 +323,14 @@ type Stats struct {
 	// edges that actually deferred execution, as opposed to dependences that
 	// were already satisfied at creation.
 	DepReleases int64
+	// TasksChained counts released tasks that ran inline on the releasing
+	// thread (release-to-self chaining): the enqueue/dequeue/wakeup round
+	// trip was skipped entirely. A subset of DepReleases.
+	TasksChained int64
+	// LocalReleases counts released tasks handed to the engine hot — routed
+	// to the releasing thread's own deque/stream/release-slot rather than the
+	// creator's. A subset of DepReleases, disjoint from TasksChained.
+	LocalReleases int64
 }
 
 // QueuedTaskPercent reports the share of explicit tasks that went through a

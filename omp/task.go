@@ -37,6 +37,13 @@ type TaskNode struct {
 	// later from a producer-side buffer, possibly after the construct ended.
 	InSingleMaster bool
 
+	// priority is the task's scheduling hint (the Priority option, clause
+	// priority(n)): 0..MaxTaskPriority, higher first. It is advisory —
+	// honored where ordering is cheap: the producer buffer's drain order
+	// (TakeBuffered) and the dependence release-dispatch order, where the
+	// Cholesky workload uses it to favour the critical path.
+	priority int8
+
 	parent   *TaskNode
 	children atomic.Int64
 	group    *TaskGroup
@@ -112,6 +119,7 @@ func (n *TaskNode) reset(createdBy int) {
 	n.Final = false
 	n.Undeferred = false
 	n.InSingleMaster = false
+	n.priority = 0
 	n.parent = nil
 	n.children.Store(0)
 	n.group = nil
@@ -160,10 +168,29 @@ func (n *TaskNode) Generation() uint32 { return n.gen.Load() }
 // past FinishTask. Every Retain must be paired with exactly one Release.
 func (n *TaskNode) Retain() { n.refs.Add(1) }
 
+// relCtx is the releaser's execution context, threaded from ExecTask or
+// ExecTaskOn through finishTask into the dependence-release walk so a
+// released successor can be run inline (release-to-self chaining) or pushed
+// to the releasing thread's own queue (hot dispatch) instead of its
+// creator's. depth counts the chain links already taken on this stack; nil
+// means the release fires with no thread context (a tracer's deferred
+// Release, glt's ReleaseAll) and every successor takes the fallback path.
+type relCtx struct {
+	team  *Team
+	num   int
+	ops   EngineOps
+	ectx  any
+	depth int
+}
+
 // Release drops a reference; the dropper of the last one recycles the
 // descriptor into its team's pool (implicit and hand-built nodes are simply
 // left to their owner). The node must not be touched after Release.
-func (n *TaskNode) Release() {
+func (n *TaskNode) Release() { n.release(nil) }
+
+// release is Release with the releaser's context attached, so a dependence
+// release can chain or hot-dispatch (see relCtx).
+func (n *TaskNode) release(rc *relCtx) {
 	if n.refs.Add(-1) != 0 {
 		return
 	}
@@ -172,7 +199,7 @@ func (n *TaskNode) Release() {
 		// successor list and hand every successor whose final predecessor
 		// this was to its engine — before the descriptor can recycle, so a
 		// successor never observes its predecessor's next incarnation.
-		n.releaseSuccessors()
+		n.releaseSuccessors(rc)
 		n.depActive = false
 		n.ops = nil
 	}
@@ -206,6 +233,26 @@ func Final() TaskOpt { return func(n *TaskNode) { n.Final = true } }
 // executing immediately at the spawn site.
 func If(cond bool) TaskOpt { return func(n *TaskNode) { n.Undeferred = !cond } }
 
+// MaxTaskPriority is the highest task priority level (omp_get_max_task_priority).
+const MaxTaskPriority = 7
+
+// Priority gives the task a scheduling priority hint (the priority(n)
+// clause), clamped to 0..MaxTaskPriority; higher runs first where the
+// runtime orders cheaply — the producer buffer's drain and the dependence
+// release-dispatch order. Like the OpenMP clause it is advisory: it never
+// changes which tasks run, only preference among simultaneously ready ones.
+func Priority(n int) TaskOpt {
+	if n < 0 {
+		n = 0
+	} else if n > MaxTaskPriority {
+		n = MaxTaskPriority
+	}
+	return func(node *TaskNode) { node.priority = int8(n) }
+}
+
+// Priority reports the task's priority hint (0..MaxTaskPriority).
+func (n *TaskNode) Priority() int { return int(n.priority) }
+
 // ExecTask runs node on the calling thread, giving its body a task-scoped TC
 // and settling the completion bookkeeping (parent child count, team task
 // count) when the body returns. Engines call it from their dequeue paths and
@@ -217,7 +264,8 @@ func ExecTask(tc *TC, node *TaskNode) {
 	ttc := taskContext(node, tc.team, tc.num, tc.ops, tc.ectx)
 	node.Fn(ttc)
 	ttc.flushPending()
-	FinishTask(tc.team, node)
+	rc := relCtx{team: tc.team, num: tc.num, ops: tc.ops, ectx: tc.ectx}
+	finishTask(tc.team, node, &rc)
 }
 
 // ExecTaskOn is ExecTask for engines that run task bodies in their own work
@@ -231,7 +279,26 @@ func ExecTaskOn(team *Team, num int, ops EngineOps, ectx any, node *TaskNode) {
 	ttc := taskContext(node, team, num, ops, ectx)
 	node.Fn(ttc)
 	ttc.flushPending()
-	FinishTask(team, node)
+	rc := relCtx{team: team, num: num, ops: ops, ectx: ectx}
+	finishTask(team, node, &rc)
+}
+
+// execChained runs a dependence-released successor inline on the releasing
+// thread: the release-to-self fast path, entered from the successor walk when
+// the releaser has a context and chain budget (see releaseSuccessors). It is
+// ExecTaskOn with the chain depth threaded through, so a chain of releases
+// recurses at most EffectiveDepChain frames before the walk falls back to
+// ReleaseTask. The releaser's buffered tasks were already flushed (task
+// completion is a scheduling point, and the flush precedes finishTask), so
+// chaining never buries raidable work behind the inline execution.
+func execChained(node *TaskNode, rc *relCtx) {
+	node.StartedBy.CompareAndSwap(-1, int32(rc.num))
+	emitTrace(func(tr Tracer) { tr.TaskStart(rc.team, node) })
+	ttc := taskContext(node, rc.team, rc.num, rc.ops, rc.ectx)
+	node.Fn(ttc)
+	ttc.flushPending()
+	next := relCtx{team: rc.team, num: rc.num, ops: rc.ops, ectx: rc.ectx, depth: rc.depth + 1}
+	finishTask(rc.team, node, &next)
 }
 
 // taskContext builds (or rearms) the task-scoped TC for node. Pooled nodes
@@ -259,7 +326,15 @@ func taskContext(node *TaskNode, team *Team, num int, ops EngineOps, ectx any) *
 // before the team task count drops, because Tasks reaching zero is what lets
 // the region's end barrier release and the team descriptor recycle — a slot
 // returned after that could race the next region's pool reset.
-func FinishTask(team *Team, node *TaskNode) {
+func FinishTask(team *Team, node *TaskNode) { finishTask(team, node, nil) }
+
+// finishTask is FinishTask with the finishing thread's release context, so
+// the dependence releases fired by the reference drops below can chain or
+// hot-dispatch. The chained successor (if any) runs inside node.release —
+// before this task's own Team.Tasks decrement, which is safe because the
+// successor has been counted in Team.Tasks since its PrepareTask, so the
+// count stays positive throughout and the ordering contract above holds.
+func finishTask(team *Team, node *TaskNode, rc *relCtx) {
 	// TaskEnd fires before any reference drops: the node is still whole for
 	// the tracer (Release may recycle it, and the tracer contract lets
 	// implementations read node fields without a Retain inside the
@@ -267,10 +342,10 @@ func FinishTask(team *Team, node *TaskNode) {
 	emitTrace(func(tr Tracer) { tr.TaskEnd(team, node) })
 	if p := node.parent; p != nil {
 		p.children.Add(-1)
-		p.Release()
+		p.release(rc)
 	}
 	g := node.group
-	node.Release()
+	node.release(rc)
 	if g != nil {
 		g.count.Add(-1)
 	}

@@ -46,7 +46,7 @@ func (e *recycleEngine) FlushTasks(tc *TC) {
 	clear(nodes)
 }
 
-func (e *recycleEngine) ReleaseTask(team *Team, node *TaskNode) {
+func (e *recycleEngine) ReleaseTask(team *Team, node *TaskNode, _ int, _ any) {
 	e.mu.Lock()
 	e.q = append(e.q, node)
 	e.mu.Unlock()

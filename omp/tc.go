@@ -110,11 +110,19 @@ type EngineOps interface {
 	// whichever thread drops the predecessor's final reference — possibly
 	// with no thread context of its own — so engines must route the node
 	// into a structure reachable without a TC: the shared team queue, the
-	// creator's deque (node.CreatedBy), a detached work unit. The released
-	// task then executes through the engine's normal dequeue paths
-	// (ExecTask/ExecTaskOn), which settle the same completion bookkeeping as
-	// any queued task.
-	ReleaseTask(team *Team, node *TaskNode)
+	// creator's deque (node.CreatedBy), a detached work unit. When the
+	// releasing thread IS a team member, hot is its team rank — and ectx its
+	// engine execution context (TC.Ectx) — and engines should place the task
+	// where that thread consumes next (its own deque bottom, its own stream,
+	// a per-rank release slot): the successor's inputs were just written
+	// there. GLTO reads the true executing stream from ectx, since a stolen
+	// or nested task's team rank need not match its stream. hot is -1 (and
+	// ectx nil) when the releaser has no context on the team (a tracer's
+	// deferred Release, a cross-team drop) and placement falls back to the
+	// creator's structures. The released task then executes through the
+	// engine's normal dequeue paths (ExecTask/ExecTaskOn), which settle the
+	// same completion bookkeeping as any queued task.
+	ReleaseTask(team *Team, node *TaskNode, hot int, ectx any)
 	// TryRunTask executes one queued task of the team if the engine's
 	// tasking structures hold one, reporting whether it did. All engines can
 	// at minimum raid the team's overflow rings (Team.StealBufferedTask) —
@@ -335,12 +343,24 @@ func (tc *TC) TakeBuffered() []*TaskNode {
 		return nil
 	}
 	buf := tc.flushScratch[:0]
+	prioritized := false
 	for {
 		node := r.claim()
 		if node == nil {
 			break
 		}
+		prioritized = prioritized || node.priority != 0
 		buf = append(buf, node)
+	}
+	if prioritized {
+		// Hand the engine the drain in priority order (stable, in place: the
+		// burst is small — at most the engine's buffer limit). The all-zero
+		// case — every workload without omp.Priority hints — never pays.
+		for i := 1; i < len(buf); i++ {
+			for j := i; j > 0 && buf[j].priority > buf[j-1].priority; j-- {
+				buf[j], buf[j-1] = buf[j-1], buf[j]
+			}
+		}
 	}
 	tc.flushScratch = buf
 	return buf

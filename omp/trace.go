@@ -45,9 +45,11 @@ type Tracer interface {
 	// TaskEnd fires when an explicit task's body has completed, before the
 	// completion bookkeeping releases the descriptor.
 	TaskEnd(team *Team, node *TaskNode)
-	// DepRelease fires when a dependence-parked task is handed to the
-	// engine by its final predecessor's completion (the ReleaseTask path).
-	DepRelease(team *Team, node *TaskNode)
+	// DepRelease fires when a dependence-parked task becomes runnable on its
+	// final predecessor's completion; path records which dispatch the release
+	// took (chained inline, hot to the releaser's rank, or the creator-side
+	// fallback through ReleaseTask).
+	DepRelease(team *Team, node *TaskNode, path DepPath)
 	// StealTour fires when a consumer completes a tour over buffered-task
 	// queues (the team's overflow-ring directories, an engine's deques):
 	// visited is the number of queues probed, found whether the tour
@@ -58,6 +60,35 @@ type Tracer interface {
 	// drain the barrier implies.
 	BarrierEnter(tc *TC)
 	BarrierExit(tc *TC)
+}
+
+// DepPath identifies which dispatch path a dependence release took: the
+// decision tree is chain → hot → fallback (see releaseSuccessors).
+type DepPath uint8
+
+const (
+	// DepDispatchFallback: the releaser had no execution context on the
+	// successor's team, so the engine placed the task creator-side — the
+	// only path that existed before release-to-self chaining.
+	DepDispatchFallback DepPath = iota
+	// DepDispatchLocal: the successor was handed to the engine hot — routed
+	// to the releasing thread's own deque/stream/release-slot.
+	DepDispatchLocal
+	// DepDispatchChained: the successor ran inline on the releasing thread,
+	// skipping the engine queues entirely.
+	DepDispatchChained
+)
+
+// String names the path for reports.
+func (p DepPath) String() string {
+	switch p {
+	case DepDispatchLocal:
+		return "local"
+	case DepDispatchChained:
+		return "chained"
+	default:
+		return "fallback"
+	}
 }
 
 var activeTracer atomic.Pointer[Tracer]
@@ -109,6 +140,8 @@ type CountingTracer struct {
 	TaskStarts   atomic.Int64
 	TaskEnds     atomic.Int64
 	DepReleases  atomic.Int64
+	DepChained   atomic.Int64
+	DepLocal     atomic.Int64
 	StealTours   atomic.Int64
 	Barriers     atomic.Int64
 	BarrierExits atomic.Int64
@@ -135,8 +168,18 @@ func (c *CountingTracer) TaskStart(*Team, *TaskNode) { c.TaskStarts.Add(1) }
 // TaskEnd implements Tracer.
 func (c *CountingTracer) TaskEnd(*Team, *TaskNode) { c.TaskEnds.Add(1) }
 
-// DepRelease implements Tracer.
-func (c *CountingTracer) DepRelease(*Team, *TaskNode) { c.DepReleases.Add(1) }
+// DepRelease implements Tracer. DepReleases counts every release;
+// DepChained and DepLocal break out the locality-first dispatch paths
+// (fallback = DepReleases - DepChained - DepLocal).
+func (c *CountingTracer) DepRelease(_ *Team, _ *TaskNode, path DepPath) {
+	c.DepReleases.Add(1)
+	switch path {
+	case DepDispatchChained:
+		c.DepChained.Add(1)
+	case DepDispatchLocal:
+		c.DepLocal.Add(1)
+	}
+}
 
 // StealTour implements Tracer.
 func (c *CountingTracer) StealTour(*Team, int, bool) { c.StealTours.Add(1) }

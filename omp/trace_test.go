@@ -25,7 +25,7 @@ func TestEmitTraceDisabledAllocFree(t *testing.T) {
 		emitTrace(func(tr Tracer) { tr.TaskCreate(team, node) })
 		emitTrace(func(tr Tracer) { tr.TaskStart(team, node) })
 		emitTrace(func(tr Tracer) { tr.TaskEnd(team, node) })
-		emitTrace(func(tr Tracer) { tr.DepRelease(team, node) })
+		emitTrace(func(tr Tracer) { tr.DepRelease(team, node, DepDispatchLocal) })
 		emitTrace(func(tr Tracer) { tr.BarrierEnter(tc) })
 		emitTrace(func(tr Tracer) { tr.BarrierExit(tc) })
 		emitTrace(func(tr Tracer) { tr.MemberEnd(tc) })
@@ -54,7 +54,7 @@ func TestFlightTracerHooksAllocFree(t *testing.T) {
 		f.TaskCreate(team, node)
 		f.TaskStart(team, node)
 		f.TaskEnd(team, node)
-		f.DepRelease(team, node)
+		f.DepRelease(team, node, DepDispatchChained)
 		f.BarrierEnter(tc)
 		f.BarrierExit(tc)
 		f.StealTour(team, 3, true)
