@@ -558,6 +558,59 @@ func BenchmarkDepCholesky(b *testing.B) {
 	}
 }
 
+// BenchmarkCancelStorm: the cancellation drain path at scale — one region per
+// op in which a single producer spawns a 4096-task dependence graph (InOut
+// chains over 64 addresses, so most tasks park behind a predecessor) and
+// cancels the taskgroup at the 50% mark. The first half executes; everything
+// in flight at the cancel — queued, rung, parked on a dep edge — must drain
+// through the bookkeeping-only path, and the second half degrades to
+// spawn-time drains. ns/op is therefore the cost of unwinding ~2k tasks
+// through rings, deques and dep cascades without running them; drained/op
+// confirms the storm actually cancelled (≈ half the graph when the producer
+// outruns the consumers). BENCH_cancel_storm.json records the trajectory via
+// the bench-diff harness.
+func BenchmarkCancelStorm(b *testing.B) {
+	tasks := shortN(4096, 512)
+	variants := []harness.Variant{
+		{Label: "GCC", Runtime: "gomp"},
+		{Label: "Intel", Runtime: "iomp"},
+		{Label: "GLTO(ABT)", Runtime: "glto", Backend: "abt"},
+		{Label: "GLTO(WS)", Runtime: "glto", Backend: "ws"},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.Label, func(b *testing.B) {
+			rt := newRT(b, v, nil)
+			var dep [64]int64
+			run := func() {
+				rt.ParallelN(benchThreads, func(tc *omp.TC) {
+					tc.Single(func() {
+						tc.Taskgroup(func() {
+							for i := 0; i < tasks; i++ {
+								tc.Task(benchTaskBody, omp.InOut(&dep[i%len(dep)]))
+								if i == tasks/2 {
+									tc.CancelTaskgroup()
+								}
+							}
+						})
+					})
+				})
+			}
+			for i := 0; i < 3; i++ {
+				run() // warm descriptor pools, trackers, unit caches
+			}
+			rt.ResetStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(rt.Stats().TasksCancelled)/float64(b.N), "drained/op")
+		})
+	}
+}
+
 // BenchmarkConsumerContention: the consumer-side raid path under maximum
 // contention — a wide team in which ONE producer bursts deferred tasks into
 // its overflow ring and then spins below any scheduling point, so the burst

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	glto-validate [-threads 4] [-v]
+//
+// Setting GLT_CHAOS_RATE (with optional GLT_CHAOS_SEED) arms the
+// internal/chaos fault injector for the whole run — the soak mode: injected
+// panics abort individual checks, but the suite must still complete and
+// every runtime must still shut down cleanly.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/harness"
 	"repro/internal/validation"
 )
@@ -21,6 +27,10 @@ func main() {
 	verbose := flag.Bool("v", false, "print each failing test")
 	flag.Parse()
 
+	if chaos.FromEnv() {
+		fmt.Printf("chaos armed: GLT_CHAOS_RATE=%s GLT_CHAOS_SEED=%s\n",
+			os.Getenv("GLT_CHAOS_RATE"), os.Getenv("GLT_CHAOS_SEED"))
+	}
 	fmt.Printf("OpenMP validation suite: %d tests, %d constructs, modes normal/cross/orphan\n\n",
 		validation.NumTests(), validation.NumConstructs())
 	fmt.Printf("%-12s %10s %10s %10s\n", "runtime", "tests", "passed", "failed")

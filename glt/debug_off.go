@@ -1,0 +1,8 @@
+//go:build !gltdebug
+
+package glt
+
+// debugChecks is off in normal builds: invariant violations increment
+// Stats counters (RefUnderflows) instead of panicking. Build with
+// `-tags gltdebug` to turn them into fail-stop panics.
+const debugChecks = false

@@ -184,6 +184,14 @@ type Runtime struct {
 	detachedBufs sync.Pool
 	// batchPushes counts batch dispatch episodes (Policy.PushBatch calls).
 	batchPushes counter
+	// panicsRecovered counts unit bodies (ULT or tasklet) that panicked and
+	// were contained by the worker's recover boundary instead of killing the
+	// execution stream (see Unit.body and Thread.exec).
+	panicsRecovered counter
+	// refUnderflows counts unit reference counts observed below zero — an
+	// accounting bug (double Release, use after recycle). Under the gltdebug
+	// build tag the underflow panics instead (see debugChecks).
+	refUnderflows counter
 }
 
 // New creates a runtime with the given configuration and starts its
@@ -573,6 +581,8 @@ func (rt *Runtime) Stats() Stats {
 	s.Threads = len(rt.threads)
 	s.BatchPushes = int64(rt.batchPushes.load())
 	s.UnitsReused = rt.units.reused.Load()
+	s.PanicsRecovered = int64(rt.panicsRecovered.load())
+	s.RefUnderflows = int64(rt.refUnderflows.load())
 	return s
 }
 
@@ -583,6 +593,8 @@ func (rt *Runtime) ResetStats() {
 	}
 	rt.batchPushes.reset()
 	rt.units.reused.Store(0)
+	rt.panicsRecovered.reset()
+	rt.refUnderflows.reset()
 }
 
 // RegisteredBackends lists the names of all registered scheduling policies in

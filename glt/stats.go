@@ -47,6 +47,15 @@ type Stats struct {
 	// UnitsReused counts unit descriptors recycled from the runtime's free
 	// list instead of freshly allocated. Zero under Config.PerUnitDispatch.
 	UnitsReused int64
+	// PanicsRecovered counts unit bodies (ULT or tasklet) whose panic was
+	// contained by the worker's recover boundary: the unit completes (so
+	// joiners release and the descriptor recycles) and the stream keeps
+	// scheduling.
+	PanicsRecovered int64
+	// RefUnderflows counts unit reference counts driven below zero — always
+	// an accounting bug (double Release, unref after recycle). Builds with
+	// the gltdebug tag panic at the offending unref instead of counting.
+	RefUnderflows int64
 }
 
 func (s *Stats) add(o Stats) {

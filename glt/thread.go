@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/glt/trace"
+	"repro/internal/chaos"
 )
 
 // Thread is an execution stream: a worker goroutine pinned to an OS thread
@@ -57,6 +58,7 @@ func (t *Thread) loop() {
 			// instead of parking (see glt.Stealer).
 			if st := t.rt.stealer; st != nil {
 				trace.Emit(t.rank, trace.KindStealAttempt, 0)
+				chaos.MaybeDelay(chaos.SiteSteal)
 				if u := st.StealHalf(t.rank); u != nil {
 					trace.Emit(t.rank, trace.KindStealHit, 0)
 					t.stats.idleSteals.Add(1)
@@ -96,7 +98,7 @@ func (t *Thread) exec(u *Unit) {
 	trace.Emit(t.rank, trace.KindUnitStart, uint64(u.tag))
 	if u.tasklet {
 		u.ctx.w = t
-		u.fn(&u.ctx)
+		t.runTasklet(u)
 		t.stats.taskletsRun.Add(1)
 		trace.Emit(t.rank, trace.KindUnitEnd, uint64(u.tag))
 		u.complete()
@@ -125,6 +127,21 @@ func (t *Thread) exec(u *Unit) {
 		t.stats.migrations.Add(1)
 	}
 	t.rt.dispatchFrom(t.rank, target, u)
+}
+
+// runTasklet executes a tasklet body inside the stream's panic containment
+// boundary: tasklets run directly on the worker goroutine, so an uncontained
+// panic would unwind the scheduler loop and kill the execution stream (and,
+// since the runtime's WaitGroup would never be released, wedge Shutdown).
+// The tasklet still completes, so joiners release and the descriptor
+// recycles.
+func (t *Thread) runTasklet(u *Unit) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.rt.panicsRecovered.inc()
+		}
+	}()
+	u.fn(&u.ctx)
 }
 
 // parker lets an idle execution stream sleep until work might be available.

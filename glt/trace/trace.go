@@ -84,6 +84,10 @@ const (
 	KindTaskCreate
 	KindTaskStart
 	KindTaskEnd
+	// KindTaskCancel marks a task drained without executing because its
+	// taskgroup or region was cancelled — it replaces the start/end pair in
+	// that task's lifecycle.
+	KindTaskCancel
 	// KindDepRelease records a dependence-parked task being handed to the
 	// engine by its final predecessor's completion.
 	KindDepRelease
@@ -125,6 +129,7 @@ var kindNames = [numKinds]string{
 	KindTaskCreate:   "task_create",
 	KindTaskStart:    "task_start",
 	KindTaskEnd:      "task_end",
+	KindTaskCancel:   "task_cancel",
 	KindDepRelease:   "dep_release",
 	KindBarrierEnter: "barrier_enter",
 	KindBarrierExit:  "barrier_exit",

@@ -142,8 +142,20 @@ func (u *Unit) unref() { u.unrefOn(-1) }
 // own free-list cache (application callers pass -1 via unref and use the
 // global pool).
 func (u *Unit) unrefOn(rank int) {
-	if u.refs.Add(-1) == 0 {
+	n := u.refs.Add(-1)
+	if n == 0 {
 		u.rt.units.put(u, rank)
+		return
+	}
+	if n < 0 {
+		// A reference count below zero is always an accounting bug (double
+		// Release, unref after recycle) and means a descriptor may already
+		// be live as another unit. Fail stop under the gltdebug build tag;
+		// count it in release builds so tests can assert zero.
+		if debugChecks {
+			panic("glt: unit reference count underflow")
+		}
+		u.rt.refUnderflows.inc()
 	}
 }
 
@@ -192,9 +204,19 @@ func (u *Unit) recycle() {
 // body executes the user function and returns the token; it runs on a shell
 // goroutine (see shell.go). The final yield is tagged through fnDone; the
 // worker turns it into finished + Join wake-ups after updating statistics.
+//
+// The body is a panic containment boundary: a panicking ULT must still hand
+// the token back tagged as done, or the worker blocked in yield.wait would
+// wedge its execution stream forever and every joiner with it. The recover
+// also keeps the shell goroutine alive for reuse.
 func (u *Unit) body() {
+	defer func() {
+		if r := recover(); r != nil {
+			u.rt.panicsRecovered.inc()
+		}
+		u.fnDone.Store(true)
+		u.yield.signal()
+	}()
 	u.sched.wait()
 	u.fn(&u.ctx)
-	u.fnDone.Store(true)
-	u.yield.signal()
 }

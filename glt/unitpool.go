@@ -61,6 +61,7 @@ func (p *unitPool) init(nthreads, capacity int, disable bool) {
 // on-stream callers are served from their cache, refilled in batch from the
 // global pool when empty.
 func (p *unitPool) get(rt *Runtime, from int) *Unit {
+	censusGet(1)
 	if p.disable {
 		return allocUnit(rt)
 	}
@@ -95,6 +96,7 @@ func (p *unitPool) get(rt *Runtime, from int) *Unit {
 // acquisition: the caller's stream cache first (when on-stream), then the
 // global pool, allocating only the shortfall.
 func (p *unitPool) getBatch(rt *Runtime, out []*Unit, from int) {
+	censusGet(int64(len(out)))
 	if p.disable {
 		for i := range out {
 			out[i] = allocUnit(rt)
@@ -135,6 +137,7 @@ func (p *unitPool) getBatch(rt *Runtime, out []*Unit, from int) {
 // Unit.unref). from is as in get: on-stream recycles go to the stream's
 // cache, spilling half to the global pool when full.
 func (p *unitPool) put(u *Unit, from int) {
+	censusPut(1)
 	if p.disable {
 		return
 	}
@@ -158,6 +161,7 @@ func (p *unitPool) put(u *Unit, from int) {
 // putAll recycles a batch of descriptors into the global pool under one lock
 // acquisition (the ReleaseAll path, which runs outside any stream).
 func (p *unitPool) putAll(units []*Unit) {
+	censusPut(int64(len(units)))
 	if p.disable || len(units) == 0 {
 		return
 	}

@@ -1,0 +1,208 @@
+// Package chaos is the fault-injection harness for the task fabric: a
+// process-wide, deterministic source of injected panics and scheduling
+// delays, used by the soak tests to prove the runtime's failure-containment
+// contract (cancellation drains, panic isolation, no wedged barriers, no
+// leaked pooled descriptors) under adversarial timing.
+//
+// Design constraints, in priority order:
+//
+//   - Zero cost when off. Every hook loads one atomic bool and returns; no
+//     other state is touched. The 0 allocs/op spawn guards hold with the
+//     package linked in.
+//   - Deterministic per seed. The decision stream is splitmix64 over a
+//     global injection counter, so a (seed, rate) pair replays the same
+//     fire pattern for the same interleaving-independent call ordering —
+//     close enough for soak-failure reproduction, which is all chaos needs.
+//   - Containment-aware sites. Panics are injected only at sites the
+//     runtime contains (task spawn entry, task bodies); scheduler-internal
+//     sites (steal, raid, dependence release, barrier entry) get delays
+//     only, because a panic there would unwind runtime frames no recover
+//     boundary owns — that would test Go's panic machinery, not the fabric.
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+)
+
+// Site identifies one injection point in the fabric.
+type Site uint8
+
+const (
+	// SiteSpawn is task spawn entry (tc.Task, before a descriptor is
+	// acquired). Eligible for panics: a panic here is contained by the
+	// member-body recover boundary and leaks nothing.
+	SiteSpawn Site = iota
+	// SiteSteal is a backend steal attempt (glt ws tour). Delay only.
+	SiteSteal
+	// SiteRaid is a shared-pool / overflow-ring raid. Delay only.
+	SiteRaid
+	// SiteDepRelease is a dependence release walk dispatching a freed
+	// successor. Delay only.
+	SiteDepRelease
+	// SiteBarrier is barrier entry. Delay only.
+	SiteBarrier
+
+	numSites
+)
+
+var siteNames = [numSites]string{
+	SiteSpawn:      "spawn",
+	SiteSteal:      "steal",
+	SiteRaid:       "raid",
+	SiteDepRelease: "dep_release",
+	SiteBarrier:    "barrier",
+}
+
+// String names the site for reports.
+func (s Site) String() string {
+	if int(s) < len(siteNames) {
+		return siteNames[s]
+	}
+	return "unknown"
+}
+
+// InjectedPanic is the value a chaos-injected panic carries. The runtime's
+// recover boundaries treat it like any user panic (cancel + record); soak
+// tests type-assert on it to tell injected faults from real bugs.
+type InjectedPanic struct {
+	// Site is where the fault fired.
+	Site Site
+	// Seq is the global injection-counter value that fired, for replay
+	// correlation against a known seed.
+	Seq uint64
+}
+
+// Error makes the injected fault self-describing when it surfaces through
+// an error-wrapping panic value.
+func (p *InjectedPanic) Error() string {
+	return fmt.Sprintf("chaos: injected panic at %s (seq %d)", p.Site, p.Seq)
+}
+
+// enabled is the one-load off-switch every hook checks first.
+var enabled atomic.Bool
+
+// seed and rate are written by Configure before enabled flips on, and read
+// racily by hooks after — acceptable because Configure happens-before use in
+// every soak harness (configure, then run workload).
+var (
+	seed atomic.Uint64
+	rate atomic.Uint64 // fire one in rate rolls; 0 = never
+	seq  atomic.Uint64 // global roll counter, the splitmix64 input
+)
+
+// fired counts injections per site, split by flavour, for soak reporting.
+var (
+	firedPanic [numSites]atomic.Int64
+	firedDelay [numSites]atomic.Int64
+)
+
+// Configure arms the harness: fire roughly one fault per rate rolls, with a
+// decision stream derived from seed. rate <= 0 disarms. Not meant to be
+// called concurrently with an active workload.
+func Configure(s uint64, r int) {
+	if r <= 0 {
+		enabled.Store(false)
+		return
+	}
+	seed.Store(s)
+	rate.Store(uint64(r))
+	seq.Store(0)
+	for i := range firedPanic {
+		firedPanic[i].Store(0)
+		firedDelay[i].Store(0)
+	}
+	enabled.Store(true)
+}
+
+// Disarm turns injection off (the counters survive for inspection).
+func Disarm() { enabled.Store(false) }
+
+// Enabled reports whether injection is armed.
+func Enabled() bool { return enabled.Load() }
+
+// FromEnv arms the harness from GLT_CHAOS_RATE (one fault per N rolls;
+// unset or <=0 leaves chaos off) and GLT_CHAOS_SEED (decision-stream seed,
+// default 1). It reports whether chaos was armed.
+func FromEnv() bool {
+	r, err := strconv.Atoi(os.Getenv("GLT_CHAOS_RATE"))
+	if err != nil || r <= 0 {
+		return false
+	}
+	s := uint64(1)
+	if v, err := strconv.ParseUint(os.Getenv("GLT_CHAOS_SEED"), 10, 64); err == nil {
+		s = v
+	}
+	Configure(s, r)
+	return true
+}
+
+// Fired reports the number of injected panics and delays at site since the
+// last Configure.
+func Fired(s Site) (panics, delays int64) {
+	if int(s) >= int(numSites) {
+		return 0, 0
+	}
+	return firedPanic[s].Load(), firedDelay[s].Load()
+}
+
+// TotalFired sums injections across all sites.
+func TotalFired() (panics, delays int64) {
+	for i := range firedPanic {
+		panics += firedPanic[i].Load()
+		delays += firedDelay[i].Load()
+	}
+	return panics, delays
+}
+
+// splitmix64 is the standard splitmix64 finalizer: a cheap, well-mixed
+// stateless hash from counter to decision word.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+// roll consumes one decision and reports whether it fires, returning the
+// sequence number for replay correlation.
+func roll() (uint64, bool) {
+	n := seq.Add(1)
+	r := rate.Load()
+	if r == 0 {
+		return n, false
+	}
+	return n, splitmix64(seed.Load()^n)%r == 0
+}
+
+// MaybePanic rolls the dice at a panic-eligible site and panics with an
+// *InjectedPanic if the roll fires. Callers must sit inside a runtime
+// recover boundary (task spawn entry, task body); see the package comment.
+func MaybePanic(s Site) {
+	if !enabled.Load() {
+		return
+	}
+	if n, fire := roll(); fire {
+		firedPanic[s].Add(1)
+		panic(&InjectedPanic{Site: s, Seq: n})
+	}
+}
+
+// MaybeDelay rolls the dice at a delay site and, if the roll fires, yields
+// the processor a few times — enough to shuffle interleavings past the
+// window the site's lock-free protocol was tuned for, without wall-clock
+// sleeps that would slow the soak suite.
+func MaybeDelay(s Site) {
+	if !enabled.Load() {
+		return
+	}
+	if _, fire := roll(); fire {
+		firedDelay[s].Add(1)
+		for i := 0; i < 4; i++ {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package chaos
+
+import "testing"
+
+func TestDisabledHooksAreNoOps(t *testing.T) {
+	Disarm()
+	MaybePanic(SiteSpawn) // must not panic
+	MaybeDelay(SiteBarrier)
+	if Enabled() {
+		t.Error("Enabled after Disarm")
+	}
+}
+
+func TestConfigureFiresDeterministically(t *testing.T) {
+	fires := func(seed uint64) []bool {
+		Configure(seed, 8)
+		defer Disarm()
+		var pattern []bool
+		for i := 0; i < 256; i++ {
+			fired := false
+			func() {
+				defer func() { fired = recover() != nil }()
+				MaybePanic(SiteSpawn)
+			}()
+			pattern = append(pattern, fired)
+		}
+		return pattern
+	}
+	a, b := fires(7), fires(7)
+	anyFired := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at roll %d", i)
+		}
+		anyFired = anyFired || a[i]
+	}
+	if !anyFired {
+		t.Error("rate 1/8 over 256 rolls fired nothing")
+	}
+	c := fires(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fire patterns")
+	}
+}
+
+func TestInjectedPanicValue(t *testing.T) {
+	Configure(1, 1) // every roll fires
+	defer Disarm()
+	defer func() {
+		p, ok := recover().(*InjectedPanic)
+		if !ok {
+			t.Fatalf("panic value %T, want *InjectedPanic", p)
+		}
+		if p.Site != SiteSpawn {
+			t.Errorf("Site = %v", p.Site)
+		}
+		if p.Error() == "" {
+			t.Error("empty Error()")
+		}
+		if fired, _ := Fired(SiteSpawn); fired != 1 {
+			t.Errorf("Fired(spawn) = %d", fired)
+		}
+	}()
+	MaybePanic(SiteSpawn)
+}
+
+func TestMaybeDelayCounts(t *testing.T) {
+	Configure(1, 1)
+	defer Disarm()
+	MaybeDelay(SiteSteal)
+	if _, delays := Fired(SiteSteal); delays != 1 {
+		t.Errorf("Fired(steal) delays = %d", delays)
+	}
+	if p, d := TotalFired(); p != 0 || d != 1 {
+		t.Errorf("TotalFired = %d,%d", p, d)
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv("GLT_CHAOS_RATE", "")
+	t.Setenv("GLT_CHAOS_SEED", "")
+	Disarm()
+	if FromEnv() {
+		t.Error("armed with no rate set")
+	}
+	t.Setenv("GLT_CHAOS_RATE", "512")
+	t.Setenv("GLT_CHAOS_SEED", "99")
+	if !FromEnv() {
+		t.Fatal("not armed with GLT_CHAOS_RATE=512")
+	}
+	defer Disarm()
+	if !Enabled() {
+		t.Error("Enabled false after FromEnv arm")
+	}
+	if seed.Load() != 99 || rate.Load() != 512 {
+		t.Errorf("seed/rate = %d/%d", seed.Load(), rate.Load())
+	}
+}
+
+func TestSiteStrings(t *testing.T) {
+	for s, want := range map[Site]string{
+		SiteSpawn: "spawn", SiteSteal: "steal", SiteRaid: "raid",
+		SiteDepRelease: "dep_release", SiteBarrier: "barrier", Site(99): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Site(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

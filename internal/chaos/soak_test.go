@@ -1,0 +1,145 @@
+package chaos_test
+
+// The chaos soak: the full validation suite runs on all four runtimes with
+// fault injection armed — panics at task spawn entry, scheduling delays at
+// steal/raid/dep-release/barrier sites — and the fabric must neither wedge
+// (every suite run completes under a watchdog) nor leak (both pooled-
+// descriptor censuses return to their baselines once the runtimes are
+// shut down). Individual validation tests are allowed to fail under
+// injection — an injected panic legitimately aborts a check — but the
+// process-level containment contract is absolute.
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/glt"
+	"repro/internal/chaos"
+	"repro/internal/validation"
+	"repro/omp"
+	"repro/openmp"
+)
+
+var soakVariants = []struct {
+	name    string
+	runtime string
+	backend string
+}{
+	{"gomp", "gomp", ""},
+	{"iomp", "iomp", ""},
+	{"glto-abt", "glto", "abt"},
+	{"glto-ws", "glto", "ws"},
+}
+
+func TestChaosSoakValidationSuite(t *testing.T) {
+	const rate = 256 // one fault per 256 rolls
+	for _, v := range soakVariants {
+		t.Run(v.name, func(t *testing.T) {
+			omp.EnableTaskSlotCensus(true)
+			glt.EnableUnitCensus(true)
+			defer omp.EnableTaskSlotCensus(false)
+			defer glt.EnableUnitCensus(false)
+			slotBase, unitBase := omp.LiveTaskSlots(), glt.LiveUnits()
+
+			cfg := omp.Config{
+				NumThreads: 4,
+				Backend:    v.backend,
+				Nested:     true,
+				// The CI matrix re-runs the soak with GLT_SHARED_QUEUES=1 to
+				// cover the shared-pool claim paths under injection.
+				SharedQueues: os.Getenv("GLT_SHARED_QUEUES") == "1",
+			}
+			rt, err := openmp.New(v.runtime, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			chaos.Configure(0xC0FFEE^uint64(len(v.name)), rate)
+			done := make(chan validation.Report, 1)
+			go func() { done <- validation.RunSuite(rt, 4) }()
+			var rep validation.Report
+			select {
+			case rep = <-done:
+			case <-time.After(4 * time.Minute):
+				chaos.Disarm()
+				t.Fatalf("%s: validation suite wedged under chaos", v.name)
+			}
+			chaos.Disarm()
+			rt.Shutdown()
+
+			panics, delays := chaos.TotalFired()
+			t.Logf("%s: %d/%d passed under chaos (%d injected panics, %d delays)",
+				v.name, rep.Passed(), len(rep.Outcomes), panics, delays)
+			if panics+delays == 0 {
+				t.Errorf("%s: chaos armed at rate 1/%d but nothing fired — harness dead?", v.name, rate)
+			}
+			if len(rep.Outcomes) != validation.NumTests() {
+				t.Errorf("%s: suite aborted early: %d/%d outcomes", v.name, len(rep.Outcomes), validation.NumTests())
+			}
+			if live := omp.LiveTaskSlots(); live != slotBase {
+				t.Errorf("%s: task-slot census residue %d (baseline %d) — leaked descriptors",
+					v.name, live, slotBase)
+			}
+			if live := glt.LiveUnits(); live != unitBase {
+				t.Errorf("%s: unit census residue %d (baseline %d) — leaked unit descriptors",
+					v.name, live, unitBase)
+			}
+		})
+	}
+}
+
+// TestChaosSoakCancelStorm drives the cancellation machinery specifically:
+// dependence graphs cancelled mid-flight under injected spawn panics and
+// dep-release delays, on the two runtimes with the most distinct task
+// plumbing, asserting completion and zero leaks.
+func TestChaosSoakCancelStorm(t *testing.T) {
+	for _, v := range []struct{ runtime, backend string }{{"gomp", ""}, {"glto", "ws"}} {
+		name := v.runtime + v.backend
+		t.Run(name, func(t *testing.T) {
+			omp.EnableTaskSlotCensus(true)
+			defer omp.EnableTaskSlotCensus(false)
+			base := omp.LiveTaskSlots()
+
+			rt, err := openmp.New(v.runtime, omp.Config{NumThreads: 4, Backend: v.backend})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chaos.Configure(42, 128)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for round := 0; round < 20; round++ {
+					func() {
+						defer func() { recover() }() // injected panics resurface here
+						rt.Parallel(func(tc *omp.TC) {
+							tc.Master(func() {
+								var dep [16]int64
+								tc.Taskgroup(func() {
+									for i := 0; i < 256; i++ {
+										tc.Task(func(*omp.TC) {}, omp.InOut(&dep[i%16]))
+										if i == 128 {
+											tc.CancelTaskgroup()
+										}
+									}
+								})
+							})
+							tc.Barrier()
+						})
+					}()
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Minute):
+				chaos.Disarm()
+				t.Fatalf("%s: cancel storm wedged under chaos", name)
+			}
+			chaos.Disarm()
+			rt.Shutdown()
+			if live := omp.LiveTaskSlots(); live != base {
+				t.Errorf("%s: census residue %d after cancel storm (baseline %d)", name, live, base)
+			}
+		})
+	}
+}

@@ -376,6 +376,10 @@ func (rt *Runtime) Stats() omp.Stats {
 		DepReleases:           rt.DepReleases(),
 		TasksChained:          rt.TasksChained(),
 		LocalReleases:         rt.LocalReleases(),
+		TasksCancelled:        rt.TasksCancelled(),
+		PanicsRecovered:       rt.PanicsRecovered(),
+		GroupsCancelled:       rt.GroupsCancelled(),
+		InlineFallbacks:       rt.InlineFallbacks(),
 	}
 }
 
@@ -390,6 +394,7 @@ func (rt *Runtime) ResetStats() {
 	rt.stolen.Store(0)
 	rt.bufStolen.Store(0)
 	rt.ResetDepStats()
+	rt.ResetCancelStats()
 	rt.g.ResetStats()
 }
 

@@ -120,6 +120,10 @@ func (rt *Runtime) Stats() omp.Stats {
 		DepReleases:           rt.DepReleases(),
 		TasksChained:          rt.TasksChained(),
 		LocalReleases:         rt.LocalReleases(),
+		TasksCancelled:        rt.TasksCancelled(),
+		PanicsRecovered:       rt.PanicsRecovered(),
+		GroupsCancelled:       rt.GroupsCancelled(),
+		InlineFallbacks:       rt.InlineFallbacks(),
 	}
 }
 
@@ -135,6 +139,7 @@ func (rt *Runtime) ResetStats() {
 	rt.stolen.Store(0)
 	rt.bufStolen.Store(0)
 	rt.ResetDepStats()
+	rt.ResetCancelStats()
 }
 
 // engine implements omp.EngineOps for the GNU-like runtime. One instance per

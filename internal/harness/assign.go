@@ -76,7 +76,52 @@ func runAssign(cfg Config) error {
 	}
 	frac.Render(cfg.Out)
 	p99.Render(cfg.Out)
-	return runAssignDataflow(cfg, met)
+	if err := runAssignDataflow(cfg, met); err != nil {
+		return err
+	}
+	return runAssignCancellation(cfg)
+}
+
+// runAssignCancellation surfaces the failure-semantics side of the work-
+// assignment story in the flight recorder: a taskgroup burst cancelled
+// before its wait emits one task_cancel event per drained task (in place of
+// the start/end pair), which must agree with the stats ledger — the
+// recorder view and the counter view of the same drain.
+func runAssignCancellation(cfg Config) error {
+	const threads, tasks = 4, 256
+	tbl := NewTable(fmt.Sprintf("Cancellation drain: %d-task group cancelled before its wait, single producer", tasks),
+		"variant", []string{"CancelEvents", "TasksCancelled", "GroupsCancelled"})
+	for _, v := range benchDiffVariants {
+		rt, err := v.New(threads, nil)
+		if err != nil {
+			return err
+		}
+		rec := trace.NewRecorder(threads, 4096)
+		prev := omp.SetTracer(omp.NewFlightTracer(rec, nil))
+		rt.ParallelN(1, func(tc *omp.TC) {
+			tc.Taskgroup(func() {
+				for i := 0; i < tasks; i++ {
+					tc.Task(func(*omp.TC) {})
+				}
+				tc.CancelTaskgroup()
+			})
+		})
+		omp.SetTracer(prev)
+		s := rt.Stats()
+		rt.Shutdown()
+		events, _ := rec.Drain()
+		cancels := 0
+		for _, ev := range events {
+			if ev.Kind == trace.KindTaskCancel {
+				cancels++
+			}
+		}
+		tbl.Set(v.Label, "CancelEvents", fmt.Sprint(cancels))
+		tbl.Set(v.Label, "TasksCancelled", fmt.Sprint(s.TasksCancelled))
+		tbl.Set(v.Label, "GroupsCancelled", fmt.Sprint(s.GroupsCancelled))
+	}
+	tbl.Render(cfg.Out)
+	return nil
 }
 
 // runAssignDataflow is the dependence-release analogue of the Fig. 7 split:

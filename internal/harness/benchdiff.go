@@ -1,7 +1,8 @@
 // bench-diff is the trajectory-tracking harness mode (ROADMAP item 5,
-// minimal version): it re-runs the five tracked microbenchmarks —
-// RegionRespawn, TaskSpawn, ConsumerContention, Barrier and DepWavefront,
-// the same shapes as their testing.B counterparts in bench_test.go — appends a
+// minimal version): it re-runs the tracked microbenchmarks —
+// RegionRespawn, TaskSpawn, ConsumerContention, Barrier, DepWavefront,
+// DepCholesky, CancelStorm and TraceOverhead, the same shapes as their
+// testing.B counterparts in bench_test.go — appends a
 // {commit, host, results} point to the per-benchmark BENCH_*.json
 // trajectory files, and exits non-zero when any series regressed by more
 // than 25% against the last recorded point taken on the same host shape
@@ -188,6 +189,47 @@ func benchDepCholesky(cfg Config, reps int) (map[string]benchSeries, error) {
 	return out, nil
 }
 
+// benchCancelStorm mirrors BenchmarkCancelStorm: a single producer spawns a
+// 4096-task dependence graph and cancels the taskgroup at the 50% mark, so
+// the series tracks the cost of draining ~2k in-flight tasks — queued, rung,
+// parked on dep edges — through the bookkeeping-only cancellation path.
+func benchCancelStorm(cfg Config, reps int) (map[string]benchSeries, error) {
+	const tasks = 4096
+	iters := scaledIters(cfg, 30, 2)
+	body := func(*omp.TC) {}
+	out := map[string]benchSeries{}
+	for _, v := range benchDiffVariants {
+		rt, err := v.New(4, nil)
+		if err != nil {
+			return nil, err
+		}
+		var dep [64]int64
+		run := func() {
+			rt.ParallelN(4, func(tc *omp.TC) {
+				tc.Single(func() {
+					tc.Taskgroup(func() {
+						for i := 0; i < tasks; i++ {
+							tc.Task(body, omp.InOut(&dep[i%len(dep)]))
+							if i == tasks/2 {
+								tc.CancelTaskgroup()
+							}
+						}
+					})
+				})
+			})
+		}
+		for i := 0; i < 3; i++ {
+			run() // warm descriptor pools, trackers, unit caches
+		}
+		rt.ResetStats()
+		ns := medianNsPerOp(reps, iters, run)
+		drained := float64(rt.Stats().TasksCancelled) / float64(reps*iters)
+		rt.Shutdown()
+		out[v.Label] = benchSeries{"ns_per_op": ns, "drained_per_op": drained}
+	}
+	return out, nil
+}
+
 // benchConsumerContention mirrors BenchmarkConsumerContention (and the
 // `contention` experiment): one producer's 192-task burst drained only by
 // the other 7 members raiding the overflow ring.
@@ -369,6 +411,7 @@ func runBenchDiff(cfg Config) error {
 		{"barrier", benchBarrier},
 		{"dep_wavefront", benchDepWavefront},
 		{"dep_cholesky", benchDepCholesky},
+		{"cancel_storm", benchCancelStorm},
 		{"trace_overhead", benchTraceOverhead},
 	}
 	commit := benchDiffCommit()

@@ -198,7 +198,7 @@ func init() {
 			}
 			const outer = 100
 			tbl := NewTable(fmt.Sprintf("Nested thread accounting, OMP_NUM_THREADS=%d, outer=%d", n, outer),
-				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused", "StolenUnits", "Allocs/Region", "Allocs/Task", "BufferSteals", "TasksWithDeps", "DepReleases", "TasksChained", "LocalReleases"})
+				"implementation", []string{"CreatedThreads", "ReusedThreads", "CreatedULTs", "BatchPushes", "UnitsReused", "StolenUnits", "Allocs/Region", "Allocs/Task", "BufferSteals", "TasksWithDeps", "DepReleases", "TasksChained", "LocalReleases", "TasksCancelled", "PanicsRecovered", "GroupsCancelled", "InlineFallbacks"})
 			// The paper's Table II lists GCC, Intel and GLTO once (the GLT
 			// backend does not change the thread/ULT accounting); this report
 			// keeps one GLTO row per backend so the scheduling-engine
@@ -234,6 +234,18 @@ func init() {
 				tbl.Set(label, "DepReleases", fmt.Sprint(ds.DepReleases))
 				tbl.Set(label, "TasksChained", fmt.Sprint(ds.TasksChained))
 				tbl.Set(label, "LocalReleases", fmt.Sprint(ds.LocalReleases))
+				// A failure-semantics probe: a single-rank taskgroup burst
+				// cancelled before the group wait (under a tight inflight
+				// budget) plus one contained panic, so the cancellation
+				// columns report each runtime's drain/recover accounting.
+				fs, err := cancellationProbe(v)
+				if err != nil {
+					return err
+				}
+				tbl.Set(label, "TasksCancelled", fmt.Sprint(fs.TasksCancelled))
+				tbl.Set(label, "PanicsRecovered", fmt.Sprint(fs.PanicsRecovered))
+				tbl.Set(label, "GroupsCancelled", fmt.Sprint(fs.GroupsCancelled))
+				tbl.Set(label, "InlineFallbacks", fmt.Sprint(fs.InlineFallbacks))
 				if v.Runtime == "glto" {
 					tbl.Set(label, "CreatedThreads", fmt.Sprint(n))
 					tbl.Set(label, "ReusedThreads", "0")
@@ -604,6 +616,40 @@ func ContentionBurst(rt omp.Runtime, n, tasks int) int64 {
 		})
 	})
 	return claimed
+}
+
+// cancellationProbe exercises the failure-semantics counters on a fresh
+// 4-thread instance of v with a tight inflight budget: a single-rank
+// taskgroup burst is cancelled before the group wait (so parked siblings
+// drain deterministically and the over-budget spawns degrade to inline
+// execution), then one task panics and is contained. The probe returns the
+// runtime's stats snapshot after shutdown.
+func cancellationProbe(v Variant) (omp.Stats, error) {
+	rt, err := v.New(4, func(c *omp.Config) { c.MaxInflightTasks = 8 })
+	if err != nil {
+		return omp.Stats{}, err
+	}
+	defer rt.Shutdown()
+	rt.ParallelN(1, func(tc *omp.TC) {
+		tc.Taskgroup(func() {
+			for i := 0; i < 64; i++ {
+				tc.Task(func(*omp.TC) {})
+			}
+			tc.CancelTaskgroup()
+		})
+	})
+	func() {
+		defer func() { recover() }() // the probe panic resurfaces here
+		rt.Parallel(func(tc *omp.TC) {
+			tc.Master(func() {
+				tc.Taskgroup(func() {
+					tc.Task(func(*omp.TC) { panic("probe") })
+				})
+			})
+			tc.Barrier()
+		})
+	}()
+	return rt.Stats(), nil
 }
 
 // runNested executes the Listing-1 microbenchmark once: an outer parallel

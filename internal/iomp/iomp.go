@@ -144,6 +144,10 @@ func (rt *Runtime) Stats() omp.Stats {
 		DepReleases:           rt.DepReleases(),
 		TasksChained:          rt.TasksChained(),
 		LocalReleases:         rt.LocalReleases(),
+		TasksCancelled:        rt.TasksCancelled(),
+		PanicsRecovered:       rt.PanicsRecovered(),
+		GroupsCancelled:       rt.GroupsCancelled(),
+		InlineFallbacks:       rt.InlineFallbacks(),
 	}
 }
 
@@ -161,6 +165,7 @@ func (rt *Runtime) ResetStats() {
 	rt.bufStolen.Store(0)
 	rt.stealAttempts.Store(0)
 	rt.ResetDepStats()
+	rt.ResetCancelStats()
 }
 
 // nestedWorker is a parked OS thread cached for nested-team reuse.

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Schedule selects a loop scheduling kind, as the schedule clause does.
@@ -134,6 +135,21 @@ type Config struct {
 	// every-release-is-a-queueing-event behaviour (OMP_DEP_CHAIN; 0 or any
 	// falsy spelling disables, a positive integer sets the depth).
 	DepChain int
+
+	// MaxInflightTasks is the backpressure budget: when a region's
+	// outstanding explicit tasks (Team.Tasks — queued, buffered, parked and
+	// running alike) exceed it, new deferred spawns degrade gracefully to
+	// undeferred inline execution, bounding queue and descriptor-pool growth
+	// under saturation. Zero disables the budget; counted per region
+	// (OMP_MAX_INFLIGHT_TASKS).
+	MaxInflightTasks int
+
+	// RegionDeadline arms a cooperative deadline on every top-level region:
+	// once exceeded, the region cancels — queued tasks drain without
+	// executing and the region completes through its normal rendezvous.
+	// Zero means no deadline (OMP_REGION_DEADLINE, a Go duration such as
+	// "250ms"); omp.WithDeadline arms a deadline per call site instead.
+	RegionDeadline time.Duration
 }
 
 // DefaultTaskCutoff is the Intel runtime's default task queue bound.
@@ -262,6 +278,16 @@ func (c Config) FromEnv() Config {
 	}
 	if c.DepChain == 0 {
 		c.DepChain = DepChainFromEnv()
+	}
+	if c.MaxInflightTasks == 0 {
+		if v, err := strconv.Atoi(os.Getenv("OMP_MAX_INFLIGHT_TASKS")); err == nil && v > 0 {
+			c.MaxInflightTasks = v
+		}
+	}
+	if c.RegionDeadline == 0 {
+		if d, err := time.ParseDuration(os.Getenv("OMP_REGION_DEADLINE")); err == nil && d > 0 {
+			c.RegionDeadline = d
+		}
 	}
 	return c
 }

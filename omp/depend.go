@@ -260,6 +260,7 @@ func (n *TaskNode) retireSuccState(w uint64, sp *[]atomic.Pointer[TaskNode]) {
 // were just written. Without one (rc nil, or a cross-team release) hot is -1
 // and the engine falls back to creator-side placement.
 func dispatchReleased(s *TaskNode, rc *relCtx) {
+	chaosDepRelease()
 	team := s.team
 	hot := -1
 	var ectx any

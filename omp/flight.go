@@ -113,6 +113,15 @@ func (f *FlightTracer) TaskEnd(t *Team, node *TaskNode) {
 	}
 }
 
+// TaskCancel implements Tracer: a drained task emits a cancel event on its
+// creator's stream (it never acquired an executing rank) in place of the
+// start/end pair.
+func (f *FlightTracer) TaskCancel(t *Team, node *TaskNode) {
+	if f.Rec != nil {
+		f.Rec.Emit(node.CreatedBy, trace.KindTaskCancel, uint64(node.Generation()))
+	}
+}
+
 // DepRelease implements Tracer: it stamps the release time TaskStart
 // measures the release→start latency against, and packs the dispatch path
 // into the event arg (above DepPathShift) so cmd/glto-trace and `-exp

@@ -207,6 +207,12 @@ func (tc *TC) Ordered(i int, body func()) {
 		panic("omp: Ordered called outside a loop declared with ForOpts.Ordered")
 	}
 	for ls.ordNext.Load() != int64(i) {
+		// A cancelled region may never admit iteration i (its owner was
+		// drained); abandon through the member-level cancellation unwind
+		// rather than spinning forever.
+		if tc.team.Cancelled() {
+			panic(cancelBreak)
+		}
 		tc.ops.Idle(tc)
 	}
 	body()

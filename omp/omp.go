@@ -151,6 +151,14 @@ type Frontend struct {
 	// creator-side fallback.
 	tasksChained  atomic.Int64
 	localReleases atomic.Int64
+	// Failure-semantics counters (see cancel.go), owned by the front end for
+	// the same reason as the dependence counters: cancellation, panic
+	// recovery and backpressure are decided entirely in the shared construct
+	// code, credited through Team.owner.
+	tasksCancelled  atomic.Int64
+	panicsRecovered atomic.Int64
+	groupsCancelled atomic.Int64
+	inlineFallbacks atomic.Int64
 }
 
 // NewFrontend builds a front end over eng with the given configuration
@@ -189,7 +197,16 @@ func (f *Frontend) ParallelN(n int, body func(*TC)) {
 	}
 	t := f.getTeam(n, 0, f.cfg, body)
 	f.eng.RunRegion(t)
+	perr := t.TakePanic()
 	f.putTeam(t)
+	if perr != nil {
+		// A task or member body panicked inside the region. The region itself
+		// completed (cancelled and fully drained, every rank through the end
+		// rendezvous, descriptor recycled above) — now the recorded panic
+		// resurfaces on the initial thread, as if the region call itself
+		// panicked, wrapped so callers can recover(*TaskPanicError).
+		panic(perr)
+	}
 }
 
 // Shutdown stops the engine.
@@ -204,6 +221,10 @@ func (f *Frontend) Stats() Stats {
 	s.DepReleases = f.depReleases.Load()
 	s.TasksChained = f.tasksChained.Load()
 	s.LocalReleases = f.localReleases.Load()
+	s.TasksCancelled = f.tasksCancelled.Load()
+	s.PanicsRecovered = f.panicsRecovered.Load()
+	s.GroupsCancelled = f.groupsCancelled.Load()
+	s.InlineFallbacks = f.inlineFallbacks.Load()
 	return s
 }
 
@@ -214,6 +235,7 @@ func (f *Frontend) ResetStats() {
 	f.depReleases.Store(0)
 	f.tasksChained.Store(0)
 	f.localReleases.Store(0)
+	f.ResetCancelStats()
 	f.eng.ResetStats()
 }
 
@@ -250,6 +272,31 @@ func (f *Frontend) ResetDepStats() {
 	f.depReleases.Store(0)
 	f.tasksChained.Store(0)
 	f.localReleases.Store(0)
+}
+
+// TasksCancelled reports how many tasks were drained without executing
+// because their taskgroup or region was cancelled.
+func (f *Frontend) TasksCancelled() int64 { return f.tasksCancelled.Load() }
+
+// PanicsRecovered reports how many task or member bodies panicked and were
+// contained at the runtime's recover boundaries.
+func (f *Frontend) PanicsRecovered() int64 { return f.panicsRecovered.Load() }
+
+// GroupsCancelled reports how many taskgroups (and regions — a region is the
+// implicit outer group) were cancelled.
+func (f *Frontend) GroupsCancelled() int64 { return f.groupsCancelled.Load() }
+
+// InlineFallbacks reports how many deferred spawns degraded to undeferred
+// inline execution under the Config.MaxInflightTasks backpressure budget.
+func (f *Frontend) InlineFallbacks() int64 { return f.inlineFallbacks.Load() }
+
+// ResetCancelStats zeroes the failure-semantics counters; for runtimes whose
+// ResetStats shadows the Frontend's.
+func (f *Frontend) ResetCancelStats() {
+	f.tasksCancelled.Store(0)
+	f.panicsRecovered.Store(0)
+	f.groupsCancelled.Store(0)
+	f.inlineFallbacks.Store(0)
 }
 
 // getTeam fetches a recycled descriptor (or builds one) and prepares it for
@@ -331,6 +378,19 @@ type Stats struct {
 	// to the releasing thread's own deque/stream/release-slot rather than the
 	// creator's. A subset of DepReleases, disjoint from TasksChained.
 	LocalReleases int64
+	// TasksCancelled counts tasks drained without executing because their
+	// taskgroup or region was cancelled (explicitly, by a recovered panic, or
+	// by an expired region deadline).
+	TasksCancelled int64
+	// PanicsRecovered counts task and member bodies whose panic was contained
+	// at the runtime's recover boundaries instead of crashing the process.
+	PanicsRecovered int64
+	// GroupsCancelled counts taskgroup/region cancellations (each cancel
+	// counted once, however many tasks it drained).
+	GroupsCancelled int64
+	// InlineFallbacks counts deferred spawns degraded to undeferred inline
+	// execution by the Config.MaxInflightTasks backpressure budget.
+	InlineFallbacks int64
 }
 
 // QueuedTaskPercent reports the share of explicit tasks that went through a

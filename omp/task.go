@@ -259,13 +259,8 @@ func (n *TaskNode) Priority() int { return int(n.priority) }
 // for undeferred execution. Task completion is a scheduling point: tasks the
 // body buffered are flushed before the node is marked finished.
 func ExecTask(tc *TC, node *TaskNode) {
-	node.StartedBy.CompareAndSwap(-1, int32(tc.num))
-	emitTrace(func(tr Tracer) { tr.TaskStart(tc.team, node) })
-	ttc := taskContext(node, tc.team, tc.num, tc.ops, tc.ectx)
-	node.Fn(ttc)
-	ttc.flushPending()
 	rc := relCtx{team: tc.team, num: tc.num, ops: tc.ops, ectx: tc.ectx}
-	finishTask(tc.team, node, &rc)
+	execNode(node, &rc)
 }
 
 // ExecTaskOn is ExecTask for engines that run task bodies in their own work
@@ -274,13 +269,8 @@ func ExecTask(tc *TC, node *TaskNode) {
 // body, flushes tasks the body buffered, and settles the completion
 // bookkeeping.
 func ExecTaskOn(team *Team, num int, ops EngineOps, ectx any, node *TaskNode) {
-	node.StartedBy.CompareAndSwap(-1, int32(num))
-	emitTrace(func(tr Tracer) { tr.TaskStart(team, node) })
-	ttc := taskContext(node, team, num, ops, ectx)
-	node.Fn(ttc)
-	ttc.flushPending()
 	rc := relCtx{team: team, num: num, ops: ops, ectx: ectx}
-	finishTask(team, node, &rc)
+	execNode(node, &rc)
 }
 
 // execChained runs a dependence-released successor inline on the releasing
@@ -292,13 +282,80 @@ func ExecTaskOn(team *Team, num int, ops EngineOps, ectx any, node *TaskNode) {
 // completion is a scheduling point, and the flush precedes finishTask), so
 // chaining never buries raidable work behind the inline execution.
 func execChained(node *TaskNode, rc *relCtx) {
-	node.StartedBy.CompareAndSwap(-1, int32(rc.num))
-	emitTrace(func(tr Tracer) { tr.TaskStart(rc.team, node) })
-	ttc := taskContext(node, rc.team, rc.num, rc.ops, rc.ectx)
-	node.Fn(ttc)
-	ttc.flushPending()
 	next := relCtx{team: rc.team, num: rc.num, ops: rc.ops, ectx: rc.ectx, depth: rc.depth + 1}
-	finishTask(rc.team, node, &next)
+	execNode(node, &next)
+}
+
+// execNode is the unified execution choke point behind ExecTask, ExecTaskOn
+// and execChained — which is what makes cancellation drain-without-execute
+// complete: wherever a task surfaces (shared queue, deque, overflow ring
+// raid, release slot, ULT, chained release), it passes through here, and a
+// node whose taskgroup or team is cancelled is drained instead of run. The
+// body executes under the task-level panic boundary (runBody): a panicking
+// body cancels its group (or region) and records the panic, then completes
+// through the same bookkeeping as a healthy task.
+func execNode(node *TaskNode, rc *relCtx) {
+	team := rc.team
+	if (node.group != nil && node.group.Cancelled()) || team.Cancelled() {
+		drainTask(team, node, rc)
+		return
+	}
+	node.StartedBy.CompareAndSwap(-1, int32(rc.num))
+	emitTrace(func(tr Tracer) { tr.TaskStart(team, node) })
+	ttc := taskContext(node, team, rc.num, rc.ops, rc.ectx)
+	runBody(ttc, node)
+	ttc.flushPending()
+	finishTask(team, node, rc)
+}
+
+// runBody invokes the task body under the panic boundary. A recovered panic
+// cancels the node's taskgroup — or, for a task outside any group, the whole
+// region — and records a *TaskPanicError on the team, to resurface from the
+// region entry point once the region unwinds. The node's own completion
+// bookkeeping runs normally in the caller, so parents, groups, barriers and
+// the team task count all release exactly as for a healthy task — a panic
+// can never wedge a wait.
+func runBody(ttc *TC, node *TaskNode) {
+	defer func() {
+		if r := recover(); r != nil {
+			team := ttc.team
+			if _, isBreak := r.(cancelBreakSentinel); !isBreak {
+				if o := team.owner; o != nil {
+					o.panicsRecovered.Add(1)
+				}
+				team.recordPanic(r)
+			}
+			if g := node.group; g != nil {
+				g.Cancel()
+			} else {
+				team.Cancel()
+			}
+		}
+	}()
+	node.Fn(ttc)
+}
+
+// drainTask completes a cancelled task without running its body: the full
+// finishTask bookkeeping — parent child count, group count, team task count,
+// descriptor recycle, and (via node.release) the dependence-successor walk,
+// so a cancelled graph's successors are released, claimed, and drained in
+// cascade. The recycle-before-Tasks-decrement ordering contract of
+// finishTask holds here identically.
+func drainTask(team *Team, node *TaskNode, rc *relCtx) {
+	if o := team.owner; o != nil {
+		o.tasksCancelled.Add(1)
+	}
+	emitTrace(func(tr Tracer) { tr.TaskCancel(team, node) })
+	if p := node.parent; p != nil {
+		p.children.Add(-1)
+		p.release(rc)
+	}
+	g := node.group
+	node.release(rc)
+	if g != nil {
+		g.count.Add(-1)
+	}
+	team.Tasks.Add(-1)
 }
 
 // taskContext builds (or rearms) the task-scoped TC for node. Pooled nodes

@@ -10,19 +10,46 @@ import "sync/atomic"
 // The paper's GLTO implements OpenMP 4.0, where taskgroup is the deep
 // synchronization point its CG-style producer patterns rely on.
 
-// TaskGroup tracks the unfinished descendant tasks of one taskgroup region.
+// TaskGroup tracks the unfinished descendant tasks of one taskgroup region,
+// and carries the group's cancel flag: one atomic word, checked (never
+// CAS'd) at every task scheduling point, set once by Cancel.
 type TaskGroup struct {
-	count atomic.Int64
+	count     atomic.Int64
+	cancelled atomic.Bool
+	// team is the region the group belongs to, for stats attribution; nil
+	// for hand-built groups.
+	team *Team
 }
 
 // Pending reports the number of unfinished descendant tasks.
 func (g *TaskGroup) Pending() int64 { return g.count.Load() }
 
+// Cancel cancels the taskgroup (the cancel taskgroup construct): tasks of
+// the group that have not started are drained without executing — wherever
+// they sit (producer ring, queue, deque, dependence park) — while running
+// bodies are unaffected. The group's wait still releases: drained tasks
+// count down exactly like executed ones.
+func (g *TaskGroup) Cancel() {
+	if g.cancelled.CompareAndSwap(false, true) {
+		if g.team != nil {
+			if o := g.team.owner; o != nil {
+				o.groupsCancelled.Add(1)
+			}
+		}
+	}
+}
+
+// Cancelled reports whether the group is cancelled.
+func (g *TaskGroup) Cancelled() bool { return g.cancelled.Load() }
+
 // Taskgroup runs body and then waits until every task created within it —
 // including tasks created by those tasks, transitively — has completed
 // (#pragma omp taskgroup). While waiting, the thread executes queued tasks.
+// A cancelled group (TaskGroup.Cancel, tc.CancelTaskgroup, or a panicking
+// task body inside the group) still drains here: unstarted tasks complete as
+// drains, so the count always reaches zero.
 func (tc *TC) Taskgroup(body func()) {
-	g := &TaskGroup{}
+	g := &TaskGroup{team: tc.team}
 	parent := tc.group
 	tc.group = g
 	body()

@@ -377,11 +377,21 @@ func (tc *TC) flushPending() {
 // Barrier executes a team barrier (#pragma omp barrier). Barriers are task
 // scheduling points: buffered tasks are flushed and waiting threads execute
 // queued tasks.
+//
+// Barriers are also cancellation points: when the region is cancelled, the
+// engine's barrier wait may abandon (a cancelled rank might never arrive),
+// and this rank skips the rest of the member body via the cancelBreak
+// sentinel — swallowed by Team.runMember — to the region-end rendezvous,
+// which synchronizes the team regardless of abandoned construct barriers.
 func (tc *TC) Barrier() {
+	chaosBarrier()
 	tc.flushPending()
 	emitTrace(func(tr Tracer) { tr.BarrierEnter(tc) })
 	tc.ops.BarrierWait(tc)
 	emitTrace(func(tr Tracer) { tr.BarrierExit(tc) })
+	if tc.team.Cancelled() {
+		panic(cancelBreak)
+	}
 }
 
 // Master runs body on thread 0 only, with no implied barrier
@@ -446,7 +456,26 @@ func (tc *TC) Critical(name string, body func()) {
 // predecessors parks until the last of them completes, then flows into the
 // same engine fabric (see depend.go).
 func (tc *TC) Task(fn func(*TC), opts ...TaskOpt) {
+	chaosTask(tc)
 	node := PrepareTask(tc, fn, opts...)
+	if (node.group != nil && node.group.Cancelled()) || tc.team.Cancelled() {
+		// Task creation is a cancellation point: drain the node right here
+		// instead of feeding a cancelled graph into the queues. Spawned-but-
+		// queued siblings drain at their own dequeue (see execNode).
+		rc := relCtx{team: tc.team, num: tc.num, ops: tc.ops, ectx: tc.ectx}
+		drainTask(tc.team, node, &rc)
+		return
+	}
+	if lim := tc.team.Cfg.MaxInflightTasks; lim > 0 && !node.Undeferred && !node.Final &&
+		tc.team.Tasks.Load() > int64(lim) {
+		// Backpressure: past the in-flight budget, deferral degrades to
+		// undeferred inline execution — the producer absorbs its own burst
+		// instead of growing queues and descriptor pools without bound.
+		node.Undeferred = true
+		if o := tc.team.owner; o != nil {
+			o.inlineFallbacks.Add(1)
+		}
+	}
 	if len(node.depWants) != 0 {
 		tc.spawnWithDeps(node)
 		return
@@ -509,7 +538,15 @@ func (tc *TC) Parallel(n int, body func(*TC)) {
 	}
 	team := tc.team.newNested(n, body)
 	tc.ops.Nested(tc, team)
+	perr := team.TakePanic()
 	tc.team.releaseNested(team)
+	if perr != nil {
+		// Resurface the inner region's recorded panic on the encountering
+		// thread, after the inner region fully unwound and its descriptor was
+		// recycled. The outer member/task boundary catches it in turn, so the
+		// panic cascades region by region to the top-level entry point.
+		panic(perr)
+	}
 }
 
 // serialRegion runs a serialized parallel region: a team of one on the
@@ -521,7 +558,11 @@ func (tc *TC) serialRegion(body func(*TC)) {
 	}
 	team := tc.team.newNested(1, body)
 	team.Run(0, tc.ops, tc.ectx)
+	perr := team.TakePanic()
 	tc.team.releaseNested(team)
+	if perr != nil {
+		panic(perr) // see tc.Parallel: cascade to the enclosing boundary
+	}
 }
 
 // newNested fetches a pooled descriptor for an inner region of this team

@@ -3,6 +3,7 @@ package omp
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Team is the shared state of one parallel region: the data behind every
@@ -43,6 +44,20 @@ type Team struct {
 	// stale pointer can detect — with one atomic load — that the descriptor
 	// has moved on.
 	epoch atomic.Uint64
+
+	// cancelled is the region's sticky cancel flag (see cancel.go): checked
+	// (one load, never a CAS) at every task scheduling point, set by
+	// Team.Cancel. deadline is the armed region deadline as unix
+	// nanoseconds, 0 when none; Cancelled folds an expired deadline into the
+	// flag. panicErr records the region's first recovered panic, resurfaced
+	// from the region entry point. endArrived counts members that reached
+	// the region-end rendezvous — unlike Bar's epoch counters it counts
+	// ranks exactly once each, so it releases correctly even when cancelled
+	// or panicking ranks skipped construct barriers.
+	cancelled  atomic.Bool
+	deadline   atomic.Int64
+	panicErr   atomic.Pointer[TaskPanicError]
+	endArrived atomic.Int32
 
 	loops    loopTable  // work-shared loop instances, by per-member loop seq
 	sections loopTable  // sections instances, by per-member sections seq
@@ -125,6 +140,17 @@ func (t *Team) prepare(size, level int, cfg Config, body func(*TC)) {
 	t.Size, t.Level, t.Cfg, t.body = size, level, cfg, body
 	t.Tasks.Store(0)
 	t.ends.Store(int32(size))
+	t.cancelled.Store(false)
+	t.panicErr.Store(nil)
+	t.endArrived.Store(0)
+	if cfg.RegionDeadline > 0 {
+		t.deadline.Store(time.Now().Add(cfg.RegionDeadline).UnixNano())
+	} else {
+		t.deadline.Store(0)
+	}
+	// A cancelled previous region may have left abandoned barrier waits
+	// behind: their arrivals pollute the epoch counters, so rearm them.
+	t.Bar.resetCounters()
 	t.loops.reset()
 	t.sections.reset()
 	t.singles.reset()
@@ -159,13 +185,61 @@ func (t *Team) Run(rank int, ops EngineOps, ectx any) {
 	tc := &t.tcs[rank]
 	tc.rearm(t, rank, ops, ectx, node)
 	emitTrace(func(tr Tracer) { tr.MemberStart(tc) })
-	t.body(tc)
+	t.runMember(tc)
 	emitTrace(func(tr Tracer) { tr.MemberEnd(tc) })
-	tc.Barrier() // the implicit barrier ending the region
+	t.memberEnd(tc) // the implicit barrier ending the region
 	if t.ends.Add(-1) == 0 {
 		// Last member out of the implicit barrier: the region is over.
 		emitTrace(func(tr Tracer) { tr.RegionEnd(t) })
 	}
+}
+
+// runMember executes the region body under the member-level panic boundary:
+// a panicking member body cancels the region and records the panic (to be
+// resurfaced from the region entry point), and the cancelBreak sentinel —
+// raised at cancellation points inside the body when the region is already
+// cancelled — is swallowed. Either way the rank proceeds to the region-end
+// rendezvous, so a panic never deadlocks the rest of the team.
+func (t *Team) runMember(tc *TC) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isBreak := r.(cancelBreakSentinel); !isBreak {
+				if o := t.owner; o != nil {
+					o.panicsRecovered.Add(1)
+				}
+				t.recordPanic(r)
+			}
+			t.Cancel()
+		}
+	}()
+	t.body(tc)
+}
+
+// memberEnd is the implicit barrier ending the region: a once-per-region
+// counter rendezvous, deliberately NOT the shared epoch barrier. Ranks that
+// abandoned construct-barrier waits (cancellation, a panicking body) leave
+// Bar's arrival counts polluted; endArrived counts each rank exactly once,
+// so the region releases no matter how many construct barriers each member
+// skipped. Like any region-end barrier it is a task scheduling point — the
+// member's buffered tasks flush first, and waiters drain Team.Tasks to zero
+// (cancelled tasks complete as drains, so the count always reaches zero).
+func (t *Team) memberEnd(tc *TC) {
+	tc.flushPending()
+	emitTrace(func(tr Tracer) { tr.BarrierEnter(tc) })
+	t.endArrived.Add(1)
+	budget := t.Bar.spinBudget(t.Cfg.WaitPolicy == ActiveWait)
+	spins := int64(0)
+	for t.endArrived.Load() < int32(t.Size) || t.Tasks.Load() > 0 {
+		if spins < budget {
+			spins++
+			continue
+		}
+		spins = 0
+		if !tc.ops.TryRunTask(tc) {
+			tc.ops.Idle(tc)
+		}
+	}
+	emitTrace(func(tr Tracer) { tr.BarrierExit(tc) })
 }
 
 // Body returns the region body the team was built with. Engines that cannot
@@ -276,6 +350,9 @@ func (t *Team) getTaskSlot(rank int) *TaskNode {
 		s.node.slot = s
 	}
 	s.shard = sh
+	if censusOn.Load() {
+		liveSlots.Add(1)
+	}
 	return &s.node
 }
 
@@ -284,6 +361,9 @@ func (t *Team) getTaskSlot(rank int) *TaskNode {
 // touches nothing on the Team, so it stays safe however late the last
 // reference drops.
 func putTaskSlot(s *taskSlot) {
+	if censusOn.Load() {
+		liveSlots.Add(-1)
+	}
 	sh := s.shard
 	sh.mu.Lock()
 	s.next = sh.free
@@ -462,6 +542,7 @@ func (t *Team) stealBuffered(start int) (*TaskNode, int) {
 	if rs.resident.Load() <= 0 {
 		return nil, start // nothing ring-resident anywhere: one atomic load
 	}
+	chaosRaid()
 	// visited counts the directories this tour actually probed, reported to
 	// the tracer's steal-tour hook. Tours that never start (the one-load
 	// empty fast path above) report nothing, so idle spinners do not flood
@@ -759,6 +840,20 @@ func SetBarrierTreeThreshold(n int) {
 	barrierTreeCfg.Store(int32(n))
 }
 
+// resetCounters rearms the arrival counters (flat and tree) for a recycled
+// descriptor. Normally a no-op — every completed barrier resets its own
+// counters — but a cancelled region's abandoned waits leave arrivals behind
+// that would desynchronize the next region; prepare calls this while no
+// member is active, so there is nothing to race. Epochs stay monotonic.
+func (b *BarrierState) resetCounters() {
+	b.arrived.Store(0)
+	if gp := b.groups.Load(); gp != nil {
+		for i := range *gp {
+			(*gp)[i].arrived.Store(0)
+		}
+	}
+}
+
 // spinBudget returns the pure-spin budget for one wait: twice the observed
 // EWMA (so typical jitter around the average still releases within the spin
 // phase), clamped to the wait policy's band.
@@ -869,11 +964,19 @@ func (b *BarrierState) Wait(size int, tasks *atomic.Int64, tryTask func() bool, 
 // The spin budget adapts to the team's observed release latency under the
 // clamp of the team's OMP_WAIT_POLICY, and teams wider than the tree
 // threshold arrive through the combining tree (see BarrierState).
-func (b *BarrierState) WaitTC(tc *TC, runTasks bool) {
+//
+// WaitTC is cancellation-aware: when the team is cancelled, waiters stop
+// spinning and report false ("abandoned") — a cancelled or panicked rank may
+// never arrive, and spinning for it would wedge the region. The arrival this
+// waiter already contributed stands (so a concurrent normal release still
+// balances), and the caller is expected to skip forward to the region-end
+// rendezvous (tc.Barrier raises the cancelBreak sentinel). True means the
+// barrier completed normally. The cancel check costs one atomic load per
+// idle round, never on the pure-spin fast path.
+func (b *BarrierState) WaitTC(tc *TC, runTasks bool) bool {
 	team := tc.team
 	if team.Size > barrierTreeThreshold() {
-		b.waitTree(tc, runTasks)
-		return
+		return b.waitTree(tc, runTasks)
 	}
 	epoch := b.epoch.Load()
 	if b.arrived.Add(1) == int64(team.Size) {
@@ -884,7 +987,7 @@ func (b *BarrierState) WaitTC(tc *TC, runTasks bool) {
 		}
 		b.arrived.Store(0)
 		b.epoch.Add(1)
-		return
+		return true
 	}
 	budget := b.spinBudget(team.Cfg.WaitPolicy == ActiveWait)
 	spins, total := int64(0), int64(0)
@@ -895,11 +998,16 @@ func (b *BarrierState) WaitTC(tc *TC, runTasks bool) {
 			continue
 		}
 		spins = 0
+		if team.Cancelled() {
+			b.observeSpins(total)
+			return false
+		}
 		if !runTasks || !tc.ops.TryRunTask(tc) {
 			tc.ops.Idle(tc)
 		}
 	}
 	b.observeSpins(total)
+	return true
 }
 
 // waitTree is the wide-team arrival path: rank-assigned groups combine
@@ -913,7 +1021,7 @@ func (b *BarrierState) WaitTC(tc *TC, runTasks bool) {
 // has already been reset; a spinner from the previous epoch that misses an
 // intermediate value simply observes epoch != snapshot one bump later
 // (epochs only move forward, and waiters compare for inequality).
-func (b *BarrierState) waitTree(tc *TC, runTasks bool) {
+func (b *BarrierState) waitTree(tc *TC, runTasks bool) bool {
 	team := tc.team
 	size := team.Size
 	ngroups := (size + barrierGroupArity - 1) / barrierGroupArity
@@ -943,7 +1051,7 @@ func (b *BarrierState) waitTree(tc *TC, runTasks bool) {
 			for i := 0; i < ngroups; i++ {
 				groups[i].epoch.Add(1)
 			}
-			return
+			return true
 		}
 	}
 	budget := b.spinBudget(team.Cfg.WaitPolicy == ActiveWait)
@@ -955,9 +1063,17 @@ func (b *BarrierState) waitTree(tc *TC, runTasks bool) {
 			continue
 		}
 		spins = 0
+		if team.Cancelled() {
+			// Abandon on cancellation. Group and root arrivals already
+			// contributed stand — combining happened at arrival time, so the
+			// tree's invariants are unaffected by leaving the spin.
+			b.observeSpins(total)
+			return false
+		}
 		if !runTasks || !tc.ops.TryRunTask(tc) {
 			tc.ops.Idle(tc)
 		}
 	}
 	b.observeSpins(total)
+	return true
 }

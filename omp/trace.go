@@ -45,6 +45,10 @@ type Tracer interface {
 	// TaskEnd fires when an explicit task's body has completed, before the
 	// completion bookkeeping releases the descriptor.
 	TaskEnd(team *Team, node *TaskNode)
+	// TaskCancel fires when a task is drained without executing because its
+	// taskgroup or region was cancelled — in place of the TaskStart/TaskEnd
+	// pair, before the completion bookkeeping releases the descriptor.
+	TaskCancel(team *Team, node *TaskNode)
 	// DepRelease fires when a dependence-parked task becomes runnable on its
 	// final predecessor's completion; path records which dispatch the release
 	// took (chained inline, hot to the releaser's rank, or the creator-side
@@ -139,6 +143,7 @@ type CountingTracer struct {
 	Tasks        atomic.Int64
 	TaskStarts   atomic.Int64
 	TaskEnds     atomic.Int64
+	TaskCancels  atomic.Int64
 	DepReleases  atomic.Int64
 	DepChained   atomic.Int64
 	DepLocal     atomic.Int64
@@ -167,6 +172,11 @@ func (c *CountingTracer) TaskStart(*Team, *TaskNode) { c.TaskStarts.Add(1) }
 
 // TaskEnd implements Tracer.
 func (c *CountingTracer) TaskEnd(*Team, *TaskNode) { c.TaskEnds.Add(1) }
+
+// TaskCancel implements Tracer. A task is either started or cancelled, never
+// both: TaskStarts + TaskCancels == Tasks once all created tasks have
+// completed (the exactly-once contract the cancellation tests pin down).
+func (c *CountingTracer) TaskCancel(*Team, *TaskNode) { c.TaskCancels.Add(1) }
 
 // DepRelease implements Tracer. DepReleases counts every release;
 // DepChained and DepLocal break out the locality-first dispatch paths
